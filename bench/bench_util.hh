@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regenerating benchmark binaries:
+ * the paper's CPU-count sweep, the machine configuration, and the
+ * throughput normalization (100 ≙ 2 CPUs / 1 variable / pool of 1).
+ *
+ * Environment knobs:
+ *   ZTX_BENCH_ITERS  operations per CPU (default 150)
+ *   ZTX_BENCH_FAST   non-empty: coarser CPU sweep for smoke runs
+ */
+
+#ifndef ZTX_BENCH_BENCH_UTIL_HH
+#define ZTX_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "workload/update_bench.hh"
+
+namespace ztx::bench {
+
+/** CPU counts on the x axis of figure 5 (a)-(d). */
+inline std::vector<unsigned>
+cpuPoints()
+{
+    if (std::getenv("ZTX_BENCH_FAST"))
+        return {2, 4, 8, 24, 100};
+    return {2, 3, 4, 5, 6, 8, 10, 20, 40, 60, 80, 100};
+}
+
+/** Operations per CPU for the sweep benchmarks. */
+inline unsigned
+benchIterations()
+{
+    if (const char *s = std::getenv("ZTX_BENCH_ITERS"))
+        return unsigned(std::atoi(s));
+    return 150;
+}
+
+/**
+ * Machine configuration of the benchmarks: the paper's topology
+ * (6 cores/chip, 4 chips per tested MCM node -> the 24-CPU plateau,
+ * 5 MCMs) with L3/L4 trimmed from 48 MB/384 MB to 8 MB/32 MB. The
+ * workloads' footprints (at most ~2.6 MB for the 10k pool) stay far
+ * below either size, so no additional LRU-XIs are introduced while
+ * machine construction stays cheap across the many sweep points
+ * (see EXPERIMENTS.md).
+ */
+inline sim::MachineConfig
+benchMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.geometry.l3 = {8ULL << 20, 12};
+    cfg.geometry.l4 = {32ULL << 20, 24};
+    return cfg;
+}
+
+/** The paper's normalization constant for throughput plots. */
+inline double
+normalizationReference()
+{
+    return workload::referenceThroughput(benchMachine(),
+                                         4 * benchIterations());
+}
+
+} // namespace ztx::bench
+
+#endif // ZTX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's hot
+ * components (host-side costs): cache-array operations, the
+ * coherence directory, the gathering store cache, the PRNG, and a
+ * whole simulated transaction round trip.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/store_cache.hh"
+#include "isa/assembler.hh"
+#include "mem/cache_array.hh"
+#include "mem/directory.hh"
+#include "mem/main_memory.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace ztx;
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_CacheArrayLookupHit(benchmark::State &state)
+{
+    mem::CacheArray l1(mem::CacheGeometry{96 * 1024, 6}, "l1");
+    for (unsigned i = 0; i < 64; ++i)
+        l1.insert(Addr(i) * lineSizeBytes);
+    Addr line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(l1.contains(line));
+        line = (line + lineSizeBytes) % (64 * lineSizeBytes);
+    }
+}
+BENCHMARK(BM_CacheArrayLookupHit);
+
+void
+BM_CacheArrayInsertEvict(benchmark::State &state)
+{
+    mem::CacheArray l1(mem::CacheGeometry{96 * 1024, 6}, "l1");
+    Addr line = 0;
+    for (auto _ : state) {
+        if (!l1.contains(line))
+            l1.insert(line);
+        line += 64 * lineSizeBytes; // same row, forces eviction
+    }
+}
+BENCHMARK(BM_CacheArrayInsertEvict);
+
+void
+BM_DirectoryExclusiveHandoff(benchmark::State &state)
+{
+    mem::CoherenceDirectory dir;
+    CpuId cpu = 0;
+    for (auto _ : state) {
+        dir.setExclusive(0x1000, cpu);
+        cpu = (cpu + 1) % 16;
+    }
+}
+BENCHMARK(BM_DirectoryExclusiveHandoff);
+
+void
+BM_StoreCacheGather(benchmark::State &state)
+{
+    mem::MainMemory memory;
+    core::GatheringStoreCache sc(64, "b");
+    const std::uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    Addr addr = 0;
+    for (auto _ : state) {
+        sc.store(addr, bytes, 8, false, false, memory);
+        addr = (addr + 8) % 128;
+    }
+}
+BENCHMARK(BM_StoreCacheGather);
+
+void
+BM_SimulatedTransactionRoundTrip(benchmark::State &state)
+{
+    sim::MachineConfig cfg;
+    cfg.topology = mem::Topology(1, 1, 1);
+    cfg.activeCpus = 1;
+    sim::Machine machine(cfg);
+
+    isa::Assembler as;
+    as.la(9, 0, 0x100000);
+    as.tbegin(0x00);
+    as.jnz("out");
+    as.lgfo(1, 9);
+    as.ahi(1, 1);
+    as.stg(1, 9);
+    as.tend();
+    as.label("out");
+    as.halt();
+    const isa::Program p = as.finish();
+
+    for (auto _ : state) {
+        machine.setProgram(0, &p);
+        machine.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedTransactionRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 5(a): transactions versus a coarse lock, operations
+ * updating 4 random variables, pool sizes 1k and 10k. Expected
+ * shape (paper §IV): the coarse lock is poor and roughly flat with
+ * steps at chip/MCM boundaries; transactions scale nearly linearly;
+ * TBEGIN on the 1k pool flattens/drops at high CPU counts from the
+ * rising conflict rate but stays above the lock.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "workload/report.hh"
+
+int
+main()
+{
+    using namespace ztx;
+    using namespace ztx::workload;
+
+    const double ref = bench::normalizationReference();
+    std::printf("# Figure 5(a): TX vs locks, four variables, "
+                "poolsizes 1k/10k\n");
+    std::printf("# normalized throughput (100 = 2 CPUs, 1 var, "
+                "pool 1, coarse lock)\n");
+
+    SeriesTable table("CPUs",
+                      {"Lock-1k", "TBEGINC-1k", "TBEGIN-1k",
+                       "Lock-10k", "TBEGINC-10k", "TBEGIN-10k"});
+    for (const unsigned cpus : bench::cpuPoints()) {
+        std::vector<double> row;
+        for (const unsigned pool : {1000u, 10000u}) {
+            for (const SyncMethod method :
+                 {SyncMethod::CoarseLock, SyncMethod::TBeginc,
+                  SyncMethod::TBegin}) {
+                UpdateBenchConfig cfg;
+                cfg.cpus = cpus;
+                cfg.poolSize = pool;
+                cfg.varsPerOp = 4;
+                cfg.method = method;
+                cfg.iterations = bench::benchIterations();
+                cfg.machine = bench::benchMachine();
+                const auto res = runUpdateBench(cfg);
+                row.push_back(100.0 * res.throughput / ref);
+            }
+        }
+        table.addRow(cpus, row);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 5(b): single-variable updates from a pool of 10. Expected
+ * shape: the coarse lock yields very poor throughput; fine-grained
+ * locks are better but stop scaling around 10 CPUs and decline;
+ * transactions grow up to ~24 CPUs (the tested MCM node size), hold
+ * roughly steady beyond, and beat the locks across the whole range.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "workload/report.hh"
+
+int
+main()
+{
+    using namespace ztx;
+    using namespace ztx::workload;
+
+    const double ref = bench::normalizationReference();
+    std::printf("# Figure 5(b): TX vs locks, single variable, "
+                "poolsize 10\n");
+    std::printf("# normalized throughput (100 = 2 CPUs, 1 var, "
+                "pool 1, coarse lock)\n");
+
+    SeriesTable table("CPUs", {"CoarseLock", "FineLock", "TBEGINC",
+                               "TBEGIN"});
+    for (const unsigned cpus : bench::cpuPoints()) {
+        std::vector<double> row;
+        for (const SyncMethod method :
+             {SyncMethod::CoarseLock, SyncMethod::FineLock,
+              SyncMethod::TBeginc, SyncMethod::TBegin}) {
+            UpdateBenchConfig cfg;
+            cfg.cpus = cpus;
+            cfg.poolSize = 10;
+            cfg.varsPerOp = 1;
+            cfg.method = method;
+            cfg.iterations = bench::benchIterations();
+            cfg.machine = bench::benchMachine();
+            const auto res = runUpdateBench(cfg);
+            row.push_back(100.0 * res.throughput / ref);
+        }
+        table.addRow(cpus, row);
+    }
+    table.print(std::cout);
+    return 0;
+}

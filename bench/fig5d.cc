@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 5(d): reading 4 variables from a pool of 10k — read-write
+ * lock versus constrained transactions. Expected shape: the RW lock
+ * flattens out because every reader entry/exit updates the
+ * read-count word, which ping-pongs between CPUs; transactions only
+ * check that no writer is present, so the lock-word line stays
+ * shared and throughput grows almost linearly.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "workload/report.hh"
+
+int
+main()
+{
+    using namespace ztx;
+    using namespace ztx::workload;
+
+    const double ref = bench::normalizationReference();
+    std::printf("# Figure 5(d): TX vs read-write lock, four "
+                "variables read, poolsize 10k\n");
+    std::printf("# normalized throughput (100 = 2 CPUs, 1 var, "
+                "pool 1, coarse lock)\n");
+
+    SeriesTable table("CPUs", {"RW-Lock", "TBEGINC"});
+    for (const unsigned cpus : bench::cpuPoints()) {
+        std::vector<double> row;
+        for (const SyncMethod method :
+             {SyncMethod::RwLock, SyncMethod::TBeginc}) {
+            UpdateBenchConfig cfg;
+            cfg.cpus = cpus;
+            cfg.poolSize = 10000;
+            cfg.varsPerOp = 4;
+            cfg.readOnly = true;
+            cfg.method = method;
+            cfg.iterations = bench::benchIterations();
+            cfg.machine = bench::benchMachine();
+            const auto res = runUpdateBench(cfg);
+            row.push_back(100.0 * res.throughput / ref);
+        }
+        table.addRow(cpus, row);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 5(f): statistical abort rate from associativity conflicts
+ * for transactions reading n random congruence classes. Without the
+ * LRU extension the read footprint is bounded by the L1 (64 rows x
+ * 6 ways); with it, by the L2 (512 rows x 8 ways), which pushes the
+ * abort wall out by nearly an order of magnitude.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "workload/footprint.hh"
+#include "workload/report.hh"
+
+int
+main()
+{
+    using namespace ztx;
+    using namespace ztx::workload;
+
+    std::printf("# Figure 5(f): effect of LRU extension on the "
+                "fetch footprint\n");
+    std::printf("# statistical abort rate (%%), n random lines per "
+                "transaction\n");
+
+    const bool fast = std::getenv("ZTX_BENCH_FAST") != nullptr;
+    const unsigned trials = fast ? 40 : 120;
+
+    SeriesTable table("Lines", {"NoLruExt-64x6", "LruExt-512x8"});
+    for (unsigned lines = 100; lines <= 800; lines += 50) {
+        FootprintConfig without;
+        without.lruExtension = false;
+        without.trials = trials;
+        FootprintConfig with;
+        with.lruExtension = true;
+        with.trials = trials;
+        const double r_without =
+            measureFootprintAbortRate(lines, without);
+        const double r_with = measureFootprintAbortRate(lines, with);
+        table.addRow(lines, {100.0 * r_without, 100.0 * r_with});
+    }
+    table.print(std::cout);
+    return 0;
+}

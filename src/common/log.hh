@@ -1,0 +1,66 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal simulator invariant was violated (a zTX bug);
+ *            aborts the process.
+ * fatal()  — the user asked for something impossible (bad config);
+ *            exits with status 1.
+ * warn()/inform() — non-fatal notices on stderr.
+ *
+ * All of them accept printf-style formatting via std::format-like
+ * variadic helpers kept deliberately simple (string + values through
+ * an ostringstream) so the library has no formatting dependencies.
+ */
+
+#ifndef ZTX_COMMON_LOG_HH
+#define ZTX_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace ztx {
+
+/** Implementation helpers; not part of the public API. */
+namespace log_detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate all arguments into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace log_detail
+
+} // namespace ztx
+
+/** Abort the process: an internal simulator invariant failed. */
+#define ztx_panic(...) \
+    ::ztx::log_detail::panicImpl(__FILE__, __LINE__, \
+                                 ::ztx::log_detail::concat(__VA_ARGS__))
+
+/** Exit(1): simulation cannot continue due to a user/config error. */
+#define ztx_fatal(...) \
+    ::ztx::log_detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::ztx::log_detail::concat(__VA_ARGS__))
+
+/** Print a warning to stderr and continue. */
+#define ztx_warn(...) \
+    ::ztx::log_detail::warnImpl(::ztx::log_detail::concat(__VA_ARGS__))
+
+/** Print an informational message to stderr and continue. */
+#define ztx_inform(...) \
+    ::ztx::log_detail::informImpl(::ztx::log_detail::concat(__VA_ARGS__))
+
+#endif // ZTX_COMMON_LOG_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The whole simulator is deterministic for a given seed; every
+ * stochastic component (workload variable picking, PPA delays,
+ * Transaction Diagnostic Control random aborts, millicode backoff)
+ * draws from its own Rng instance seeded from the machine seed, so
+ * component behaviour is reproducible and independent.
+ *
+ * The generator is xoshiro256**, seeded via SplitMix64 as its authors
+ * recommend; both are public-domain algorithms.
+ */
+
+#ifndef ZTX_COMMON_RNG_HH
+#define ZTX_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace ztx {
+
+/** Small, fast, deterministic PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed; any value is acceptable. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /**
+     * Uniform integer in [0, bound), bias-free for bound > 0.
+     * @param bound Exclusive upper bound; must be non-zero.
+     */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace ztx
+
+#endif // ZTX_COMMON_RNG_HH

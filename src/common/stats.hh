@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Lightweight statistics containers in the spirit of gem5's stats
+ * package: named scalar counters, means, and histograms that modules
+ * register into a StatGroup, with a text formatter for dumps.
+ */
+
+#ifndef ZTX_COMMON_STATS_HH
+#define ZTX_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ztx {
+
+/** A named monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p n events (default 1). */
+    void
+    inc(std::uint64_t n = 1)
+    {
+        value_ += n;
+    }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero (between measurement phases). */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max over a stream of samples. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 if no samples. */
+    double mean() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Smallest sample; 0 if no samples. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample; 0 if no samples. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [0, bucketWidth * buckets). */
+class Histogram
+{
+  public:
+    /**
+     * @param buckets Number of equal-width buckets.
+     * @param bucket_width Width of each bucket; samples beyond the
+     *        last bucket land in an overflow bucket.
+     */
+    Histogram(std::size_t buckets, double bucket_width);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Count in bucket @p i (i == buckets() means overflow). */
+    std::uint64_t bucketCount(std::size_t i) const;
+
+    /** Number of regular buckets. */
+    std::size_t buckets() const { return counts_.size() - 1; }
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> counts_; // last entry is overflow
+    double bucketWidth_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A registry of named stats owned by a component; supports nested
+ * group names ("cpu0.l1.hits") and a flat text dump.
+ */
+class StatGroup
+{
+  public:
+    /** @param name Prefix prepended to every stat in dumps. */
+    explicit StatGroup(std::string name);
+
+    /** Create (or fetch) a counter under this group. */
+    Counter &counter(const std::string &stat_name);
+
+    /** Create (or fetch) a distribution under this group. */
+    Distribution &distribution(const std::string &stat_name);
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+    /** Write "name.stat value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Group name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> distributions_;
+};
+
+} // namespace ztx
+
+#endif // ZTX_COMMON_STATS_HH

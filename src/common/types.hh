@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every zTX module.
+ *
+ * The simulator follows gem5 conventions: addresses and cycle counts
+ * are 64-bit unsigned integers with dedicated type aliases so that
+ * interfaces document what kind of quantity they take.
+ */
+
+#ifndef ZTX_COMMON_TYPES_HH
+#define ZTX_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ztx {
+
+/** Byte address in the simulated 64-bit physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated time, measured in CPU core cycles. */
+using Cycles = std::uint64_t;
+
+/** Index of a simulated CPU within the machine (0-based). */
+using CpuId = std::uint32_t;
+
+/** Sentinel for "no CPU" (e.g., a line with no exclusive owner). */
+inline constexpr CpuId invalidCpu = ~CpuId(0);
+
+/** Cache-line size of the simulated hierarchy (zEC12: 256 bytes). */
+inline constexpr std::uint64_t lineSizeBytes = 256;
+
+/** log2 of the line size, for address slicing. */
+inline constexpr unsigned lineSizeLog2 = 8;
+
+static_assert((std::uint64_t(1) << lineSizeLog2) == lineSizeBytes);
+
+/** Return the line-aligned base address containing @p addr. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~(lineSizeBytes - 1);
+}
+
+/** Return the byte offset of @p addr within its cache line. */
+constexpr std::uint64_t
+lineOffset(Addr addr)
+{
+    return addr & (lineSizeBytes - 1);
+}
+
+/** Octoword (32-byte unit) base address; constrained TX data units. */
+inline constexpr std::uint64_t octowordBytes = 32;
+
+/** Return the octoword-aligned base address containing @p addr. */
+constexpr Addr
+octowordAlign(Addr addr)
+{
+    return addr & ~(octowordBytes - 1);
+}
+
+} // namespace ztx
+
+#endif // ZTX_COMMON_TYPES_HH

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * The zTX CPU model: an interpreter for the mini z-ISA with the
+ * complete Transactional Execution facility of paper §II/§III.
+ *
+ * The CPU executes one instruction per step() against the shared
+ * cache hierarchy, returning its cycle cost to the Machine
+ * scheduler. It implements mem::CacheClient to evaluate incoming
+ * cross interrogates: conflicting Demote/Exclusive XIs are rejected
+ * ("stiff-armed") while the transaction hopes to finish, bounded by
+ * the hang-avoidance reject counter; non-rejectable XIs that hit the
+ * transactional footprint abort the transaction.
+ *
+ * Aborts are processed by the millicode engine (see
+ * millicode/millicode.hh), matching the paper's firmware split.
+ */
+
+#ifndef ZTX_CORE_CPU_HH
+#define ZTX_CORE_CPU_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/store_cache.hh"
+#include "core/store_queue.hh"
+#include "debug/os_model.hh"
+#include "debug/page_table.hh"
+#include "debug/per.hh"
+#include "debug/tdc.hh"
+#include "isa/program.hh"
+#include "isa/registers.hh"
+#include "mem/hierarchy.hh"
+#include "mem/main_memory.hh"
+#include "tx/abort.hh"
+#include "tx/constraints.hh"
+
+namespace ztx::millicode {
+class MillicodeEngine;
+} // namespace ztx::millicode
+
+namespace ztx::core {
+
+/** Everything millicode needs to know about one abort. */
+struct AbortContext
+{
+    tx::AbortReason reason = tx::AbortReason::Miscellaneous;
+    /** TDB abort code; defaults to the reason's code. */
+    std::uint64_t code = 0;
+    /** Conflicting storage address, when known. */
+    Addr conflictAddr = 0;
+    bool conflictValid = false;
+    /** Program-interruption condition behind the abort, if any. */
+    tx::InterruptCode interruptCode = tx::InterruptCode::None;
+    Addr interruptAddr = 0;
+    /** True if the interruption is filtered (no OS involvement). */
+    bool filtered = false;
+};
+
+/** One simulated CPU. */
+class Cpu : public mem::CacheClient
+{
+  public:
+    /**
+     * @param id CPU number within the machine.
+     * @param hier Shared cache hierarchy (registers itself as the
+     *        XI client for @p id).
+     * @param memory Functional backing store.
+     * @param pages Shared page-present table.
+     * @param os Stub operating system for interruptions.
+     * @param env Machine services (clock, solo mode).
+     * @param config TM parameters and cycle costs.
+     * @param seed Seed of this CPU's private RNG.
+     */
+    Cpu(CpuId id, mem::Hierarchy &hier, mem::MainMemory &memory,
+        debug::PageTable &pages, debug::OsModel &os, CpuEnv &env,
+        const TmConfig &config, std::uint64_t seed);
+
+    ~Cpu() override;
+
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
+
+    /** Bind the instruction stream and reset the PSW to its entry. */
+    void setProgram(const isa::Program *program);
+
+    /**
+     * Execute (or retry) one instruction.
+     * @return Cycle cost of this step; 0 when halted.
+     */
+    Cycles step();
+
+    /** True once HALT executed or the OS terminated the program. */
+    bool halted() const { return halted_; }
+
+    /** @name Architected state access @{ */
+    std::uint64_t gr(unsigned r) const { return regs_.gr.at(r); }
+    void setGr(unsigned r, std::uint64_t v) { regs_.gr.at(r) = v; }
+    std::uint32_t ar(unsigned r) const { return regs_.ar.at(r); }
+    void setAr(unsigned r, std::uint32_t v) { regs_.ar.at(r) = v; }
+    std::uint64_t fpr(unsigned r) const { return regs_.fpr.at(r); }
+    void setFpr(unsigned r, std::uint64_t v) { regs_.fpr.at(r) = v; }
+    const isa::Psw &psw() const { return psw_; }
+    void setIa(Addr ia) { psw_.ia = ia; }
+    /** @} */
+
+    /** @name Transactional state @{ */
+    unsigned nestingDepth() const { return txDepth_; }
+    bool inTx() const { return txDepth_ > 0; }
+    bool inConstrainedTx() const { return inTx() && constrained_; }
+    /** @} */
+
+    /** CPU id. */
+    CpuId id() const { return id_; }
+
+    /** @name Debug facilities @{ */
+    debug::PerControls &perControls() { return per_; }
+    debug::TdcControl &tdcControl() { return tdc_; }
+    /** @} */
+
+    /**
+     * Deliver an asynchronous (external) interruption; aborts a
+     * transaction in progress. Call between steps.
+     */
+    void deliverExternalInterrupt();
+
+    /** Drain buffered non-transactional stores to memory. */
+    void drainStores();
+
+    /**
+     * Read memory the way this CPU would (merging its own buffered
+     * stores) without timing effects; for harness/test inspection.
+     */
+    std::uint64_t peekMem(Addr addr, unsigned size) const;
+
+    /** @name Scheduler interface @{ */
+    /** Extra stall (abort penalties, backoff) to apply, then clear. */
+    Cycles consumePendingStall();
+    /** Add stall cycles before this CPU's next step. */
+    void addStall(Cycles cycles) { pendingStall_ += cycles; }
+    /** @} */
+
+    /** @name Measurement (MARKB/MARKE pseudo-ops) @{ */
+    const Distribution &regionCycles() const { return regionCycles_; }
+    void resetMeasurement() { regionCycles_.reset(); }
+    /** @} */
+
+    /** Per-CPU stats ("cpuN.*"): commits, aborts by reason, ... */
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** @name mem::CacheClient @{ */
+    mem::XiResponse incomingXi(const mem::XiContext &ctx) override;
+    void l1Evicted(Addr line, std::uint8_t flags) override;
+    /** @} */
+
+    /** The TDB stored into the prefix area lives here, per CPU. */
+    Addr prefixTdbAddr() const;
+
+  private:
+    friend class ztx::millicode::MillicodeEngine;
+
+    /** Outcome of executing one instruction. */
+    struct ExecResult
+    {
+        Cycles cost = 1;
+        /** False when the access was rejected and must be retried. */
+        bool completed = true;
+    };
+
+    ExecResult execute(const isa::Program::Slot &slot);
+    ExecResult executeTxOp(const isa::Program::Slot &slot);
+
+    /** Effective (ANDed/maxed over the nest) TBEGIN controls. */
+    bool effAllowArMod() const;
+    bool effAllowFprMod() const;
+    std::uint8_t effPifc() const;
+
+    Addr effectiveAddr(const isa::Instruction &inst) const;
+
+    /**
+     * Perform the cache/coherence side of a data access spanning
+     * [addr, addr+size). Accumulates latency into @p cost.
+     * @return false if rejected or the transaction aborted; the
+     *         instruction must not complete.
+     */
+    bool accessLines(Addr addr, unsigned size, bool exclusive,
+                     Cycles &cost);
+
+    /** Functional read merging store cache and STQ over memory. */
+    std::uint64_t readMerged(Addr addr, unsigned size) const;
+
+    /**
+     * Full load path (paging, constraints, coherence, merge).
+     * @param exclusive Fetch with ownership (LGFO store intent).
+     * @return The value, or nullopt if the step cannot complete.
+     */
+    std::optional<std::uint64_t> memLoad(Addr addr, unsigned size,
+                                         Cycles &cost,
+                                         bool exclusive = false);
+
+    /** Full store path. @return false if the step cannot complete. */
+    bool memStore(Addr addr, std::uint64_t value, unsigned size,
+                  bool ntstg, Cycles &cost);
+
+    /** Raise a program-exception condition at the current PSW. */
+    void programException(tx::InterruptCode code, Addr addr,
+                          bool instruction_fetch, Cycles &cost);
+
+    /** Deliver an (unfiltered) interruption to the OS model. */
+    void osInterrupt(tx::InterruptCode code, Addr addr, bool from_tx,
+                     bool from_constrained, Cycles &cost);
+
+    /** Route an abort through millicode. */
+    void abortTransaction(const AbortContext &ctx);
+
+    /** Begin a transaction (shared TBEGIN/TBEGINC tail). */
+    ExecResult beginTransaction(const isa::Program::Slot &slot,
+                                bool constrained);
+
+    /** Commit path of an outermost TEND. */
+    ExecResult endTransaction();
+
+    /** PER store-event check; may abort/interrupt. */
+    bool perStoreCheck(Addr addr, unsigned size, Cycles &cost);
+
+    /** Handle a constrained-TX rule violation. */
+    void constraintViolation(tx::ConstraintViolationKind kind,
+                             Cycles &cost);
+
+    CpuId id_;
+    mem::Hierarchy &hier_;
+    mem::MainMemory &memory_;
+    debug::PageTable &pages_;
+    debug::OsModel &os_;
+    CpuEnv &env_;
+    TmConfig cfg_;
+    Rng rng_;
+
+    const isa::Program *program_ = nullptr;
+    isa::RegisterFile regs_;
+    isa::Psw psw_;
+    bool halted_ = false;
+
+    StoreQueue stq_;
+    GatheringStoreCache storeCache_;
+
+    /** @name Transaction state @{ */
+    struct TxLevel
+    {
+        bool allowArMod;
+        bool allowFprMod;
+        std::uint8_t pifc;
+    };
+    unsigned txDepth_ = 0;
+    bool constrained_ = false;
+    std::vector<TxLevel> txLevels_;
+    std::array<std::uint64_t, isa::numGrs> backupGrs_{};
+    std::uint8_t savedGrsm_ = 0;
+    Addr tbeginAddr_ = 0;
+    std::uint8_t tbeginLength_ = 0;
+    bool tdbValid_ = false;
+    Addr tdbAddr_ = 0;
+    tx::ConstraintChecker checker_;
+    /** @} */
+
+    /** @name Stiff-arm / hang-avoidance state @{ */
+    unsigned rejectsSinceCompletion_ = 0;
+    bool stalledOnReject_ = false;
+    /** @} */
+
+    /** Remaining same-cycle slots of the superscalar window. */
+    unsigned dispatchCredit_ = 0;
+
+    /** Set by any abort that happens inside this CPU's own step. */
+    bool abortedDuringStep_ = false;
+
+    /** @name Millicode state @{ */
+    unsigned constrainedAbortCount_ = 0;
+    bool soloHeld_ = false;
+    /** Escalation: suppress speculative over-marking on retries. */
+    bool speculationReduced_ = false;
+    std::uint64_t lastAbortCode_ = 0;
+    /** @} */
+
+    debug::PerControls per_;
+    debug::TdcControl tdc_;
+
+    Cycles pendingStall_ = 0;
+
+    /** @name Region measurement @{ */
+    bool regionOpen_ = false;
+    Cycles regionStart_ = 0;
+    Distribution regionCycles_;
+    /** @} */
+
+    /** @name Pending after-completion PER event @{ */
+    bool perPending_ = false;
+    Addr perPendingAddr_ = 0;
+    /** @} */
+
+    StatGroup stats_;
+};
+
+} // namespace ztx::core
+
+#endif // ZTX_CORE_CPU_HH

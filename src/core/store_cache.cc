@@ -1,0 +1,256 @@
+#include "store_cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/main_memory.hh"
+
+namespace ztx::core {
+
+GatheringStoreCache::GatheringStoreCache(unsigned num_entries,
+                                         const std::string &name)
+    : entries_(num_entries), stats_(name)
+{
+    if (num_entries == 0)
+        ztx_fatal("store cache needs at least one entry");
+}
+
+GatheringStoreCache::Entry *
+GatheringStoreCache::findOpen(Addr block, bool transactional)
+{
+    for (auto &e : entries_) {
+        if (e.live && !e.closed && e.block == block &&
+            e.transactional == transactional) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+GatheringStoreCache::Entry *
+GatheringStoreCache::allocate(mem::MainMemory &memory)
+{
+    for (auto &e : entries_) {
+        if (!e.live)
+            return &e;
+    }
+    // Evict the oldest non-transactional entry; transactional
+    // entries cannot be written back before the transaction ends.
+    Entry *oldest = nullptr;
+    for (auto &e : entries_) {
+        if (!e.transactional && (!oldest || e.seq < oldest->seq))
+            oldest = &e;
+    }
+    if (!oldest)
+        return nullptr; // overflow: all entries are transactional
+    writeBack(*oldest, memory);
+    oldest->live = false;
+    stats_.counter("evictions").inc();
+    return oldest;
+}
+
+void
+GatheringStoreCache::writeBack(Entry &entry,
+                               mem::MainMemory &memory) const
+{
+    for (std::uint64_t b = 0; b < storeCacheBlockBytes; ++b)
+        if (entry.valid[b])
+            memory.writeByte(entry.block + b, entry.data[b]);
+}
+
+void
+GatheringStoreCache::storeBlockPiece(Entry &entry, Addr addr,
+                                     const std::uint8_t *bytes,
+                                     unsigned len, bool ntstg)
+{
+    const std::uint64_t off = addr - entry.block;
+    for (unsigned i = 0; i < len; ++i) {
+        const std::uint64_t b = off + i;
+        const std::uint64_t dw = b / 8;
+        if (entry.valid[b] && entry.ntstg[dw] != ntstg) {
+            // The architecture requires NTSTG targets not to overlap
+            // other stores of the transaction; the outcome would be
+            // unpredictable on real hardware. Record it.
+            stats_.counter("ntstg_overlap").inc();
+        }
+        entry.data[b] = bytes[i];
+        entry.valid.set(b);
+        if (ntstg)
+            entry.ntstg.set(dw);
+    }
+}
+
+bool
+GatheringStoreCache::store(Addr addr, const std::uint8_t *bytes,
+                           unsigned len, bool transactional,
+                           bool ntstg, mem::MainMemory &memory)
+{
+    while (len > 0) {
+        const Addr block = storeCacheBlockAlign(addr);
+        const unsigned in_block = unsigned(
+            std::min<std::uint64_t>(len,
+                                    block + storeCacheBlockBytes -
+                                        addr));
+        Entry *entry = findOpen(block, transactional);
+        if (entry) {
+            stats_.counter("gathers").inc();
+        } else {
+            entry = allocate(memory);
+            if (!entry) {
+                stats_.counter("overflows").inc();
+                return false;
+            }
+            entry->live = true;
+            entry->transactional = transactional;
+            entry->closed = false;
+            entry->block = block;
+            entry->seq = ++seq_;
+            entry->valid.reset();
+            entry->ntstg.reset();
+            stats_.counter("allocations").inc();
+        }
+        storeBlockPiece(*entry, addr, bytes, in_block, ntstg);
+        addr += in_block;
+        bytes += in_block;
+        len -= in_block;
+    }
+    return true;
+}
+
+void
+GatheringStoreCache::overlay(Addr addr, unsigned len,
+                             std::uint8_t *buf) const
+{
+    // Collect intersecting live entries and apply them oldest first
+    // so newer stores win.
+    std::vector<const Entry *> hits;
+    for (const auto &e : entries_) {
+        if (e.live && e.block < addr + len &&
+            addr < e.block + storeCacheBlockBytes) {
+            hits.push_back(&e);
+        }
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const Entry *a, const Entry *b) {
+                  return a->seq < b->seq;
+              });
+    for (const Entry *e : hits) {
+        const Addr lo = std::max(addr, e->block);
+        const Addr hi =
+            std::min(addr + len, e->block + storeCacheBlockBytes);
+        for (Addr b = lo; b < hi; ++b) {
+            const std::uint64_t in_entry = b - e->block;
+            if (e->valid[in_entry])
+                buf[b - addr] = e->data[in_entry];
+        }
+    }
+}
+
+void
+GatheringStoreCache::closeAllEntries(mem::MainMemory &memory)
+{
+    for (auto &e : entries_) {
+        if (!e.live)
+            continue;
+        if (e.transactional)
+            ztx_panic("TBEGIN with live transactional store-cache "
+                      "entries");
+        // Close and start eviction; functionally the data reaches
+        // memory immediately.
+        writeBack(e, memory);
+        e.live = false;
+    }
+}
+
+void
+GatheringStoreCache::commitTransaction(mem::MainMemory &memory)
+{
+    for (auto &e : entries_) {
+        if (!e.live || !e.transactional)
+            continue;
+        writeBack(e, memory);
+        // Become a normal entry; subsequent post-transaction stores
+        // may keep gathering into it until the next TBEGIN closes it.
+        e.transactional = false;
+        e.ntstg.reset();
+    }
+}
+
+void
+GatheringStoreCache::abortTransaction(mem::MainMemory &memory)
+{
+    for (auto &e : entries_) {
+        if (!e.live || !e.transactional)
+            continue;
+        // NTSTG doublewords are committed even on abort.
+        for (std::uint64_t dw = 0; dw < storeCacheBlockBytes / 8;
+             ++dw) {
+            if (!e.ntstg[dw])
+                continue;
+            for (std::uint64_t b = dw * 8; b < dw * 8 + 8; ++b)
+                if (e.valid[b])
+                    memory.writeByte(e.block + b, e.data[b]);
+        }
+        e.live = false;
+    }
+}
+
+bool
+GatheringStoreCache::hasTransactionalLine(Addr line) const
+{
+    for (const auto &e : entries_)
+        if (e.live && e.transactional && lineAlign(e.block) == line)
+            return true;
+    return false;
+}
+
+bool
+GatheringStoreCache::hasAnyLine(Addr line) const
+{
+    for (const auto &e : entries_)
+        if (e.live && lineAlign(e.block) == line)
+            return true;
+    return false;
+}
+
+void
+GatheringStoreCache::drainLine(Addr line, mem::MainMemory &memory)
+{
+    for (auto &e : entries_) {
+        if (e.live && !e.transactional && lineAlign(e.block) == line) {
+            writeBack(e, memory);
+            e.live = false;
+        }
+    }
+}
+
+void
+GatheringStoreCache::drainAll(mem::MainMemory &memory)
+{
+    for (auto &e : entries_) {
+        if (e.live && !e.transactional) {
+            writeBack(e, memory);
+            e.live = false;
+        }
+    }
+}
+
+unsigned
+GatheringStoreCache::liveEntries() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        n += e.live ? 1 : 0;
+    return n;
+}
+
+unsigned
+GatheringStoreCache::liveTransactionalEntries() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        n += (e.live && e.transactional) ? 1 : 0;
+    return n;
+}
+
+} // namespace ztx::core

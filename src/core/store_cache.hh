@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The gathering store cache (paper §III.D).
+ *
+ * A circular queue of 64 entries, each holding 128 bytes with
+ * byte-precise valid bits, sitting between the store-through L1/L2
+ * and the L3. It gathers neighbouring stores to reduce L3 store
+ * bandwidth and doubles as the transactional store buffer:
+ *
+ *  - at a new outermost TBEGIN all existing entries are *closed*
+ *    (no further gathering) and drained;
+ *  - transactional stores allocate/gather into transactional
+ *    entries whose writeback is blocked until the transaction ends;
+ *  - allocation failure with the cache full of current-transaction
+ *    entries is the store-footprint overflow that aborts the TX;
+ *  - each doubleword written by NTSTG is marked; on abort those
+ *    doublewords survive and are committed anyway;
+ *  - exclusive/demote XIs compare against active entries (the
+ *    caller rejects the XI when a transactional entry matches).
+ *
+ * Functionally, zTX commits store-cache data to MainMemory when
+ * entries drain (non-transactional) or at transaction end
+ * (transactional); see DESIGN.md on the functional-vs-timing split.
+ */
+
+#ifndef ZTX_CORE_STORE_CACHE_HH
+#define ZTX_CORE_STORE_CACHE_HH
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ztx::mem {
+class MainMemory;
+} // namespace ztx::mem
+
+namespace ztx::core {
+
+/** Bytes per store-cache entry (half a 256-byte cache line). */
+inline constexpr std::uint64_t storeCacheBlockBytes = 128;
+
+/** Base address of the 128-byte block containing @p addr. */
+constexpr Addr
+storeCacheBlockAlign(Addr addr)
+{
+    return addr & ~(storeCacheBlockBytes - 1);
+}
+
+/** The gathering store cache of one CPU. */
+class GatheringStoreCache
+{
+  public:
+    /**
+     * @param num_entries Capacity (zEC12: 64).
+     * @param name Stats prefix.
+     */
+    explicit GatheringStoreCache(unsigned num_entries = 64,
+                                 const std::string &name = "stc");
+
+    /**
+     * Record a store of @p len bytes at @p addr (big-endian image in
+     * @p bytes). Gathers into an open entry of the same block and
+     * same transactional class, else allocates; the oldest drained
+     * non-transactional entry is evicted to @p memory when full.
+     *
+     * @return false on store-footprint overflow: allocation was
+     *         required but every entry holds current-transaction
+     *         data. The caller must abort the transaction.
+     */
+    bool store(Addr addr, const std::uint8_t *bytes, unsigned len,
+               bool transactional, bool ntstg,
+               mem::MainMemory &memory);
+
+    /**
+     * Overlay this CPU's buffered store data onto @p buf, a
+     * big-endian byte image of [addr, addr+len). Older entries are
+     * applied first so newer stores win.
+     */
+    void overlay(Addr addr, unsigned len, std::uint8_t *buf) const;
+
+    /**
+     * Close every entry to further gathering and drain the
+     * non-transactional ones (new outermost TBEGIN).
+     */
+    void closeAllEntries(mem::MainMemory &memory);
+
+    /**
+     * Transaction committed: write all transactional bytes to
+     * @p memory and turn the entries into normal (still-open)
+     * entries so post-transaction stores keep gathering.
+     */
+    void commitTransaction(mem::MainMemory &memory);
+
+    /**
+     * Transaction aborted: discard transactional entries, except
+     * that NTSTG-marked doublewords are committed to @p memory.
+     */
+    void abortTransaction(mem::MainMemory &memory);
+
+    /** True if any transactional entry intersects @p line. */
+    bool hasTransactionalLine(Addr line) const;
+
+    /** True if any live entry intersects @p line. */
+    bool hasAnyLine(Addr line) const;
+
+    /** Drain (write back and free) non-TX entries touching @p line. */
+    void drainLine(Addr line, mem::MainMemory &memory);
+
+    /** Drain every non-transactional entry. */
+    void drainAll(mem::MainMemory &memory);
+
+    /** Number of live entries. */
+    unsigned liveEntries() const;
+
+    /** Number of live transactional entries. */
+    unsigned liveTransactionalEntries() const;
+
+    /** Capacity. */
+    unsigned capacity() const { return unsigned(entries_.size()); }
+
+    /** Stats group (gathers/allocations/overflows/NTSTG overlap). */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        bool live = false;
+        bool transactional = false;
+        bool closed = false;
+        Addr block = 0;
+        std::uint64_t seq = 0;
+        std::array<std::uint8_t, storeCacheBlockBytes> data{};
+        std::bitset<storeCacheBlockBytes> valid;
+        /** Per-doubleword NTSTG mark (16 doublewords per block). */
+        std::bitset<storeCacheBlockBytes / 8> ntstg;
+    };
+
+    Entry *findOpen(Addr block, bool transactional);
+    Entry *allocate(mem::MainMemory &memory);
+    void writeBack(Entry &entry, mem::MainMemory &memory) const;
+    void storeBlockPiece(Entry &entry, Addr addr,
+                         const std::uint8_t *bytes, unsigned len,
+                         bool ntstg);
+
+    std::vector<Entry> entries_;
+    std::uint64_t seq_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace ztx::core
+
+#endif // ZTX_CORE_STORE_CACHE_HH

@@ -1,0 +1,57 @@
+#include "store_queue.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ztx::core {
+
+void
+StoreQueue::push(const StoreQueueEntry &entry)
+{
+    if (entry.size == 0 || entry.size > 8)
+        ztx_panic("store queue entry of size ", entry.size);
+    entries_.push_back(entry);
+}
+
+void
+StoreQueue::overlay(Addr addr, unsigned len, std::uint8_t *buf) const
+{
+    for (const auto &e : entries_) {
+        // Byte range intersection of the entry with [addr, addr+len).
+        const Addr lo = std::max(addr, e.addr);
+        const Addr hi = std::min(addr + len, e.addr + e.size);
+        for (Addr b = lo; b < hi; ++b) {
+            const unsigned byte_in_entry = unsigned(b - e.addr);
+            const unsigned shift = 8 * (e.size - 1 - byte_in_entry);
+            buf[b - addr] = std::uint8_t(e.value >> shift);
+        }
+    }
+}
+
+StoreQueueEntry
+StoreQueue::pop()
+{
+    if (entries_.empty())
+        ztx_panic("pop from empty store queue");
+    StoreQueueEntry e = entries_.front();
+    entries_.pop_front();
+    return e;
+}
+
+void
+StoreQueue::dropTransactional()
+{
+    std::erase_if(entries_, [](const StoreQueueEntry &e) {
+        return e.transactional && !e.nonTransactionalStore;
+    });
+}
+
+void
+StoreQueue::clearTransactionalMarks()
+{
+    for (auto &e : entries_)
+        e.transactional = false;
+}
+
+} // namespace ztx::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The LSU store queue (STQ).
+ *
+ * Stores execute into the STQ and are written back (to the L1 /
+ * gathering store cache) when the instruction completes. Entries
+ * carry a transaction mark; loads can forward from the STQ before
+ * writeback. On a transaction abort all transactional entries are
+ * invalidated, "even those already completed" (paper §III.C).
+ *
+ * zTX's interpreter completes instructions one at a time, so the
+ * queue drains at every instruction boundary; the component is
+ * modelled explicitly so its architectural behaviours (forwarding,
+ * tx marks, NTSTG marking) are testable in isolation.
+ */
+
+#ifndef ZTX_CORE_STORE_QUEUE_HH
+#define ZTX_CORE_STORE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace ztx::core {
+
+/** A pending store awaiting writeback. */
+struct StoreQueueEntry
+{
+    Addr addr;
+    unsigned size;                  ///< 1..8 bytes
+    std::uint64_t value;            ///< big-endian integer value
+    bool transactional;
+    bool nonTransactionalStore;     ///< NTSTG
+};
+
+/** FIFO store queue with forwarding. */
+class StoreQueue
+{
+  public:
+    StoreQueue() = default;
+
+    /** Enqueue a store at execution time. */
+    void push(const StoreQueueEntry &entry);
+
+    /**
+     * Forward queued store data into @p buf (host byte order is not
+     * used; @p buf is a big-endian byte image of [addr, addr+len)).
+     * Newer stores override older ones.
+     */
+    void overlay(Addr addr, unsigned len, std::uint8_t *buf) const;
+
+    /** Oldest entry, popped for writeback; queue must not be empty. */
+    StoreQueueEntry pop();
+
+    /** Drop all transactional entries (transaction abort). */
+    void dropTransactional();
+
+    /** Clear transaction marks (transaction end: become normal). */
+    void clearTransactionalMarks();
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::deque<StoreQueueEntry> entries_;
+};
+
+} // namespace ztx::core
+
+#endif // ZTX_CORE_STORE_QUEUE_HH

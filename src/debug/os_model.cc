@@ -1,0 +1,43 @@
+#include "os_model.hh"
+
+namespace ztx::debug {
+
+OsAction
+OsModel::programInterrupt(const InterruptRecord &record)
+{
+    records_.push_back(record);
+    stats_.counter("interrupts").inc();
+    stats_.counter(std::string("interrupt.") +
+                   tx::interruptCodeName(record.code)).inc();
+
+    switch (record.code) {
+      case tx::InterruptCode::PageFault:
+        // "Page in" the faulting page; the program retries (outside
+        // TX) or re-runs its abort handler (inside TX).
+        pageTable_.markPresent(record.addr);
+        return OsAction::Resume;
+      case tx::InterruptCode::Operation:
+      case tx::InterruptCode::PrivilegedOperation:
+      case tx::InterruptCode::ConstraintViolation:
+        return OsAction::Terminate;
+      case tx::InterruptCode::FixedPointDivide:
+      case tx::InterruptCode::DecimalData:
+        // Inside a transaction the program has an abort handler to
+        // resume into; outside, an unhandled arithmetic exception
+        // terminates the program (SIGFPE-style).
+        return record.fromTx ? OsAction::Resume : OsAction::Terminate;
+      default:
+        return OsAction::Resume;
+    }
+}
+
+std::size_t
+OsModel::countOf(tx::InterruptCode code) const
+{
+    std::size_t n = 0;
+    for (const auto &r : records_)
+        n += r.code == code ? 1 : 0;
+    return n;
+}
+
+} // namespace ztx::debug

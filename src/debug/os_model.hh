@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Stub operating system: receives (unfiltered) program interruptions,
+ * resolves page faults by paging the target in, records everything
+ * for tests, and applies the PER policies the paper assigns to the
+ * OS (e.g. enabling event suppression so an aborted constrained
+ * transaction can complete on retry).
+ */
+
+#ifndef ZTX_DEBUG_OS_MODEL_HH
+#define ZTX_DEBUG_OS_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "debug/page_table.hh"
+#include "tx/abort.hh"
+
+namespace ztx::debug {
+
+/** What the interrupted CPU should do after the OS returns. */
+enum class OsAction : std::uint8_t
+{
+    /** Return to the program-old PSW (fault resolved / recorded). */
+    Resume,
+    /** Unrecoverable program error: stop the CPU. */
+    Terminate,
+};
+
+/** One recorded program interruption, for test inspection. */
+struct InterruptRecord
+{
+    CpuId cpu;
+    tx::InterruptCode code;
+    Addr addr;          ///< faulting address, if applicable
+    bool fromTx;        ///< detected during transactional execution
+    bool fromConstrained;
+};
+
+/** The simulation's operating system model. */
+class OsModel
+{
+  public:
+    explicit OsModel(PageTable &page_table)
+        : pageTable_(page_table), stats_("os")
+    {
+    }
+
+    /**
+     * Handle a program interruption.
+     *
+     * Page faults are resolved (the page is marked present) and the
+     * program resumes. Operation exceptions and constraint
+     * violations terminate the program, matching what a real OS
+     * would do with an unhandled SIGILL-class condition. Everything
+     * else is recorded and resumed.
+     */
+    OsAction programInterrupt(const InterruptRecord &record);
+
+    /**
+     * Policy knob (paper §II.E.2): when a PER event aborts a
+     * constrained transaction, the OS should enable PER event
+     * suppression so the retry can complete. The CPU model consults
+     * this flag when delivering such interrupts.
+     */
+    bool autoSuppressPerForConstrained = true;
+
+    /** All interruptions seen, in order. */
+    const std::vector<InterruptRecord> &records() const
+    {
+        return records_;
+    }
+
+    /** Count of interruptions with @p code. */
+    std::size_t countOf(tx::InterruptCode code) const;
+
+    /** Stats group ("os.*"). */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    PageTable &pageTable_;
+    std::vector<InterruptRecord> records_;
+    StatGroup stats_;
+};
+
+} // namespace ztx::debug
+
+#endif // ZTX_DEBUG_OS_MODEL_HH

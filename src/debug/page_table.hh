@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal paging model: a shared map of page-present bits used to
+ * inject access exceptions (page faults) into the simulation. The
+ * stub OS resolves a fault by marking the page present ("paging it
+ * in"), which is all the transactional filtering semantics need.
+ */
+
+#ifndef ZTX_DEBUG_PAGE_TABLE_HH
+#define ZTX_DEBUG_PAGE_TABLE_HH
+
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace ztx::debug {
+
+/** Page size of the simulated address space. */
+inline constexpr std::uint64_t pageSizeBytes = 4096;
+
+/** Page-aligned base address containing @p addr. */
+constexpr Addr
+pageAlign(Addr addr)
+{
+    return addr & ~(pageSizeBytes - 1);
+}
+
+/** Pages are present unless explicitly marked absent. */
+class PageTable
+{
+  public:
+    PageTable() = default;
+
+    /** Mark the page containing @p addr absent (faults on access). */
+    void
+    markAbsent(Addr addr)
+    {
+        absent_.insert(pageAlign(addr));
+    }
+
+    /** Mark the page containing @p addr present again. */
+    void
+    markPresent(Addr addr)
+    {
+        absent_.erase(pageAlign(addr));
+    }
+
+    /** True if accessing @p addr would page-fault. */
+    bool
+    faults(Addr addr) const
+    {
+        return !absent_.empty() && absent_.count(pageAlign(addr));
+    }
+
+    /** True if the @p size byte access at @p addr faults anywhere. */
+    bool
+    faultsRange(Addr addr, unsigned size) const
+    {
+        if (absent_.empty())
+            return false;
+        const Addr first = pageAlign(addr);
+        const Addr last = pageAlign(addr + size - 1);
+        for (Addr p = first; p <= last; p += pageSizeBytes)
+            if (absent_.count(p))
+                return true;
+        return false;
+    }
+
+  private:
+    std::unordered_set<Addr> absent_;
+};
+
+} // namespace ztx::debug
+
+#endif // ZTX_DEBUG_PAGE_TABLE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Transaction Diagnostic Control (paper §II.E.3): OS-enabled forced
+ * random aborts to stress the abort and fallback paths of programs
+ * under test.
+ */
+
+#ifndef ZTX_DEBUG_TDC_HH
+#define ZTX_DEBUG_TDC_HH
+
+#include <cstdint>
+
+namespace ztx::debug {
+
+/** TDC operating mode. */
+enum class TdcMode : std::uint8_t
+{
+    Off = 0,
+    /** Often, randomly abort transactions at a random point. */
+    Random = 1,
+    /**
+     * Abort every transaction at a random point, at latest before
+     * the outermost TEND. Constrained transactions are treated as
+     * mode Random so they can still eventually succeed.
+     */
+    Always = 2,
+};
+
+/** Per-CPU diagnostic-abort configuration. */
+struct TdcControl
+{
+    TdcMode mode = TdcMode::Off;
+
+    /** Per-instruction abort probability in transactional mode. */
+    double abortProbability = 0.05;
+};
+
+} // namespace ztx::debug
+
+#endif // ZTX_DEBUG_TDC_HH

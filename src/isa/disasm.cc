@@ -1,0 +1,155 @@
+#include "disasm.hh"
+
+#include <sstream>
+
+namespace ztx::isa {
+
+namespace {
+
+/** Format "D(B)" or "D(X,B)" storage operands. */
+void
+storageOperand(std::ostringstream &os, const Instruction &inst)
+{
+    os << inst.disp << '(';
+    if (inst.index != 0)
+        os << 'R' << unsigned(inst.index) << ',';
+    os << 'R' << unsigned(inst.base) << ')';
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+    std::ostringstream os;
+    os << info.name;
+
+    const auto r = [&](unsigned reg) { os << 'R' << reg; };
+
+    switch (inst.op) {
+      case Opcode::LHI:
+      case Opcode::AHI:
+      case Opcode::CGHI:
+        os << ' ';
+        r(inst.r1);
+        os << ',' << inst.imm;
+        break;
+      case Opcode::RAND:
+        os << ' ';
+        r(inst.r1);
+        os << ',' << inst.imm;
+        break;
+      case Opcode::LR:
+      case Opcode::LTR:
+      case Opcode::AGR:
+      case Opcode::SGR:
+      case Opcode::MSGR:
+      case Opcode::XGR:
+      case Opcode::NGR:
+      case Opcode::OGR:
+      case Opcode::CGR:
+      case Opcode::DSGR:
+      case Opcode::ADB:
+      case Opcode::LDGR:
+      case Opcode::SAR:
+      case Opcode::EAR:
+      case Opcode::AP:
+        os << ' ';
+        r(inst.r1);
+        os << ',';
+        r(inst.r2);
+        break;
+      case Opcode::SLLG:
+      case Opcode::SRLG:
+        os << ' ';
+        r(inst.r1);
+        os << ',';
+        r(inst.r2);
+        os << ',' << inst.imm;
+        break;
+      case Opcode::LA:
+      case Opcode::LG:
+      case Opcode::LT:
+      case Opcode::LGFO:
+      case Opcode::STG:
+      case Opcode::NTSTG:
+        os << ' ';
+        r(inst.r1);
+        os << ',';
+        storageOperand(os, inst);
+        break;
+      case Opcode::CS:
+        os << ' ';
+        r(inst.r1);
+        os << ',';
+        r(inst.r3);
+        os << ',';
+        storageOperand(os, inst);
+        break;
+      case Opcode::J:
+        os << " 0x" << std::hex << inst.target;
+        break;
+      case Opcode::BRC:
+        os << ' ' << std::dec << unsigned(inst.mask) << ",0x"
+           << std::hex << inst.target;
+        break;
+      case Opcode::BRCT:
+        os << ' ';
+        r(inst.r1);
+        os << ",0x" << std::hex << inst.target;
+        break;
+      case Opcode::CIJ:
+        os << ' ';
+        r(inst.r1);
+        os << ',' << inst.imm << ','
+           << unsigned(inst.mask) << ",0x" << std::hex
+           << inst.target;
+        break;
+      case Opcode::TBEGIN:
+        os << ' ';
+        storageOperand(os, inst);
+        os << ",GRSM=0x" << std::hex << unsigned(inst.grsm)
+           << std::dec << (inst.allowArMod ? ",A" : "")
+           << (inst.allowFprMod ? ",F" : "") << ",PIFC="
+           << unsigned(inst.pifc);
+        break;
+      case Opcode::TBEGINC:
+        os << " GRSM=0x" << std::hex << unsigned(inst.grsm)
+           << std::dec << (inst.allowArMod ? ",A" : "");
+        break;
+      case Opcode::TABORT:
+        os << ' ';
+        storageOperand(os, inst);
+        break;
+      case Opcode::ETND:
+      case Opcode::PPA:
+      case Opcode::STCK:
+      case Opcode::DELAY:
+        os << ' ';
+        r(inst.r1);
+        break;
+      case Opcode::TEND:
+      case Opcode::LPSWE:
+      case Opcode::INVALID:
+      case Opcode::MARKB:
+      case Opcode::MARKE:
+      case Opcode::NOP:
+      case Opcode::HALT:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+listing(const Program &program)
+{
+    std::ostringstream os;
+    for (const auto &slot : program.slots()) {
+        os << "0x" << std::hex << slot.addr << std::dec << ":  "
+           << disassemble(slot.inst) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace ztx::isa

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Instruction disassembly for traces, listings, and debugging.
+ */
+
+#ifndef ZTX_ISA_DISASM_HH
+#define ZTX_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace ztx::isa {
+
+/** Render @p inst as assembler-like text ("LHI R1,42"). */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole program as an address-annotated listing. */
+std::string listing(const Program &program);
+
+} // namespace ztx::isa
+
+#endif // ZTX_ISA_DISASM_HH

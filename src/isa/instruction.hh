@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Decoded instruction representation.
+ *
+ * Rather than modelling binary encodings, zTX keeps instructions in
+ * decoded form; the Assembler assigns z-accurate byte lengths so that
+ * instruction addresses (and therefore the constrained-transaction
+ * 256-byte rule and forward-branch rule) behave like the real ISA.
+ */
+
+#ifndef ZTX_ISA_INSTRUCTION_HH
+#define ZTX_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace ztx::isa {
+
+/** One decoded instruction; meaning of fields depends on opcode. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+
+    std::uint8_t r1 = 0; ///< first register operand
+    std::uint8_t r2 = 0; ///< second register operand
+    std::uint8_t r3 = 0; ///< third register operand (CS)
+
+    std::int64_t imm = 0; ///< immediate operand
+
+    /** Base register for address generation; 0 means "no base". */
+    std::uint8_t base = 0;
+    /** Index register for address generation; 0 means "no index". */
+    std::uint8_t index = 0;
+    std::int64_t disp = 0; ///< displacement
+
+    /** Condition mask for BRC / relation mask for CIJ. */
+    std::uint8_t mask = 0;
+
+    /** Resolved branch target (byte address), set by the assembler. */
+    Addr target = 0;
+
+    /** @name TBEGIN/TBEGINC operand fields (paper figure 2) @{ */
+    /** General-register save mask: bit i covers GR pair (2i, 2i+1);
+     *  bit 7 (LSB) covers GRs 0-1, matching z left-to-right order. */
+    std::uint8_t grsm = 0;
+    /** AR-modification allowed (the 'A' control). */
+    bool allowArMod = true;
+    /** FPR-modification allowed (the 'F' control). */
+    bool allowFprMod = true;
+    /** Program-interruption filtering control, 0..2. */
+    std::uint8_t pifc = 0;
+    /** @} */
+};
+
+} // namespace ztx::isa
+
+#endif // ZTX_ISA_INSTRUCTION_HH

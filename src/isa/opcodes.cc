@@ -1,0 +1,105 @@
+#include "opcodes.hh"
+
+#include "common/log.hh"
+
+namespace ztx::isa {
+
+namespace {
+
+// Shorthand for table readability.
+constexpr ExceptionGroup none = ExceptionGroup::None;
+constexpr ExceptionGroup always = ExceptionGroup::Always;
+constexpr ExceptionGroup access = ExceptionGroup::Access;
+constexpr ExceptionGroup arith = ExceptionGroup::Arithmetic;
+
+/**
+ * Static opcode property table, indexed by Opcode value. Flag order:
+ * load, store, branch, modFpr, modAr, restrictedInTx,
+ * restrictedInConstrained, exceptionGroup.
+ */
+// Flag columns: load store branch modFpr modAr restrTx restrConstr.
+constexpr OpcodeInfo infoTable[] = {
+    {"LHI",    4, 0, 0, 0, 0, 0, 0, 0, none},
+    {"LR",     2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"LTR",    2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"LA",     4, 0, 0, 0, 0, 0, 0, 0, none},
+    {"AHI",    4, 0, 0, 0, 0, 0, 0, 0, none},
+    {"AGR",    2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"SGR",    2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"MSGR",   2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"XGR",    2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"NGR",    2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"OGR",    2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"SLLG",   6, 0, 0, 0, 0, 0, 0, 0, none},
+    {"SRLG",   6, 0, 0, 0, 0, 0, 0, 0, none},
+    {"CGR",    2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"CGHI",   4, 0, 0, 0, 0, 0, 0, 0, none},
+    // Divide: complex instruction, excluded from constrained TX.
+    {"DSGR",   4, 0, 0, 0, 0, 0, 0, 1, arith},
+
+    {"LG",     6, 1, 0, 0, 0, 0, 0, 0, access},
+    {"LT",     6, 1, 0, 0, 0, 0, 0, 0, access},
+    {"LGFO",   6, 1, 0, 0, 0, 0, 0, 0, access},
+    {"STG",    6, 0, 1, 0, 0, 0, 0, 0, access},
+    // CS is allowed in constrained TX: the multi-octoword atomic
+    // compare-and-swap is a headline constrained use case.
+    {"CS",     6, 1, 1, 0, 0, 0, 0, 0, access},
+    // NTSTG only has meaning inside a (non-constrained) transaction.
+    {"NTSTG",  6, 0, 1, 0, 0, 0, 0, 1, access},
+
+    {"BRC",    4, 0, 0, 1, 0, 0, 0, 0, none},
+    {"J",      4, 0, 0, 1, 0, 0, 0, 0, none},
+    {"BRCT",   4, 0, 0, 1, 0, 0, 0, 0, none},
+    {"CIJ",    6, 0, 0, 1, 0, 0, 0, 0, none},
+
+    // TBEGIN/TBEGINC decoded inside a constrained transaction are
+    // restricted (paper §III.B); inside non-constrained TX they nest.
+    {"TBEGIN", 6, 0, 0, 0, 0, 0, 0, 1, access},
+    {"TBEGINC",6, 0, 0, 0, 0, 0, 0, 1, none},
+    {"TEND",   4, 0, 0, 0, 0, 0, 0, 0, none},
+    {"TABORT", 4, 0, 0, 0, 0, 0, 0, 1, none},
+    {"ETND",   4, 0, 0, 0, 0, 0, 0, 1, none},
+    {"PPA",    4, 0, 0, 0, 0, 0, 0, 1, none},
+
+    {"ADB",    4, 0, 0, 0, 1, 0, 0, 1, arith},
+    {"LDGR",   4, 0, 0, 0, 1, 0, 0, 1, none},
+    {"SAR",    2, 0, 0, 0, 0, 1, 0, 1, none},
+    {"EAR",    2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"AP",     4, 0, 0, 0, 0, 0, 0, 1, arith},
+    // Privileged control op: always restricted inside transactions.
+    {"LPSWE",  4, 0, 0, 0, 0, 0, 1, 1, none},
+    {"INVALID",2, 0, 0, 0, 0, 0, 0, 1, always},
+
+    {"STCK",   4, 0, 0, 0, 0, 0, 0, 1, none},
+    {"RAND",   4, 0, 0, 0, 0, 0, 0, 1, none},
+    {"MARKB",  2, 0, 0, 0, 0, 0, 0, 1, none},
+    {"MARKE",  2, 0, 0, 0, 0, 0, 0, 1, none},
+    {"DELAY",  4, 0, 0, 0, 0, 0, 0, 1, none},
+    {"NOP",    2, 0, 0, 0, 0, 0, 0, 0, none},
+    {"HALT",   2, 0, 0, 0, 0, 0, 1, 1, none},
+};
+
+constexpr std::size_t tableSize =
+    sizeof(infoTable) / sizeof(infoTable[0]);
+
+static_assert(tableSize == std::size_t(Opcode::HALT) + 1,
+              "opcode info table out of sync with Opcode enum");
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    const auto idx = std::size_t(op);
+    if (idx >= tableSize)
+        ztx_panic("opcodeInfo for out-of-range opcode ", idx);
+    return infoTable[idx];
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    return opcodeInfo(op).name;
+}
+
+} // namespace ztx::isa

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The miniature z-like instruction set zTX programs are written in.
+ *
+ * The set is a small but faithful slice of z/Architecture, extended
+ * with the six Transactional Execution instructions plus PPA, and a
+ * handful of explicitly-marked simulator pseudo-ops (RAND, MARKB,
+ * MARKE, HALT) used by the workload harness. Instruction lengths are
+ * 2/4/6 bytes as in z, which makes the constrained-transaction
+ * "instruction text within 256 consecutive bytes" rule meaningful.
+ */
+
+#ifndef ZTX_ISA_OPCODES_HH
+#define ZTX_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace ztx::isa {
+
+/** Every opcode the interpreter understands. */
+enum class Opcode : std::uint8_t
+{
+    // Register-register and register-immediate arithmetic.
+    LHI,   ///< r1 = imm (sign-extended halfword immediate)
+    LR,    ///< r1 = r2
+    LTR,   ///< r1 = r2, set CC
+    LA,    ///< r1 = base + index + disp (address generation)
+    AHI,   ///< r1 += imm, set CC
+    AGR,   ///< r1 += r2, set CC
+    SGR,   ///< r1 -= r2, set CC
+    MSGR,  ///< r1 *= r2
+    XGR,   ///< r1 ^= r2, set CC
+    NGR,   ///< r1 &= r2, set CC
+    OGR,   ///< r1 |= r2, set CC
+    SLLG,  ///< r1 = r2 << imm
+    SRLG,  ///< r1 = r2 >> imm (logical)
+    CGR,   ///< compare r1 : r2, set CC
+    CGHI,  ///< compare r1 : imm, set CC
+    DSGR,  ///< r1 /= r2 (fixed-point divide exception if r2 == 0)
+
+    // Storage access (8-byte operands, big-endian).
+    LG,    ///< r1 = mem8[addr]
+    LT,    ///< r1 = mem8[addr], set CC (load and test)
+    /**
+     * r1 = mem8[addr], fetching the line with exclusive ownership
+     * (store intent). Simulator stand-in for what the zEC12 gets
+     * from OOO load/store miss-queue merging and compiler
+     * prefetch-for-store: an update idiom's load does not linger on
+     * a shared copy. See DESIGN.md substitutions.
+     */
+    LGFO,
+    STG,   ///< mem8[addr] = r1
+    CS,    ///< compare and swap: mem8[addr]==r1 ? mem=r3,CC0 : r1=mem,CC1
+    NTSTG, ///< non-transactional store of r1 (TX facility)
+
+    // Branches (relative, resolved by the assembler).
+    BRC,   ///< branch to target if mask selects current CC
+    J,     ///< unconditional branch
+    BRCT,  ///< r1 -= 1; branch if r1 != 0
+    CIJ,   ///< compare r1 : imm and branch if mask selects result CC
+
+    // Transactional-execution facility.
+    TBEGIN,  ///< begin (outermost or nested) transaction
+    TBEGINC, ///< begin constrained transaction
+    TEND,    ///< end innermost transaction
+    TABORT,  ///< abort with code = base + disp
+    ETND,    ///< r1 = current transaction nesting depth
+    PPA,     ///< perform processor assist (TX abort, r1 = abort count)
+
+    // Register-set side doors and exception generators.
+    ADB,   ///< fpr1 += fpr2 (binary FP add; modifies an FPR)
+    LDGR,  ///< fpr1 = r2 (modifies an FPR)
+    SAR,   ///< ar1 = r2 (modifies an AR)
+    EAR,   ///< r1 = ar2
+    AP,    ///< r1 += r2 decimal (stand-in for packed-decimal ops)
+    LPSWE, ///< privileged control op (no-op outside TX; restricted in)
+    INVALID, ///< undefined opcode -> operation exception
+
+    // Simulator pseudo-ops (documented extensions, not z ops).
+    STCK,  ///< r1 = global cycle counter (stand-in for STCKF)
+    RAND,  ///< r1 = uniform random in [0, imm) from the CPU's RNG
+    MARKB, ///< begin a measured region (workload harness)
+    MARKE, ///< end a measured region
+    DELAY, ///< stall for min(r1, 4096) cycles (spin/backoff pause)
+    NOP,   ///< no operation
+    HALT,  ///< stop this CPU
+};
+
+/** Program-interruption filtering classes (paper §II.C). */
+enum class ExceptionGroup : std::uint8_t
+{
+    None,       ///< instruction cannot raise a program exception
+    Always,     ///< group 2: always interrupts (programming error)
+    Access,     ///< group 3: storage access (filterable at PIFC >= 2)
+    Arithmetic, ///< group 4: data/arithmetic (filterable at PIFC >= 1)
+};
+
+/** Static properties of one opcode. */
+struct OpcodeInfo
+{
+    const char *name;
+    std::uint8_t length; ///< encoded bytes: 2, 4, or 6
+
+    bool isLoad : 1;
+    bool isStore : 1;
+    bool isBranch : 1;
+    bool modifiesFpr : 1;
+    bool modifiesAr : 1;
+    /** Restricted inside any transaction (always aborts). */
+    bool restrictedInTx : 1;
+    /** Not in the constrained-transaction subset (paper §II.D). */
+    bool restrictedInConstrained : 1;
+
+    /** Worst-case exception class this opcode can raise. */
+    ExceptionGroup exceptionGroup;
+};
+
+/** Properties of @p op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Mnemonic of @p op. */
+const char *opcodeName(Opcode op);
+
+} // namespace ztx::isa
+
+#endif // ZTX_ISA_OPCODES_HH

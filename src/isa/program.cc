@@ -1,0 +1,31 @@
+#include "program.hh"
+
+#include "common/log.hh"
+
+namespace ztx::isa {
+
+const Program::Slot *
+Program::fetch(Addr addr) const
+{
+    const auto it = byAddr_.find(addr);
+    return it == byAddr_.end() ? nullptr : &slots_[it->second];
+}
+
+Addr
+Program::entry() const
+{
+    if (slots_.empty())
+        ztx_fatal("fetch from empty program");
+    return slots_.front().addr;
+}
+
+Addr
+Program::labelAddr(const std::string &name) const
+{
+    const auto it = labels_.find(name);
+    if (it == labels_.end())
+        ztx_fatal("unknown label '", name, "'");
+    return it->second;
+}
+
+} // namespace ztx::isa

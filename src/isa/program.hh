@@ -1,0 +1,62 @@
+/**
+ * @file
+ * An assembled program: instructions located at byte-accurate
+ * addresses, fetched by address by the CPU interpreter.
+ */
+
+#ifndef ZTX_ISA_PROGRAM_HH
+#define ZTX_ISA_PROGRAM_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace ztx::isa {
+
+/** Immutable instruction stream with address-based fetch. */
+class Program
+{
+  public:
+    /** An instruction placed at its assembled address. */
+    struct Slot
+    {
+        Instruction inst;
+        Addr addr;
+        std::uint8_t length;
+    };
+
+    Program() = default;
+
+    /**
+     * Fetch the instruction at @p addr.
+     * @return The slot, or nullptr when @p addr is not the address
+     *         of any assembled instruction.
+     */
+    const Slot *fetch(Addr addr) const;
+
+    /** Address of the first instruction. */
+    Addr entry() const;
+
+    /** Address of a named label (fatal if unknown). */
+    Addr labelAddr(const std::string &name) const;
+
+    /** Number of instructions. */
+    std::size_t size() const { return slots_.size(); }
+
+    /** All slots, in address order (for listings and tests). */
+    const std::vector<Slot> &slots() const { return slots_; }
+
+  private:
+    friend class Assembler;
+
+    std::vector<Slot> slots_;
+    std::unordered_map<Addr, std::size_t> byAddr_;
+    std::unordered_map<std::string, Addr> labels_;
+};
+
+} // namespace ztx::isa
+
+#endif // ZTX_ISA_PROGRAM_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architected register state of one CPU: sixteen 64-bit General
+ * Registers, sixteen Access Registers, sixteen Floating-Point
+ * Registers, and the Program Status Word (instruction address plus
+ * condition code).
+ */
+
+#ifndef ZTX_ISA_REGISTERS_HH
+#define ZTX_ISA_REGISTERS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ztx::isa {
+
+/** Number of registers in each architected file. */
+inline constexpr unsigned numGrs = 16;
+inline constexpr unsigned numArs = 16;
+inline constexpr unsigned numFprs = 16;
+
+/** Program Status Word (the subset the simulator models). */
+struct Psw
+{
+    /** Instruction address of the next instruction. */
+    Addr ia = 0;
+
+    /** Condition code, 0..3. */
+    std::uint8_t cc = 0;
+};
+
+/** Full architected register state. */
+struct RegisterFile
+{
+    std::array<std::uint64_t, numGrs> gr{};
+    std::array<std::uint32_t, numArs> ar{};
+    std::array<std::uint64_t, numFprs> fpr{};
+};
+
+/**
+ * @name Branch-condition masks
+ * z/Architecture BRC semantics: the 4-bit mask selects condition
+ * codes left to right, i.e. mask bit value 8 selects CC0, 4 selects
+ * CC1, 2 selects CC2, and 1 selects CC3.
+ * @{
+ */
+inline constexpr std::uint8_t maskCc0 = 8;
+inline constexpr std::uint8_t maskCc1 = 4;
+inline constexpr std::uint8_t maskCc2 = 2;
+inline constexpr std::uint8_t maskCc3 = 1;
+
+inline constexpr std::uint8_t maskAlways = 15;
+
+/** Branch if zero / equal (CC0). */
+inline constexpr std::uint8_t maskZero = maskCc0;
+/** Branch if not zero / not equal (CC 1, 2, or 3). */
+inline constexpr std::uint8_t maskNotZero = maskCc1 | maskCc2 | maskCc3;
+/** Branch if low / minus (CC1). */
+inline constexpr std::uint8_t maskLow = maskCc1;
+/** Branch if high / plus (CC2). */
+inline constexpr std::uint8_t maskHigh = maskCc2;
+/** Branch if ones / overflow (CC3). */
+inline constexpr std::uint8_t maskOnes = maskCc3;
+
+/** True if @p mask selects condition code @p cc. */
+constexpr bool
+ccSelected(std::uint8_t mask, std::uint8_t cc)
+{
+    return mask & (std::uint8_t(8) >> cc);
+}
+/** @} */
+
+/** Condition code after a signed arithmetic result (no overflow). */
+constexpr std::uint8_t
+ccOfSigned(std::int64_t value)
+{
+    if (value == 0)
+        return 0;
+    return value < 0 ? 1 : 2;
+}
+
+/** Condition code after a signed comparison a ? b. */
+constexpr std::uint8_t
+ccOfCompare(std::int64_t a, std::int64_t b)
+{
+    if (a == b)
+        return 0;
+    return a < b ? 1 : 2;
+}
+
+} // namespace ztx::isa
+
+#endif // ZTX_ISA_REGISTERS_HH

@@ -1,0 +1,109 @@
+#include "lock_gen.hh"
+
+namespace ztx::locks {
+
+namespace {
+
+/** Backoff doubling with a cap, shared by all spin loops. */
+void
+emitBackoff(isa::Assembler &as, const LockRegs &regs,
+            const std::string &tag, const std::string &retry_label)
+{
+    as.delay(regs.backoff);
+    as.agr(regs.backoff, regs.backoff);
+    as.cghi(regs.backoff, 256);
+    as.brc(isa::maskCc0 | isa::maskCc1, retry_label); // <= cap
+    as.lhi(regs.backoff, 256);
+    as.j(retry_label);
+    (void)tag;
+}
+
+} // namespace
+
+void
+SpinLock::emitAcquire(isa::Assembler &as, unsigned base,
+                      std::int64_t disp, const LockRegs &regs,
+                      const std::string &tag)
+{
+    as.lhi(regs.backoff, 4);
+    as.label(tag + "_try");
+    as.lt(regs.scratch1, base, disp);
+    as.jz(tag + "_cas");
+    as.label(tag + "_wait");
+    emitBackoff(as, regs, tag, tag + "_try");
+    as.label(tag + "_cas");
+    as.lhi(regs.scratch1, 0);
+    as.lhi(regs.scratch2, 1);
+    as.cs(regs.scratch1, regs.scratch2, base, disp);
+    as.jnz(tag + "_wait");
+}
+
+void
+SpinLock::emitRelease(isa::Assembler &as, unsigned base,
+                      std::int64_t disp, const LockRegs &regs)
+{
+    as.lhi(regs.scratch1, 0);
+    as.stg(regs.scratch1, base, disp);
+}
+
+void
+RwLock::emitReadAcquire(isa::Assembler &as, unsigned base,
+                        std::int64_t disp, const LockRegs &regs,
+                        const std::string &tag)
+{
+    as.lhi(regs.backoff, 4);
+    as.label(tag + "_try");
+    as.lg(regs.scratch1, base, disp);
+    as.srlg(regs.scratch2, regs.scratch1, 32);
+    as.cghi(regs.scratch2, 0);
+    as.jnz(tag + "_wait"); // writer active
+    as.lr(regs.scratch2, regs.scratch1);
+    as.ahi(regs.scratch2, 1);
+    as.cs(regs.scratch1, regs.scratch2, base, disp);
+    as.jz(tag + "_done");
+    as.label(tag + "_wait");
+    emitBackoff(as, regs, tag, tag + "_try");
+    as.label(tag + "_done");
+}
+
+void
+RwLock::emitReadRelease(isa::Assembler &as, unsigned base,
+                        std::int64_t disp, const LockRegs &regs,
+                        const std::string &tag)
+{
+    as.label(tag + "_rel");
+    as.lg(regs.scratch1, base, disp);
+    as.lr(regs.scratch2, regs.scratch1);
+    as.ahi(regs.scratch2, -1);
+    as.cs(regs.scratch1, regs.scratch2, base, disp);
+    as.jnz(tag + "_rel");
+}
+
+void
+RwLock::emitWriteAcquire(isa::Assembler &as, unsigned base,
+                         std::int64_t disp, const LockRegs &regs,
+                         const std::string &tag)
+{
+    as.lhi(regs.backoff, 4);
+    as.label(tag + "_try");
+    as.lt(regs.scratch1, base, disp);
+    as.jnz(tag + "_wait"); // readers or writer active
+    as.lhi(regs.scratch1, 0);
+    as.lhi(regs.scratch2, 1);
+    as.sllg(regs.scratch2, regs.scratch2, 32);
+    as.cs(regs.scratch1, regs.scratch2, base, disp);
+    as.jz(tag + "_done");
+    as.label(tag + "_wait");
+    emitBackoff(as, regs, tag, tag + "_try");
+    as.label(tag + "_done");
+}
+
+void
+RwLock::emitWriteRelease(isa::Assembler &as, unsigned base,
+                         std::int64_t disp, const LockRegs &regs)
+{
+    as.lhi(regs.scratch1, 0);
+    as.stg(regs.scratch1, base, disp);
+}
+
+} // namespace ztx::locks

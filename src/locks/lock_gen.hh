@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lock algorithm code generators.
+ *
+ * The paper's baselines (§IV): a simple mutex that "first tests the
+ * lock to be empty and spins if necessary, then uses compare-and-swap
+ * to set the lock"; release is a plain store. The read-write lock is
+ * the classic reader-count/writer-bit word whose read-count update on
+ * every reader entry/exit is exactly the scalability bottleneck
+ * figure 5(d) demonstrates.
+ *
+ * Generators emit instruction sequences into an Assembler; the lock
+ * word address is (base register + displacement). Spins use bounded
+ * exponential backoff via the DELAY pseudo-op so contended simulations
+ * stay tractable (real code uses equivalent pause loops).
+ */
+
+#ifndef ZTX_LOCKS_LOCK_GEN_HH
+#define ZTX_LOCKS_LOCK_GEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/assembler.hh"
+
+namespace ztx::locks {
+
+/** Scratch registers a lock sequence may clobber. */
+struct LockRegs
+{
+    unsigned scratch1 = 1; ///< CS compare value
+    unsigned scratch2 = 2; ///< CS swap value
+    unsigned backoff = 11; ///< spin backoff accumulator
+};
+
+/**
+ * Test-then-compare-and-swap spin lock. The lock word is 8 bytes:
+ * 0 = free, 1 = held.
+ */
+class SpinLock
+{
+  public:
+    /**
+     * Emit the acquire sequence.
+     * @param as Assembler to emit into.
+     * @param base Register holding (part of) the lock address.
+     * @param disp Displacement of the lock word.
+     * @param regs Scratch registers.
+     * @param tag Unique label prefix for this emission site.
+     */
+    static void emitAcquire(isa::Assembler &as, unsigned base,
+                            std::int64_t disp, const LockRegs &regs,
+                            const std::string &tag);
+
+    /** Emit the release sequence (plain store of zero). */
+    static void emitRelease(isa::Assembler &as, unsigned base,
+                            std::int64_t disp, const LockRegs &regs);
+};
+
+/**
+ * Reader-writer lock in one 8-byte word: bits 0..31 hold the reader
+ * count, bit 32 the writer flag. Readers CAS-increment the count
+ * when no writer is present; the writer CASes 0 -> writer-flag.
+ */
+class RwLock
+{
+  public:
+    /** Value of the writer flag within the lock word. */
+    static constexpr std::uint64_t writerBit = std::uint64_t(1) << 32;
+
+    /** Emit reader entry (increment read count). */
+    static void emitReadAcquire(isa::Assembler &as, unsigned base,
+                                std::int64_t disp,
+                                const LockRegs &regs,
+                                const std::string &tag);
+
+    /** Emit reader exit (decrement read count). */
+    static void emitReadRelease(isa::Assembler &as, unsigned base,
+                                std::int64_t disp,
+                                const LockRegs &regs,
+                                const std::string &tag);
+
+    /** Emit writer entry (CAS 0 -> writerBit). */
+    static void emitWriteAcquire(isa::Assembler &as, unsigned base,
+                                 std::int64_t disp,
+                                 const LockRegs &regs,
+                                 const std::string &tag);
+
+    /** Emit writer exit (store 0). */
+    static void emitWriteRelease(isa::Assembler &as, unsigned base,
+                                 std::int64_t disp,
+                                 const LockRegs &regs);
+};
+
+} // namespace ztx::locks
+
+#endif // ZTX_LOCKS_LOCK_GEN_HH

@@ -1,0 +1,143 @@
+#include "cache_array.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace ztx::mem {
+
+CacheArray::CacheArray(const CacheGeometry &geometry, std::string name)
+    : rows_(geometry.rows()), assoc_(geometry.assoc),
+      name_(std::move(name))
+{
+    if (rows_ == 0 || assoc_ == 0)
+        ztx_fatal("cache '", name_, "' has zero rows or ways");
+    entries_.resize(rows_ * assoc_);
+}
+
+CacheArray::Entry *
+CacheArray::setBase(Addr line)
+{
+    return &entries_[row(line) * assoc_];
+}
+
+CacheArray::Entry *
+CacheArray::find(Addr line)
+{
+    Entry *base = setBase(line);
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    return nullptr;
+}
+
+const CacheArray::Entry *
+CacheArray::find(Addr line) const
+{
+    return const_cast<CacheArray *>(this)->find(line);
+}
+
+bool
+CacheArray::contains(Addr line) const
+{
+    return find(line) != nullptr;
+}
+
+std::uint8_t
+CacheArray::flagsOf(Addr line) const
+{
+    const Entry *e = find(line);
+    return e ? e->flags : 0;
+}
+
+void
+CacheArray::setFlags(Addr line, std::uint8_t bits)
+{
+    Entry *e = find(line);
+    if (!e)
+        ztx_panic("setFlags on absent line in ", name_);
+    e->flags |= bits;
+}
+
+void
+CacheArray::clearFlags(Addr line, std::uint8_t bits)
+{
+    if (Entry *e = find(line))
+        e->flags &= std::uint8_t(~bits);
+}
+
+void
+CacheArray::clearFlagsAll(std::uint8_t bits)
+{
+    for (auto &entry : entries_)
+        if (entry.valid)
+            entry.flags &= std::uint8_t(~bits);
+}
+
+bool
+CacheArray::touch(Addr line)
+{
+    Entry *e = find(line);
+    if (!e)
+        return false;
+    e->lastUse = ++useTick_;
+    return true;
+}
+
+CacheArray::Victim
+CacheArray::insert(Addr line, std::uint8_t flags)
+{
+    if (lineOffset(line) != 0)
+        ztx_panic("insert of non-line-aligned address in ", name_);
+    if (find(line))
+        ztx_panic("double insert of line in ", name_);
+
+    Entry *base = setBase(line);
+    Entry *slot = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+    }
+
+    Victim victim;
+    if (!slot) {
+        // True LRU within the congruence class.
+        slot = &base[0];
+        for (unsigned w = 1; w < assoc_; ++w)
+            if (base[w].lastUse < slot->lastUse)
+                slot = &base[w];
+        victim.valid = true;
+        victim.line = slot->line;
+        victim.flags = slot->flags;
+    }
+
+    slot->line = line;
+    slot->valid = true;
+    slot->flags = flags;
+    slot->lastUse = ++useTick_;
+    return victim;
+}
+
+bool
+CacheArray::invalidate(Addr line)
+{
+    Entry *e = find(line);
+    if (!e)
+        return false;
+    e->valid = false;
+    e->flags = 0;
+    return true;
+}
+
+std::size_t
+CacheArray::validCount() const
+{
+    std::size_t n = 0;
+    for (const auto &entry : entries_)
+        n += entry.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace ztx::mem

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Generic set-associative cache tag array with true-LRU replacement.
+ *
+ * The array tracks presence and per-line flag bits only; data lives in
+ * MainMemory / the store cache (see DESIGN.md on the functional-vs-
+ * timing split). The L1 instance additionally carries the tx-read and
+ * tx-dirty bits the paper adds to the L1 directory latches.
+ */
+
+#ifndef ZTX_MEM_CACHE_ARRAY_HH
+#define ZTX_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/geometry.hh"
+
+namespace ztx::mem {
+
+/** Per-line flag bits stored in cache entries. */
+namespace line_flag {
+
+/** Line was read transactionally (paper's tx-read bit). */
+inline constexpr std::uint8_t txRead = 0x1;
+
+/** Line was stored to transactionally (paper's tx-dirty bit). */
+inline constexpr std::uint8_t txDirty = 0x2;
+
+} // namespace line_flag
+
+/** Set-associative tag array; addresses are line-aligned. */
+class CacheArray
+{
+  public:
+    /** One way of one congruence class. */
+    struct Entry
+    {
+        Addr line = 0;
+        bool valid = false;
+        std::uint8_t flags = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Description of a line displaced by insert(). */
+    struct Victim
+    {
+        bool valid = false;
+        Addr line = 0;
+        std::uint8_t flags = 0;
+    };
+
+    /**
+     * @param geometry Size and associativity; rows are derived.
+     * @param name For diagnostics.
+     */
+    CacheArray(const CacheGeometry &geometry, std::string name);
+
+    /** True if @p line is present (no LRU update). */
+    bool contains(Addr line) const;
+
+    /** Flags of @p line; 0 if absent. */
+    std::uint8_t flagsOf(Addr line) const;
+
+    /** OR @p bits into the flags of @p line; line must be present. */
+    void setFlags(Addr line, std::uint8_t bits);
+
+    /** Clear @p bits from the flags of @p line if present. */
+    void clearFlags(Addr line, std::uint8_t bits);
+
+    /** Clear @p bits from every valid entry's flags. */
+    void clearFlagsAll(std::uint8_t bits);
+
+    /** Mark @p line most recently used; true if present. */
+    bool touch(Addr line);
+
+    /**
+     * Insert @p line (must not be present), evicting the LRU way of
+     * its congruence class when full.
+     * @return The displaced line, if any.
+     */
+    Victim insert(Addr line, std::uint8_t flags = 0);
+
+    /** Remove @p line; true if it was present. */
+    bool invalidate(Addr line);
+
+    /** Congruence class (row) index of @p line. */
+    std::uint64_t
+    row(Addr line) const
+    {
+        return (line >> lineSizeLog2) % rows_;
+    }
+
+    /** Number of congruence classes. */
+    std::uint64_t rows() const { return rows_; }
+
+    /** Ways per congruence class. */
+    unsigned assoc() const { return assoc_; }
+
+    /** Count of valid entries (for tests/stats). */
+    std::size_t validCount() const;
+
+    /** Invoke @p fn(const Entry &) for every valid entry. */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &entry : entries_)
+            if (entry.valid)
+                fn(entry);
+    }
+
+    /** Array name (diagnostics). */
+    const std::string &name() const { return name_; }
+
+  private:
+    Entry *find(Addr line);
+    const Entry *find(Addr line) const;
+    Entry *setBase(Addr line);
+
+    std::uint64_t rows_;
+    unsigned assoc_;
+    std::string name_;
+    std::vector<Entry> entries_;
+    std::uint64_t useTick_ = 0;
+};
+
+} // namespace ztx::mem
+
+#endif // ZTX_MEM_CACHE_ARRAY_HH

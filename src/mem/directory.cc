@@ -1,0 +1,94 @@
+#include "directory.hh"
+
+#include "common/log.hh"
+
+namespace ztx::mem {
+
+const DirectoryEntry CoherenceDirectory::idleEntry_{};
+
+DirectoryEntry &
+CoherenceDirectory::entry(Addr line)
+{
+    return entries_[line];
+}
+
+const DirectoryEntry &
+CoherenceDirectory::lookup(Addr line) const
+{
+    const auto it = entries_.find(line);
+    return it == entries_.end() ? idleEntry_ : it->second;
+}
+
+bool
+CoherenceDirectory::holds(CpuId cpu, Addr line) const
+{
+    const DirectoryEntry &e = lookup(line);
+    return e.owner == cpu || (cpu < maxDirectoryCpus && e.sharers[cpu]);
+}
+
+void
+CoherenceDirectory::setExclusive(Addr line, CpuId cpu)
+{
+    if (cpu >= maxDirectoryCpus)
+        ztx_panic("directory cannot track cpu ", cpu);
+    DirectoryEntry &e = entry(line);
+    e.owner = cpu;
+    e.sharers.reset();
+    e.sharers.set(cpu);
+}
+
+void
+CoherenceDirectory::addSharer(Addr line, CpuId cpu)
+{
+    if (cpu >= maxDirectoryCpus)
+        ztx_panic("directory cannot track cpu ", cpu);
+    DirectoryEntry &e = entry(line);
+    if (e.owner != invalidCpu && e.owner != cpu)
+        ztx_panic("addSharer while another CPU owns the line");
+    e.owner = invalidCpu;
+    e.sharers.set(cpu);
+}
+
+void
+CoherenceDirectory::demoteOwner(Addr line)
+{
+    DirectoryEntry &e = entry(line);
+    if (e.owner == invalidCpu)
+        ztx_panic("demoteOwner on unowned line");
+    e.sharers.set(e.owner);
+    e.owner = invalidCpu;
+}
+
+void
+CoherenceDirectory::remove(Addr line, CpuId cpu)
+{
+    const auto it = entries_.find(line);
+    if (it == entries_.end())
+        return;
+    DirectoryEntry &e = it->second;
+    if (e.owner == cpu)
+        e.owner = invalidCpu;
+    if (cpu < maxDirectoryCpus)
+        e.sharers.reset(cpu);
+    if (e.idle())
+        entries_.erase(it);
+}
+
+std::vector<CpuId>
+CoherenceDirectory::sharersExcept(Addr line, CpuId except) const
+{
+    std::vector<CpuId> out;
+    const DirectoryEntry &e = lookup(line);
+    for (unsigned cpu = 0; cpu < maxDirectoryCpus; ++cpu)
+        if (e.sharers[cpu] && cpu != except && CpuId(cpu) != e.owner)
+            out.push_back(cpu);
+    return out;
+}
+
+std::size_t
+CoherenceDirectory::trackedLines() const
+{
+    return entries_.size();
+}
+
+} // namespace ztx::mem

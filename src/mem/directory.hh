@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Global coherence directory: which CPUs hold each line and in what
+ * state (one exclusive owner, or a set of read-only sharers).
+ *
+ * The real machine distributes this state across the inclusive L3/L4
+ * directories; a single logical directory is an exact functional model
+ * of "the SMP protocol knows who owns what", which is all the TM
+ * mechanisms depend on. Timing still honors the hierarchy via the
+ * latency model.
+ */
+
+#ifndef ZTX_MEM_DIRECTORY_HH
+#define ZTX_MEM_DIRECTORY_HH
+
+#include <bitset>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ztx::mem {
+
+/** Upper bound on CPUs a directory entry can track. */
+inline constexpr unsigned maxDirectoryCpus = 256;
+
+/** Coherence state of one line across the machine. */
+struct DirectoryEntry
+{
+    /** Exclusive owner, or invalidCpu when held read-only/not held. */
+    CpuId owner = invalidCpu;
+
+    /** Read-only holders (meaningful when owner == invalidCpu). */
+    std::bitset<maxDirectoryCpus> sharers;
+
+    /** True if no CPU holds the line in any state. */
+    bool
+    idle() const
+    {
+        return owner == invalidCpu && sharers.none();
+    }
+};
+
+/** Map from line address to global coherence state. */
+class CoherenceDirectory
+{
+  public:
+    CoherenceDirectory() = default;
+
+    /** State of @p line (absent lines read as idle). */
+    const DirectoryEntry &lookup(Addr line) const;
+
+    /** True if @p cpu holds @p line in any state. */
+    bool holds(CpuId cpu, Addr line) const;
+
+    /** Record @p cpu as the sole exclusive owner. */
+    void setExclusive(Addr line, CpuId cpu);
+
+    /** Add @p cpu as a read-only sharer (owner must be invalid). */
+    void addSharer(Addr line, CpuId cpu);
+
+    /**
+     * Demote the exclusive owner to a read-only sharer.
+     * Line must currently be owned exclusively.
+     */
+    void demoteOwner(Addr line);
+
+    /** Remove @p cpu from the holders of @p line (any state). */
+    void remove(Addr line, CpuId cpu);
+
+    /** Sharers of @p line other than @p except. */
+    std::vector<CpuId> sharersExcept(Addr line, CpuId except) const;
+
+    /** Number of lines with a non-idle entry. */
+    std::size_t trackedLines() const;
+
+  private:
+    DirectoryEntry &entry(Addr line);
+
+    std::unordered_map<Addr, DirectoryEntry> entries_;
+    static const DirectoryEntry idleEntry_;
+};
+
+} // namespace ztx::mem
+
+#endif // ZTX_MEM_DIRECTORY_HH

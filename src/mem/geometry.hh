@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Cache geometry descriptors for the zEC12-like hierarchy.
+ */
+
+#ifndef ZTX_MEM_GEOMETRY_HH
+#define ZTX_MEM_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ztx::mem {
+
+/**
+ * Size/associativity of one cache level. The line size is global
+ * (256 bytes on zEC12). Rows (congruence classes) are derived.
+ */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes;
+    unsigned assoc;
+
+    /** Number of congruence classes (sets). */
+    std::uint64_t
+    rows() const
+    {
+        return sizeBytes / (lineSizeBytes * assoc);
+    }
+};
+
+/** Geometries of all four cache levels. */
+struct HierarchyGeometry
+{
+    CacheGeometry l1{96 * 1024, 6};          ///< 96 KB 6-way -> 64 rows
+    CacheGeometry l2{1024 * 1024, 8};        ///< 1 MB 8-way -> 512 rows
+    CacheGeometry l3{48ULL << 20, 12};       ///< 48 MB shared per chip
+    CacheGeometry l4{384ULL << 20, 24};      ///< 384 MB per MCM
+};
+
+} // namespace ztx::mem
+
+#endif // ZTX_MEM_GEOMETRY_HH

@@ -1,0 +1,432 @@
+#include "hierarchy.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+
+namespace ztx::mem {
+
+const char *
+xiKindName(XiKind kind)
+{
+    switch (kind) {
+      case XiKind::ReadOnly: return "read-only";
+      case XiKind::Demote: return "demote";
+      case XiKind::Exclusive: return "exclusive";
+      case XiKind::Lru: return "lru";
+    }
+    return "?";
+}
+
+Hierarchy::Hierarchy(const Topology &topo, const LatencyModel &lat,
+                     const HierarchyGeometry &geo)
+    : topo_(topo), lat_(lat), geo_(geo), stats_("hierarchy")
+{
+    const unsigned n = topo_.numCpus();
+    if (n == 0)
+        ztx_fatal("topology has zero CPUs");
+    if (n > maxDirectoryCpus)
+        ztx_fatal("topology has ", n, " CPUs; directory supports ",
+                  maxDirectoryCpus);
+    l1_.reserve(n);
+    l2_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        l1_.emplace_back(geo_.l1, "l1." + std::to_string(i));
+        l2_.emplace_back(geo_.l2, "l2." + std::to_string(i));
+        lruExt_.emplace_back(geo_.l1.rows(), false);
+    }
+    for (unsigned c = 0; c < topo_.numChips(); ++c)
+        l3_.emplace_back(geo_.l3, "l3." + std::to_string(c));
+    for (unsigned m = 0; m < topo_.numMcms(); ++m)
+        l4_.emplace_back(geo_.l4, "l4." + std::to_string(m));
+    clients_.resize(n, nullptr);
+}
+
+void
+Hierarchy::setClient(CpuId cpu, CacheClient *client)
+{
+    clients_.at(cpu) = client;
+}
+
+CacheClient *
+Hierarchy::client(CpuId cpu) const
+{
+    CacheClient *c = clients_.at(cpu);
+    if (!c)
+        ztx_panic("no CacheClient registered for cpu ", cpu);
+    return c;
+}
+
+AccessResult
+Hierarchy::localHit(CpuId cpu, Addr line)
+{
+    AccessResult res;
+    if (l1_[cpu].touch(line)) {
+        res.source = DataSource::L1;
+        res.latency = lat_.l1Hit;
+        stats_.counter("fetch.l1_hit").inc();
+        return res;
+    }
+    // Inclusivity: a held line must be L2-resident.
+    if (!l2_[cpu].touch(line))
+        ztx_panic("directory says cpu ", cpu, " holds line but L2 miss");
+    insertL1(cpu, line);
+    res.source = DataSource::L2;
+    res.latency = lat_.l2Hit;
+    stats_.counter("fetch.l2_hit").inc();
+    return res;
+}
+
+DataSource
+Hierarchy::findSource(CpuId cpu, Addr line) const
+{
+    if (l1_[cpu].contains(line))
+        return DataSource::L1;
+    if (l2_[cpu].contains(line))
+        return DataSource::L2;
+
+    // Nearest other holder supplies the line (cache intervention).
+    const DirectoryEntry &e = dir_.lookup(line);
+    Distance best = Distance::CrossMcm;
+    bool found = false;
+    for (unsigned h = 0; h < topo_.numCpus(); ++h) {
+        if (CpuId(h) == cpu)
+            continue;
+        if (e.owner == CpuId(h) || e.sharers[h]) {
+            const Distance d = topo_.distance(cpu, h);
+            if (!found || d < best)
+                best = d;
+            found = true;
+        }
+    }
+    if (found) {
+        switch (best) {
+          case Distance::SameChip: return DataSource::L3;
+          case Distance::SameMcm: return DataSource::L4;
+          default: return DataSource::RemoteMcm;
+        }
+    }
+
+    if (l3_[topo_.chipOf(cpu)].contains(line))
+        return DataSource::L3;
+    if (l4_[topo_.mcmOf(cpu)].contains(line))
+        return DataSource::L4;
+    for (unsigned m = 0; m < topo_.numMcms(); ++m)
+        if (m != topo_.mcmOf(cpu) && l4_[m].contains(line))
+            return DataSource::RemoteMcm;
+    return DataSource::Memory;
+}
+
+XiResponse
+Hierarchy::sendXi(XiKind kind, Addr line, CpuId target, CpuId requester)
+{
+    const std::uint8_t flags = l1_[target].flagsOf(line);
+    const XiContext ctx{
+        kind, line, requester,
+        bool(flags & line_flag::txRead),
+        bool(flags & line_flag::txDirty),
+        lruExtensionHit(target, line),
+    };
+    stats_.counter(std::string("xi.") + xiKindName(kind)).inc();
+    ztx_trace(trace::Category::Xi, xiKindName(kind), " XI to cpu",
+              target, " line=0x", std::hex, line, std::dec,
+              " from cpu", requester);
+    const XiResponse resp = client(target)->incomingXi(ctx);
+    if (resp == XiResponse::Reject) {
+        if (kind != XiKind::Demote && kind != XiKind::Exclusive)
+            ztx_panic("client rejected a non-rejectable ",
+                      xiKindName(kind), " XI");
+        stats_.counter("xi.rejected").inc();
+    }
+    return resp;
+}
+
+void
+Hierarchy::removeFromCpu(CpuId cpu, Addr line)
+{
+    l1_[cpu].invalidate(line);
+    l2_[cpu].invalidate(line);
+    dir_.remove(line, cpu);
+}
+
+AccessResult
+Hierarchy::fetch(CpuId cpu, Addr line, bool exclusive)
+{
+    if (lineOffset(line) != 0)
+        ztx_panic("fetch of non-line-aligned address");
+    stats_.counter("fetch.total").inc();
+
+    // Copy: the entry reference would dangle across directory
+    // mutations below (the map may rehash or erase the node).
+    const DirectoryEntry e = dir_.lookup(line);
+    const bool holds_it = dir_.holds(cpu, line);
+    if (holds_it && (!exclusive || e.owner == cpu))
+        return localHit(cpu, line);
+
+    AccessResult res;
+    res.source = findSource(cpu, line);
+
+    Cycles xi_cost = 0;
+    if (e.owner != invalidCpu && e.owner != cpu) {
+        // Another CPU owns the line exclusively.
+        const CpuId owner = e.owner;
+        const XiKind kind =
+            exclusive ? XiKind::Exclusive : XiKind::Demote;
+        const Distance d = topo_.distance(cpu, owner);
+        if (sendXi(kind, line, owner, cpu) == XiResponse::Reject) {
+            res.rejected = true;
+            res.rejecter = owner;
+            res.latency = lat_.rejectRetry(d);
+            return res;
+        }
+        xi_cost = std::max(xi_cost, lat_.intervention(d));
+        if (exclusive)
+            removeFromCpu(owner, line);
+        else
+            dir_.demoteOwner(line); // owner keeps a read-only copy
+    } else if (exclusive) {
+        // Invalidate all other read-only copies.
+        for (const CpuId s : dir_.sharersExcept(line, cpu)) {
+            sendXi(XiKind::ReadOnly, line, s, cpu);
+            removeFromCpu(s, line);
+            xi_cost = std::max(
+                xi_cost, lat_.intervention(topo_.distance(cpu, s)));
+        }
+    }
+
+    if (exclusive)
+        dir_.setExclusive(line, cpu);
+    else
+        dir_.addSharer(line, cpu);
+
+    installLocal(cpu, line);
+    res.latency = std::max(lat_.fetch(res.source), xi_cost);
+    stats_.counter("fetch.miss").inc();
+    return res;
+}
+
+void
+Hierarchy::installLocal(CpuId cpu, Addr line)
+{
+    const unsigned chip = topo_.chipOf(cpu);
+    const unsigned mcm = topo_.mcmOf(cpu);
+
+    if (!l4_[mcm].touch(line)) {
+        const auto victim = l4_[mcm].insert(line);
+        if (victim.valid)
+            handleL4Evict(mcm, victim.line);
+    }
+    if (!l3_[chip].touch(line)) {
+        const auto victim = l3_[chip].insert(line);
+        if (victim.valid)
+            handleL3Evict(chip, victim.line);
+    }
+    if (!l2_[cpu].touch(line)) {
+        const auto victim = l2_[cpu].insert(line);
+        if (victim.valid)
+            handleL2Evict(cpu, victim.line);
+    }
+    if (!l1_[cpu].touch(line))
+        insertL1(cpu, line);
+}
+
+void
+Hierarchy::insertL1(CpuId cpu, Addr line)
+{
+    const auto victim = l1_[cpu].insert(line);
+    if (!victim.valid)
+        return;
+    // The displaced line stays L2-resident; only the transactional
+    // read footprint needs bookkeeping (paper §III.C).
+    if (victim.flags & line_flag::txRead) {
+        if (lruExtEnabled_) {
+            lruExt_[cpu][l1_[cpu].row(victim.line)] = true;
+            stats_.counter("l1.lru_ext_set").inc();
+        } else {
+            // Ablation: without the extension the footprint promise
+            // is limited to the L1; losing a tx-read line aborts.
+            const XiContext ctx{XiKind::Lru, victim.line, invalidCpu,
+                                true,
+                                bool(victim.flags & line_flag::txDirty),
+                                false};
+            client(cpu)->incomingXi(ctx);
+        }
+    }
+    client(cpu)->l1Evicted(victim.line, victim.flags);
+    stats_.counter("l1.evict").inc();
+}
+
+void
+Hierarchy::handleL2Evict(CpuId cpu, Addr victim)
+{
+    const std::uint8_t flags = l1_[cpu].flagsOf(victim);
+    const bool ext_hit = lruExtensionHit(cpu, victim);
+    l1_[cpu].invalidate(victim);
+    dir_.remove(victim, cpu);
+    stats_.counter("l2.evict").inc();
+    // Inclusivity LRU-XI down to the core; the client aborts its
+    // transaction when the line is (or may be, via the imprecise
+    // extension row) part of the transactional footprint.
+    const XiContext ctx{XiKind::Lru, victim, invalidCpu,
+                        bool(flags & line_flag::txRead),
+                        bool(flags & line_flag::txDirty), ext_hit};
+    client(cpu)->incomingXi(ctx);
+}
+
+void
+Hierarchy::handleL3Evict(unsigned chip, Addr victim)
+{
+    stats_.counter("l3.evict").inc();
+    const unsigned first = chip * topo_.coresPerChip();
+    for (unsigned i = 0; i < topo_.coresPerChip(); ++i) {
+        const CpuId cpu = first + i;
+        if (l2_[cpu].contains(victim))
+            handleL2Evict(cpu, victim);
+    }
+}
+
+void
+Hierarchy::handleL4Evict(unsigned mcm, Addr victim)
+{
+    stats_.counter("l4.evict").inc();
+    const unsigned first_chip = mcm * topo_.chipsPerMcm();
+    for (unsigned i = 0; i < topo_.chipsPerMcm(); ++i) {
+        const unsigned chip = first_chip + i;
+        if (l3_[chip].invalidate(victim))
+            handleL3Evict(chip, victim);
+    }
+}
+
+void
+Hierarchy::markTxRead(CpuId cpu, Addr line)
+{
+    l1_[cpu].setFlags(lineAlign(line), line_flag::txRead);
+}
+
+void
+Hierarchy::markTxDirty(CpuId cpu, Addr line)
+{
+    l1_[cpu].setFlags(lineAlign(line), line_flag::txDirty);
+}
+
+void
+Hierarchy::clearTxMarks(CpuId cpu)
+{
+    l1_[cpu].clearFlagsAll(line_flag::txRead | line_flag::txDirty);
+    std::fill(lruExt_[cpu].begin(), lruExt_[cpu].end(), false);
+}
+
+void
+Hierarchy::killTxDirtyLines(CpuId cpu)
+{
+    std::vector<Addr> doomed;
+    l1_[cpu].forEachValid([&](const CacheArray::Entry &e) {
+        if (e.flags & line_flag::txDirty)
+            doomed.push_back(e.line);
+    });
+    for (const Addr line : doomed)
+        l1_[cpu].invalidate(line);
+    stats_.counter("l1.tx_dirty_killed").inc(doomed.size());
+}
+
+bool
+Hierarchy::txRead(CpuId cpu, Addr line) const
+{
+    return l1_[cpu].flagsOf(lineAlign(line)) & line_flag::txRead;
+}
+
+bool
+Hierarchy::txDirty(CpuId cpu, Addr line) const
+{
+    return l1_[cpu].flagsOf(lineAlign(line)) & line_flag::txDirty;
+}
+
+bool
+Hierarchy::lruExtensionHit(CpuId cpu, Addr line) const
+{
+    if (!lruExtEnabled_)
+        return false;
+    return lruExt_[cpu][l1_[cpu].row(lineAlign(line))];
+}
+
+bool
+Hierarchy::lruExtensionAny(CpuId cpu) const
+{
+    for (const bool b : lruExt_[cpu])
+        if (b)
+            return true;
+    return false;
+}
+
+void
+Hierarchy::setLruExtensionEnabled(bool enabled)
+{
+    lruExtEnabled_ = enabled;
+}
+
+bool
+Hierarchy::inL1(CpuId cpu, Addr line) const
+{
+    return l1_[cpu].contains(lineAlign(line));
+}
+
+bool
+Hierarchy::inL2(CpuId cpu, Addr line) const
+{
+    return l2_[cpu].contains(lineAlign(line));
+}
+
+bool
+Hierarchy::inL3(unsigned chip, Addr line) const
+{
+    return l3_[chip].contains(lineAlign(line));
+}
+
+bool
+Hierarchy::inL4(unsigned mcm, Addr line) const
+{
+    return l4_[mcm].contains(lineAlign(line));
+}
+
+void
+Hierarchy::flushCpuCaches(CpuId cpu)
+{
+    l1_[cpu].forEachValid([&](const CacheArray::Entry &e) {
+        if (e.flags)
+            ztx_panic("flushCpuCaches with transactional marks set");
+    });
+    std::vector<Addr> lines;
+    l2_[cpu].forEachValid([&](const CacheArray::Entry &e) {
+        lines.push_back(e.line);
+    });
+    for (const Addr line : lines) {
+        l1_[cpu].invalidate(line);
+        l2_[cpu].invalidate(line);
+        dir_.remove(line, cpu);
+    }
+    std::fill(lruExt_[cpu].begin(), lruExt_[cpu].end(), false);
+}
+
+void
+Hierarchy::checkInvariants() const
+{
+    for (unsigned cpu = 0; cpu < topo_.numCpus(); ++cpu) {
+        // L1 subset of L2; L2 subset of L3 and L4; holders match dir.
+        l1_[cpu].forEachValid([&](const CacheArray::Entry &e) {
+            if (!l2_[cpu].contains(e.line))
+                ztx_panic("L1 line not in L2 (cpu ", cpu, ")");
+        });
+        l2_[cpu].forEachValid([&](const CacheArray::Entry &e) {
+            if (!l3_[topo_.chipOf(cpu)].contains(e.line))
+                ztx_panic("L2 line not in L3 (cpu ", cpu, ")");
+            if (!l4_[topo_.mcmOf(cpu)].contains(e.line))
+                ztx_panic("L2 line not in L4 (cpu ", cpu, ")");
+            if (!dir_.holds(cpu, e.line))
+                ztx_panic("L2 line not in directory (cpu ", cpu, ")");
+        });
+    }
+}
+
+} // namespace ztx::mem

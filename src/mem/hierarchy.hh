@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The zEC12-like cache hierarchy and SMP coherence engine.
+ *
+ * Owns the per-CPU L1/L2 tag arrays, per-chip L3, per-MCM L4, the
+ * global coherence directory, the transactional bit planes the paper
+ * adds to the L1 directory (tx-read / tx-dirty latches and the 64-row
+ * LRU-extension vector), and the XI protocol with reject support.
+ *
+ * CPUs interact through fetch() and the tx-mark methods; incoming XIs
+ * are delivered synchronously to the registered CacheClient of the
+ * target CPU, which decides Accept/Reject and performs transaction
+ * aborts as side effects. Latencies are returned to the caller as
+ * cycle costs per the LatencyModel (see DESIGN.md).
+ */
+
+#ifndef ZTX_MEM_HIERARCHY_HH
+#define ZTX_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_array.hh"
+#include "mem/directory.hh"
+#include "mem/geometry.hh"
+#include "mem/latency_model.hh"
+#include "mem/topology.hh"
+#include "mem/xi.hh"
+
+namespace ztx::mem {
+
+/** Outcome of a fetch request. */
+struct AccessResult
+{
+    /** Total cycle cost of the access (or of the rejected attempt). */
+    Cycles latency = 0;
+
+    /** True if a Demote/Exclusive XI was stiff-armed; retry later. */
+    bool rejected = false;
+
+    /** CPU that rejected the XI (valid when rejected). */
+    CpuId rejecter = invalidCpu;
+
+    /** Where the data came from (valid when !rejected). */
+    DataSource source = DataSource::L1;
+};
+
+/** Four-level inclusive cache hierarchy with XI coherence. */
+class Hierarchy
+{
+  public:
+    Hierarchy(const Topology &topo, const LatencyModel &lat,
+              const HierarchyGeometry &geo = HierarchyGeometry{});
+
+    /** Register the XI client (the CPU's LSU model) for @p cpu. */
+    void setClient(CpuId cpu, CacheClient *client);
+
+    /**
+     * Bring @p line into @p cpu's L1 in shared (read) or exclusive
+     * (write) state, driving the full coherence protocol.
+     *
+     * @param cpu Requesting CPU.
+     * @param line Line-aligned address.
+     * @param exclusive True for store access (needs ownership).
+     * @return latency/rejection outcome; on rejection no state moved.
+     */
+    AccessResult fetch(CpuId cpu, Addr line, bool exclusive);
+
+    /**
+     * @name Transactional bit plane (paper §III.C)
+     * @{
+     */
+    /** Set the tx-read latch for @p line (must be L1-resident). */
+    void markTxRead(CpuId cpu, Addr line);
+
+    /** Set the tx-dirty latch for @p line (must be L1-resident). */
+    void markTxDirty(CpuId cpu, Addr line);
+
+    /** Clear tx latches and the LRU-extension vector (TBEGIN/end). */
+    void clearTxMarks(CpuId cpu);
+
+    /**
+     * Turn off the L1 valid bits of all tx-dirty lines (abort path:
+     * "effectively removing them from the L1 instantaneously").
+     * Lines remain L2-resident and exclusively owned.
+     */
+    void killTxDirtyLines(CpuId cpu);
+
+    /** tx-read latch state of @p line in @p cpu's L1. */
+    bool txRead(CpuId cpu, Addr line) const;
+
+    /** tx-dirty latch state of @p line in @p cpu's L1. */
+    bool txDirty(CpuId cpu, Addr line) const;
+
+    /** True if @p cpu's LRU-extension row covers @p line. */
+    bool lruExtensionHit(CpuId cpu, Addr line) const;
+
+    /** True if any LRU-extension row is set for @p cpu. */
+    bool lruExtensionAny(CpuId cpu) const;
+    /** @} */
+
+    /**
+     * Enable/disable the LRU-extension scheme. With it disabled, a
+     * tx-read line displaced from the L1 immediately aborts the
+     * transaction (footprint limited to L1 capacity); this is the
+     * "No LRU extension" ablation of Figure 5(f).
+     */
+    void setLruExtensionEnabled(bool enabled);
+
+    /** @name Introspection for tests and stats @{ */
+    bool inL1(CpuId cpu, Addr line) const;
+    bool inL2(CpuId cpu, Addr line) const;
+    bool inL3(unsigned chip, Addr line) const;
+    bool inL4(unsigned mcm, Addr line) const;
+    const CoherenceDirectory &directory() const { return dir_; }
+    const Topology &topology() const { return topo_; }
+    const LatencyModel &latencyModel() const { return lat_; }
+    const HierarchyGeometry &geometry() const { return geo_; }
+    StatGroup &stats() { return stats_; }
+    /** @} */
+
+    /**
+     * Verify the inclusivity and directory/array consistency
+     * invariants; panics on violation (used by property tests).
+     */
+    void checkInvariants() const;
+
+    /**
+     * Invalidate every line of @p cpu's L1 and L2 (and its
+     * directory holdings) — a cold-cache reset used by Monte-Carlo
+     * harnesses that reuse one machine across trials. Must not be
+     * called while the CPU has transactional marks outstanding.
+     */
+    void flushCpuCaches(CpuId cpu);
+
+  private:
+    AccessResult localHit(CpuId cpu, Addr line);
+    DataSource findSource(CpuId cpu, Addr line) const;
+    XiResponse sendXi(XiKind kind, Addr line, CpuId target,
+                      CpuId requester);
+    void removeFromCpu(CpuId cpu, Addr line);
+    void installLocal(CpuId cpu, Addr line);
+    void insertL1(CpuId cpu, Addr line);
+    void handleL2Evict(CpuId cpu, Addr victim);
+    void handleL3Evict(unsigned chip, Addr victim);
+    void handleL4Evict(unsigned mcm, Addr victim);
+    CacheClient *client(CpuId cpu) const;
+
+    Topology topo_;
+    LatencyModel lat_;
+    HierarchyGeometry geo_;
+    CoherenceDirectory dir_;
+    std::vector<CacheArray> l1_;
+    std::vector<CacheArray> l2_;
+    std::vector<CacheArray> l3_;
+    std::vector<CacheArray> l4_;
+    std::vector<CacheClient *> clients_;
+    /** Per-CPU LRU-extension vector, one bit per L1 row. */
+    std::vector<std::vector<bool>> lruExt_;
+    bool lruExtEnabled_ = true;
+    StatGroup stats_;
+};
+
+} // namespace ztx::mem
+
+#endif // ZTX_MEM_HIERARCHY_HH

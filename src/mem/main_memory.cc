@@ -1,0 +1,61 @@
+#include "main_memory.hh"
+
+#include "common/log.hh"
+
+namespace ztx::mem {
+
+std::uint8_t
+MainMemory::readByte(Addr addr) const
+{
+    const auto it = lines_.find(lineAlign(addr));
+    if (it == lines_.end())
+        return 0;
+    return it->second[lineOffset(addr)];
+}
+
+void
+MainMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    auto [it, inserted] = lines_.try_emplace(lineAlign(addr));
+    if (inserted)
+        it->second.fill(0);
+    it->second[lineOffset(addr)] = value;
+}
+
+std::uint64_t
+MainMemory::read(Addr addr, unsigned size) const
+{
+    if (size == 0 || size > 8)
+        ztx_panic("MainMemory::read of unsupported size ", size);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v = (v << 8) | readByte(addr + i);
+    return v;
+}
+
+void
+MainMemory::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    if (size == 0 || size > 8)
+        ztx_panic("MainMemory::write of unsupported size ", size);
+    for (unsigned i = 0; i < size; ++i) {
+        const unsigned shift = 8 * (size - 1 - i);
+        writeByte(addr + i, std::uint8_t(value >> shift));
+    }
+}
+
+void
+MainMemory::readBlock(Addr addr, std::uint8_t *out, std::size_t len) const
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = readByte(addr + i);
+}
+
+void
+MainMemory::writeBlock(Addr addr, const std::uint8_t *in, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        writeByte(addr + i, in[i]);
+}
+
+} // namespace ztx::mem

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Functional backing store for the simulated 64-bit address space.
+ *
+ * zTX separates function from timing: MainMemory always holds the
+ * architecturally committed data, while the cache arrays only track
+ * presence/ownership for the timing and conflict model. Transactional
+ * stores live in the per-CPU gathering store cache until commit and
+ * are merged into loads there, so nothing speculative ever reaches
+ * this object.
+ */
+
+#ifndef ZTX_MEM_MAIN_MEMORY_HH
+#define ZTX_MEM_MAIN_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace ztx::mem {
+
+/** Sparse, line-granular byte store; unwritten bytes read as zero. */
+class MainMemory
+{
+  public:
+    MainMemory() = default;
+
+    /** Read one byte. */
+    std::uint8_t readByte(Addr addr) const;
+
+    /** Write one byte. */
+    void writeByte(Addr addr, std::uint8_t value);
+
+    /**
+     * Read an unsigned big-endian integer of @p size bytes
+     * (1/2/4/8), matching z/Architecture byte order.
+     */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write an unsigned big-endian integer of @p size bytes. */
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    /** Bulk copy out of memory. */
+    void readBlock(Addr addr, std::uint8_t *out, std::size_t len) const;
+
+    /** Bulk copy into memory. */
+    void writeBlock(Addr addr, const std::uint8_t *in, std::size_t len);
+
+    /** Number of distinct lines ever written. */
+    std::size_t linesAllocated() const { return lines_.size(); }
+
+  private:
+    using Line = std::array<std::uint8_t, lineSizeBytes>;
+
+    std::unordered_map<Addr, Line> lines_;
+};
+
+} // namespace ztx::mem
+
+#endif // ZTX_MEM_MAIN_MEMORY_HH

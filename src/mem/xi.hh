@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cross-interrogate (XI) message types and the client interface the
+ * CPU's Load/Store Unit implements to participate in coherence.
+ *
+ * zEC12 coherence (paper §III.A): requests travel hierarchically; the
+ * owning caches receive XIs. Demote-XIs move exclusive -> read-only,
+ * Exclusive-XIs move exclusive -> invalid; both may be *rejected* by
+ * the target (the paper's "stiff-arming"), in which case the sender
+ * repeats the XI. Read-only-XIs invalidate shared copies and cannot
+ * be rejected. LRU-XIs result from inclusivity evictions at higher
+ * cache levels and cannot be rejected either.
+ */
+
+#ifndef ZTX_MEM_XI_HH
+#define ZTX_MEM_XI_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ztx::mem {
+
+/** Kinds of cross interrogate. */
+enum class XiKind : std::uint8_t
+{
+    ReadOnly,  ///< invalidate a read-only copy (not rejectable)
+    Demote,    ///< exclusive -> read-only (rejectable)
+    Exclusive, ///< exclusive -> invalid (rejectable)
+    Lru        ///< inclusivity eviction from L2/L3/L4 (not rejectable)
+};
+
+/** Target's answer to a Demote or Exclusive XI. */
+enum class XiResponse : std::uint8_t
+{
+    Accept,
+    Reject
+};
+
+/** Human-readable XI kind name (stats/debug). */
+const char *xiKindName(XiKind kind);
+
+/** Everything the target LSU needs to evaluate an incoming XI. */
+struct XiContext
+{
+    XiKind kind;
+    Addr line;
+    /** Requesting CPU; invalidCpu for LRU XIs. */
+    CpuId requester;
+    /** Target's L1 tx-read bit for this line (if still L1-resident). */
+    bool txRead;
+    /** Target's L1 tx-dirty bit for this line. */
+    bool txDirty;
+    /** Target's LRU-extension vector covers this line's L1 row. */
+    bool lruExtHit;
+};
+
+/**
+ * Interface the hierarchy uses to consult a CPU about incoming XIs.
+ * Implemented by the CPU core's LSU model.
+ */
+class CacheClient
+{
+  public:
+    virtual ~CacheClient() = default;
+
+    /**
+     * Evaluate an incoming XI. Returning Reject is only legal for
+     * Demote and Exclusive kinds. The implementation may abort its
+     * transaction as a side effect (conflict or footprint loss).
+     */
+    virtual XiResponse incomingXi(const XiContext &ctx) = 0;
+
+    /**
+     * Notification that @p line was displaced from this CPU's L1 by
+     * associativity pressure (it remains L2-resident). The hierarchy
+     * has already recorded the LRU-extension row when applicable.
+     */
+    virtual void l1Evicted(Addr line, std::uint8_t flags) = 0;
+};
+
+} // namespace ztx::mem
+
+#endif // ZTX_MEM_XI_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The millicode (firmware) layer of the TX facility (paper §III.E).
+ *
+ * On zEC12, complex functions run in millicode: the transaction-abort
+ * subroutine (harvest SPRs, store the TDB, restore backup GRs, fix up
+ * the PSW), the PPA random-delay assist, and the constrained-
+ * transaction retry bookkeeping with its escalation ladder
+ * (increasing random delays -> reduced speculation -> broadcast-stop
+ * of all other CPUs as the last resort that guarantees eventual
+ * success).
+ *
+ * zTX models millicode as this engine operating on the CPU's state
+ * with the same observable steps and a lump cycle cost.
+ */
+
+#ifndef ZTX_MILLICODE_MILLICODE_HH
+#define ZTX_MILLICODE_MILLICODE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ztx::core {
+class Cpu;
+struct AbortContext;
+} // namespace ztx::core
+
+namespace ztx::millicode {
+
+/** Firmware routines invoked by the CPU model. */
+class MillicodeEngine
+{
+  public:
+    /**
+     * The transaction-abort subroutine. Discards transactional
+     * stores (committing NTSTG doublewords), kills tx-dirty L1
+     * lines, clears tx marks, restores the GR pairs selected by the
+     * save mask, sets the abort condition code and the resume
+     * instruction address (after TBEGIN, or at TBEGINC for
+     * constrained transactions), stores the TDB when one was
+     * specified (plus the prefix-area copy on program
+     * interruptions), and runs the constrained-retry escalation.
+     */
+    static void transactionAbort(core::Cpu &cpu,
+                                 const core::AbortContext &ctx);
+
+    /**
+     * PPA (function code TX): a random delay that grows with the
+     * program-supplied abort count, tuned per machine generation so
+     * software need not know the design parameters (§II.A).
+     * @return Delay in cycles.
+     */
+    static Cycles ppaDelay(core::Cpu &cpu,
+                           std::uint64_t abort_count);
+
+    /**
+     * Bookkeeping on successful completion of an outermost
+     * constrained transaction: reset the abort counter and release
+     * the broadcast-stop (solo mode) if it was the last resort used.
+     */
+    static void constrainedSuccess(core::Cpu &cpu);
+};
+
+} // namespace ztx::millicode
+
+#endif // ZTX_MILLICODE_MILLICODE_HH

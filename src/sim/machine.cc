@@ -1,0 +1,203 @@
+#include "machine.hh"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace ztx::sim {
+
+Machine::Machine(const MachineConfig &config)
+    : cfg_(config),
+      hierarchy_(config.topology, config.latency, config.geometry),
+      os_(pageTable_)
+{
+    unsigned n = cfg_.activeCpus == 0 ? cfg_.topology.numCpus()
+                                      : cfg_.activeCpus;
+    if (n > cfg_.topology.numCpus())
+        ztx_fatal("activeCpus ", n, " exceeds topology capacity ",
+                  cfg_.topology.numCpus());
+    cpus_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        cpus_.push_back(std::make_unique<core::Cpu>(
+            i, hierarchy_, memory_, pageTable_, os_, *this, cfg_.tm,
+            cfg_.seed * 0x9e3779b97f4a7c15ULL + i + 1));
+    }
+    if (cfg_.enableIo) {
+        const CpuId agent = cfg_.topology.numCpus() - 1;
+        if (n > agent)
+            ztx_fatal("enableIo needs the last topology CPU slot "
+                      "free (activeCpus <= ",
+                      agent, ")");
+        io_ = std::make_unique<IoSubsystem>(hierarchy_, memory_,
+                                            agent);
+    }
+    readyAt_.assign(n, 0);
+    nextInterrupt_.assign(n, 0);
+    if (cfg_.externalInterruptPeriod) {
+        // Stagger the timer ticks across CPUs.
+        for (unsigned i = 0; i < n; ++i) {
+            nextInterrupt_[i] = cfg_.externalInterruptPeriod +
+                                (cfg_.externalInterruptPeriod * i) / n;
+        }
+    }
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::setProgram(CpuId id, const isa::Program *program)
+{
+    cpu(id).setProgram(program);
+    readyAt_.at(id) = now_;
+}
+
+void
+Machine::setProgramAll(const isa::Program *program)
+{
+    for (unsigned i = 0; i < numCpus(); ++i)
+        setProgram(i, program);
+}
+
+bool
+Machine::allHalted() const
+{
+    for (const auto &c : cpus_)
+        if (!c->halted())
+            return false;
+    return true;
+}
+
+void
+Machine::drainAllStores()
+{
+    for (const auto &c : cpus_)
+        c->drainStores();
+}
+
+std::uint64_t
+Machine::peekMem(Addr addr, unsigned size)
+{
+    drainAllStores();
+    return memory_.read(addr, size);
+}
+
+void
+Machine::requestSolo(CpuId cpu_id)
+{
+    // Millicode instances serialize: requesters queue FIFO; the
+    // front of the queue holds solo mode.
+    for (const CpuId queued : soloQueue_)
+        if (queued == cpu_id)
+            return;
+    soloQueue_.push_back(cpu_id);
+    soloCpu_ = soloQueue_.front();
+}
+
+void
+Machine::releaseSolo(CpuId cpu_id)
+{
+    std::erase(soloQueue_, cpu_id);
+    soloCpu_ = soloQueue_.empty() ? invalidCpu : soloQueue_.front();
+}
+
+Cycles
+Machine::run(Cycles max_cycles)
+{
+    const Cycles start = now_;
+    const bool bounded = max_cycles != ~Cycles(0);
+    const Cycles end_cycle =
+        bounded ? start + max_cycles : ~Cycles(0);
+
+    using HeapEntry = std::pair<Cycles, CpuId>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    for (unsigned i = 0; i < numCpus(); ++i)
+        if (!cpus_[i]->halted())
+            heap.push({readyAt_[i], i});
+
+    while (!heap.empty()) {
+        const auto [t, id] = heap.top();
+        heap.pop();
+        if (t != readyAt_[id] || cpus_[id]->halted())
+            continue; // stale entry
+
+        // Solo mode: park everyone but the solo CPU. A halted
+        // holder releases automatically (safety).
+        if (soloCpu_ != invalidCpu && id != soloCpu_) {
+            if (cpus_[soloCpu_]->halted()) {
+                releaseSolo(soloCpu_);
+            } else {
+                // Small per-CPU jitter disperses the wake-up herd
+                // when the holder releases.
+                readyAt_[id] = std::max(readyAt_[soloCpu_], t) + 1 +
+                               (id & 7);
+                heap.push({readyAt_[id], id});
+                continue;
+            }
+        }
+
+        now_ = std::max(now_, t);
+        if (now_ >= end_cycle) {
+            heap.push({readyAt_[id], id});
+            now_ = end_cycle;
+            break;
+        }
+
+        // Channel (I/O) traffic interleaves with CPU steps.
+        while (io_ && !io_->idle() && ioReadyAt_ <= now_) {
+            const Cycles io_cost = io_->pump();
+            ioReadyAt_ =
+                std::max(ioReadyAt_, now_) +
+                std::max<Cycles>(io_cost, 1);
+        }
+
+        if (cfg_.externalInterruptPeriod &&
+            now_ >= nextInterrupt_[id]) {
+            cpus_[id]->deliverExternalInterrupt();
+            nextInterrupt_[id] += cfg_.externalInterruptPeriod;
+        }
+
+        Cycles cost = cpus_[id]->step();
+        cost += cpus_[id]->consumePendingStall();
+        // Zero-cost steps model superscalar grouping; the CPU's
+        // dispatch credit bounds how many occur per cycle.
+        readyAt_[id] = now_ + cost;
+        if (!cpus_[id]->halted())
+            heap.push({readyAt_[id], id});
+    }
+    return now_ - start;
+}
+
+IoSubsystem &
+Machine::io()
+{
+    if (!io_)
+        ztx_fatal("I/O subsystem not enabled (MachineConfig::"
+                  "enableIo)");
+    return *io_;
+}
+
+void
+Machine::drainIo()
+{
+    if (!io_)
+        return;
+    while (!io_->idle()) {
+        const Cycles cost = io_->pump();
+        now_ += std::max<Cycles>(cost, 1);
+    }
+}
+
+void
+Machine::dumpStats(std::ostream &out)
+{
+    hierarchy_.stats().dump(out);
+    os_.stats().dump(out);
+    for (const auto &c : cpus_)
+        c->stats().dump(out);
+}
+
+} // namespace ztx::sim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The zTX machine: topology, memory, hierarchy, CPUs, and the
+ * deterministic scheduler that advances them.
+ *
+ * Scheduling model: each CPU has a ready time in global cycles; the
+ * machine repeatedly steps the CPU with the smallest ready time
+ * (ties broken by CPU id), adding the step's cycle cost plus any
+ * pending stall (abort penalties, millicode backoff). Coherence
+ * actions happen synchronously inside a step, so a single-threaded,
+ * fully reproducible simulation emerges; concurrency shows up as the
+ * interleaving of steps at cycle granularity.
+ *
+ * The machine also implements the millicode "broadcast-stop" (solo
+ * mode): while a CPU holds solo, every other CPU is parked until
+ * release — the paper's last-resort guarantee for constrained
+ * transactions.
+ */
+
+#ifndef ZTX_SIM_MACHINE_HH
+#define ZTX_SIM_MACHINE_HH
+
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/cpu.hh"
+#include "debug/os_model.hh"
+#include "sim/io_subsystem.hh"
+#include "debug/page_table.hh"
+#include "mem/geometry.hh"
+#include "mem/hierarchy.hh"
+#include "mem/latency_model.hh"
+#include "mem/main_memory.hh"
+#include "mem/topology.hh"
+
+namespace ztx::sim {
+
+/** Everything configurable about a machine. */
+struct MachineConfig
+{
+    mem::Topology topology{6, 4, 5};
+    mem::LatencyModel latency{};
+    mem::HierarchyGeometry geometry{};
+    core::TmConfig tm{};
+
+    /** CPUs to instantiate; 0 means all of the topology. */
+    unsigned activeCpus = 0;
+
+    /** Master seed; per-CPU RNGs derive from it. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Period of per-CPU asynchronous (external) interruptions in
+     * cycles; 0 disables them.
+     */
+    Cycles externalInterruptPeriod = 0;
+
+    /**
+     * Instantiate the I/O (channel) subsystem. It occupies the last
+     * CPU slot of the topology on the coherence fabric, so
+     * activeCpus must leave that slot free.
+     */
+    bool enableIo = false;
+};
+
+/** A complete simulated SMP machine. */
+class Machine : public core::CpuEnv
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+    ~Machine() override;
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Number of instantiated CPUs. */
+    unsigned numCpus() const { return unsigned(cpus_.size()); }
+
+    /** CPU @p id. */
+    core::Cpu &cpu(CpuId id) { return *cpus_.at(id); }
+
+    /** @name Shared components @{ */
+    mem::MainMemory &memory() { return memory_; }
+    mem::Hierarchy &hierarchy() { return hierarchy_; }
+    debug::PageTable &pageTable() { return pageTable_; }
+    debug::OsModel &os() { return os_; }
+    /** The channel subsystem (fatal unless enableIo was set). */
+    IoSubsystem &io();
+    /** @} */
+
+    /** Pump the I/O subsystem until its queue is empty. */
+    void drainIo();
+
+    /** Bind @p program to CPU @p id (resets its PSW). */
+    void setProgram(CpuId id, const isa::Program *program);
+
+    /** Bind @p program to every CPU. */
+    void setProgramAll(const isa::Program *program);
+
+    /**
+     * Run until every CPU halts or @p max_cycles elapse from now.
+     * @return Global cycles elapsed during this call.
+     */
+    Cycles run(Cycles max_cycles = ~Cycles(0));
+
+    /** True once every CPU has halted. */
+    bool allHalted() const;
+
+    /** Drain every CPU's buffered stores (host-side inspection). */
+    void drainAllStores();
+
+    /** Functional memory read merging all CPUs' store buffers. */
+    std::uint64_t peekMem(Addr addr, unsigned size);
+
+    /** Write all stats (machine, hierarchy, OS, CPUs) to @p os. */
+    void dumpStats(std::ostream &out);
+
+    /** @name core::CpuEnv @{ */
+    Cycles now() const override { return now_; }
+    void requestSolo(CpuId cpu) override;
+    void releaseSolo(CpuId cpu) override;
+    CpuId soloHolder() const override { return soloCpu_; }
+    /** @} */
+
+  private:
+    MachineConfig cfg_;
+    mem::MainMemory memory_;
+    mem::Hierarchy hierarchy_;
+    debug::PageTable pageTable_;
+    debug::OsModel os_;
+    std::vector<std::unique_ptr<core::Cpu>> cpus_;
+
+    Cycles now_ = 0;
+    std::vector<Cycles> readyAt_;
+    std::vector<Cycles> nextInterrupt_;
+    std::unique_ptr<IoSubsystem> io_;
+    Cycles ioReadyAt_ = 0;
+    /**
+     * FIFO of CPUs waiting for (or holding) solo mode; the front is
+     * the current holder. Millicode instances on different CPUs
+     * serialize through this queue (paper §III.E).
+     */
+    std::deque<CpuId> soloQueue_;
+    CpuId soloCpu_ = invalidCpu;
+};
+
+} // namespace ztx::sim
+
+#endif // ZTX_SIM_MACHINE_HH

@@ -1,0 +1,106 @@
+#include "constraints.hh"
+
+#include "common/log.hh"
+
+namespace ztx::tx {
+
+const char *
+constraintViolationName(ConstraintViolationKind kind)
+{
+    switch (kind) {
+      case ConstraintViolationKind::TooManyInstructions:
+        return "too-many-instructions";
+      case ConstraintViolationKind::TextFootprint:
+        return "text-footprint";
+      case ConstraintViolationKind::BackwardBranch:
+        return "backward-branch";
+      case ConstraintViolationKind::RestrictedOperation:
+        return "restricted-operation";
+      case ConstraintViolationKind::DataFootprint:
+        return "data-footprint";
+    }
+    return "?";
+}
+
+void
+ConstraintChecker::begin(Addr tbeginc_addr)
+{
+    active_ = true;
+    beginAddr_ = tbeginc_addr;
+    lastAddr_ = tbeginc_addr;
+    instructions_ = 0;
+    numOctowords_ = 0;
+}
+
+void
+ConstraintChecker::end()
+{
+    active_ = false;
+}
+
+std::optional<ConstraintViolationKind>
+ConstraintChecker::checkInstruction(const isa::Instruction &inst,
+                                    Addr addr)
+{
+    if (!active_)
+        ztx_panic("constraint check while not in constrained TX");
+
+    const auto &info = isa::opcodeInfo(inst.op);
+
+    if (info.restrictedInConstrained)
+        return ConstraintViolationKind::RestrictedOperation;
+
+    // "All instruction text within 256 consecutive bytes" covers
+    // every instruction of the transaction, TEND included.
+    if (addr < beginAddr_ ||
+        addr + info.length > beginAddr_ + constrainedMaxTextBytes)
+        return ConstraintViolationKind::TextFootprint;
+
+    // TEND closes the transaction and is not counted against the
+    // instruction budget (the budget covers the transaction body).
+    if (inst.op == isa::Opcode::TEND)
+        return std::nullopt;
+
+    // A re-check at the same address is a retry of an instruction
+    // whose storage access was rejected, not a new instruction:
+    // constrained code has no backward branches, so an address can
+    // never legitimately repeat.
+    if (instructions_ > 0 && addr == lastAddr_)
+        return std::nullopt;
+    lastAddr_ = addr;
+
+    if (++instructions_ > constrainedMaxInstructions)
+        return ConstraintViolationKind::TooManyInstructions;
+
+    if (info.isBranch && inst.target <= addr)
+        return ConstraintViolationKind::BackwardBranch;
+
+    return std::nullopt;
+}
+
+bool
+ConstraintChecker::trackOctoword(Addr octoword)
+{
+    for (unsigned i = 0; i < numOctowords_; ++i)
+        if (octowords_[i] == octoword)
+            return true;
+    if (numOctowords_ == constrainedMaxOctowords)
+        return false;
+    octowords_[numOctowords_++] = octoword;
+    return true;
+}
+
+std::optional<ConstraintViolationKind>
+ConstraintChecker::checkDataAccess(Addr addr, unsigned size)
+{
+    if (!active_)
+        ztx_panic("constraint data check while not in constrained TX");
+    const Addr first = octowordAlign(addr);
+    const Addr last = octowordAlign(addr + size - 1);
+    for (Addr ow = first; ow <= last; ow += octowordBytes)
+        if (!trackOctoword(ow))
+            return ConstraintViolationKind::DataFootprint;
+    return std::nullopt;
+}
+
+} // namespace ztx::tx

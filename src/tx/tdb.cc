@@ -1,0 +1,41 @@
+#include "tdb.hh"
+
+#include "mem/main_memory.hh"
+
+namespace ztx::tx {
+
+void
+Tdb::store(mem::MainMemory &memory, Addr addr) const
+{
+    // Clear the whole block first so stale bytes never leak through.
+    for (std::uint64_t i = 0; i < tdbSizeBytes; ++i)
+        memory.writeByte(addr + i, 0);
+
+    memory.writeByte(addr + 0x00, format);
+    memory.writeByte(addr + 0x01, conflictTokenValid ? 1 : 0);
+    memory.write(addr + 0x08, abortCode, 8);
+    memory.write(addr + 0x10, conflictToken, 8);
+    memory.write(addr + 0x18, abortedIa, 8);
+    memory.write(addr + 0x20, std::uint64_t(interruptCode), 2);
+    memory.write(addr + 0x28, translationExceptionAddr, 8);
+    for (unsigned r = 0; r < 16; ++r)
+        memory.write(addr + 0x80 + 8 * r, grs[r], 8);
+}
+
+Tdb
+Tdb::load(const mem::MainMemory &memory, Addr addr)
+{
+    Tdb tdb;
+    tdb.format = memory.readByte(addr + 0x00);
+    tdb.conflictTokenValid = memory.readByte(addr + 0x01) & 1;
+    tdb.abortCode = memory.read(addr + 0x08, 8);
+    tdb.conflictToken = memory.read(addr + 0x10, 8);
+    tdb.abortedIa = memory.read(addr + 0x18, 8);
+    tdb.interruptCode = InterruptCode(memory.read(addr + 0x20, 2));
+    tdb.translationExceptionAddr = memory.read(addr + 0x28, 8);
+    for (unsigned r = 0; r < 16; ++r)
+        tdb.grs[r] = memory.read(addr + 0x80 + 8 * r, 8);
+    return tdb;
+}
+
+} // namespace ztx::tx

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The 256-byte Transaction Diagnostic Block (paper §II.E.1).
+ *
+ * When a transaction with a TDB address specified on the outermost
+ * TBEGIN aborts, the CPU (millicode, really) stores detailed abort
+ * diagnostics there. A second copy goes into the per-CPU prefix area
+ * on aborts caused by program interruptions, for post-mortem
+ * analysis.
+ *
+ * The byte layout is zTX's own (documented below); it mirrors the
+ * information content of the architected TDB: abort code, conflict
+ * token with validity, aborted-transaction instruction address,
+ * program-interruption information, and the GR contents at abort.
+ */
+
+#ifndef ZTX_TX_TDB_HH
+#define ZTX_TX_TDB_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "tx/abort.hh"
+
+namespace ztx::mem {
+class MainMemory;
+} // namespace ztx::mem
+
+namespace ztx::tx {
+
+/** Size of a TDB in storage. */
+inline constexpr std::uint64_t tdbSizeBytes = 256;
+
+/**
+ * In-memory layout (all integers big-endian):
+ *   0x00  format byte (always 1)
+ *   0x01  flags: bit 0 = conflict token valid
+ *   0x08  transaction abort code (8 bytes)
+ *   0x10  conflict token -- storage address of the conflicting line
+ *   0x18  aborted-transaction instruction address
+ *   0x20  program-interruption code (2 bytes)
+ *   0x28  translation-exception address (8 bytes)
+ *   0x80  general registers 0..15 (16 x 8 bytes)
+ */
+struct Tdb
+{
+    std::uint8_t format = 1;
+    bool conflictTokenValid = false;
+    std::uint64_t abortCode = 0;
+    Addr conflictToken = 0;
+    Addr abortedIa = 0;
+    InterruptCode interruptCode = InterruptCode::None;
+    Addr translationExceptionAddr = 0;
+    std::array<std::uint64_t, 16> grs{};
+
+    /** Serialize into @p memory at @p addr (256 bytes). */
+    void store(mem::MainMemory &memory, Addr addr) const;
+
+    /** Deserialize from @p memory at @p addr. */
+    static Tdb load(const mem::MainMemory &memory, Addr addr);
+};
+
+} // namespace ztx::tx
+
+#endif // ZTX_TX_TDB_HH

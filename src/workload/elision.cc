@@ -1,0 +1,48 @@
+#include "elision.hh"
+
+#include "locks/lock_gen.hh"
+
+namespace ztx::workload {
+
+void
+emitLockElision(isa::Assembler &as, unsigned lock_base,
+                std::int64_t lock_disp,
+                const std::function<void()> &body,
+                const std::string &tag, const ElisionRegs &regs,
+                unsigned max_retries)
+{
+    locks::LockRegs lock_regs;
+    lock_regs.backoff = regs.backoff;
+
+    as.lhi(regs.retry, 0);
+    as.label(tag + "_txloop");
+    as.tbegin(0x00);
+    as.jnz(tag + "_txabort");
+    as.lt(regs.scratch, lock_base, lock_disp);
+    as.jnz(tag + "_lckbzy");
+    body();
+    as.tend();
+    as.j(tag + "_done");
+    as.label(tag + "_lckbzy");
+    as.tabort(0, 256); // transient
+    as.label(tag + "_txabort");
+    as.jo(tag + "_fallback"); // CC3 -> no retry
+    as.ahi(regs.retry, 1);
+    as.cijnl(regs.retry, std::int64_t(max_retries),
+             tag + "_fallback");
+    as.ppa(regs.retry);
+    as.label(tag + "_lwait"); // wait for the lock to become free
+    as.lt(regs.scratch, lock_base, lock_disp);
+    as.jz(tag + "_txloop");
+    as.lhi(regs.backoff, 64);
+    as.delay(regs.backoff);
+    as.j(tag + "_lwait");
+    as.label(tag + "_fallback");
+    locks::SpinLock::emitAcquire(as, lock_base, lock_disp, lock_regs,
+                                 tag + "_flk");
+    body();
+    locks::SpinLock::emitRelease(as, lock_base, lock_disp, lock_regs);
+    as.label(tag + "_done");
+}
+
+} // namespace ztx::workload

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reusable figure-1 lock-elision wrapper: run the body as a
+ * transaction with the fallback lock tested inside; on transient
+ * aborts retry up to 6 times with PPA backoff, then take the lock.
+ */
+
+#ifndef ZTX_WORKLOAD_ELISION_HH
+#define ZTX_WORKLOAD_ELISION_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/assembler.hh"
+
+namespace ztx::workload {
+
+/** Register usage of the elision wrapper. */
+struct ElisionRegs
+{
+    unsigned retry = 0;   ///< retry counter
+    unsigned scratch = 3; ///< lock test value
+    unsigned backoff = 11;
+};
+
+/**
+ * Emit the figure-1 structure around @p body.
+ *
+ * @param as Assembler.
+ * @param lock_base Register holding the fallback-lock address base.
+ * @param lock_disp Displacement of the lock word.
+ * @param body Emits the critical-section body (no TEND/locking).
+ * @param tag Unique label prefix for this emission site.
+ * @param regs Register assignment.
+ * @param max_retries Transient-abort retries before falling back.
+ */
+void emitLockElision(isa::Assembler &as, unsigned lock_base,
+                     std::int64_t lock_disp,
+                     const std::function<void()> &body,
+                     const std::string &tag,
+                     const ElisionRegs &regs = {},
+                     unsigned max_retries = 6);
+
+} // namespace ztx::workload
+
+#endif // ZTX_WORKLOAD_ELISION_HH

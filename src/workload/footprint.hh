@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The figure 5(f) experiment: statistical abort rate of a
+ * transaction reading n random congruence classes, with and without
+ * the L1 LRU-extension scheme — i.e., with the read-footprint wall
+ * at 64 rows x 6 ways (L1) versus 512 rows x 8 ways (L2).
+ */
+
+#ifndef ZTX_WORKLOAD_FOOTPRINT_HH
+#define ZTX_WORKLOAD_FOOTPRINT_HH
+
+#include <cstdint>
+
+#include "sim/machine.hh"
+
+namespace ztx::workload {
+
+/** Configuration of the footprint Monte-Carlo. */
+struct FootprintConfig
+{
+    bool lruExtension = true;
+    unsigned trials = 100;
+    std::uint64_t seed = 1;
+    sim::MachineConfig machine{};
+};
+
+/**
+ * Measure the abort rate of single-attempt transactions that load
+ * @p lines random cache lines.
+ * @return Fraction of trials whose transaction aborted, in [0, 1].
+ */
+double measureFootprintAbortRate(unsigned lines,
+                                 const FootprintConfig &cfg);
+
+} // namespace ztx::workload
+
+#endif // ZTX_WORKLOAD_FOOTPRINT_HH

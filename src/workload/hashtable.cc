@@ -1,0 +1,158 @@
+#include "hashtable.hh"
+
+#include <string>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "locks/lock_gen.hh"
+#include "workload/elision.hh"
+#include "workload/layout.hh"
+
+namespace ztx::workload {
+
+using isa::Assembler;
+using isa::Program;
+
+namespace {
+
+/** Fibonacci-style multiplicative hash parameters. */
+constexpr std::uint64_t hashMultiplier = 0x9E3779B1ULL;
+constexpr unsigned hashShift = 8;
+
+/** Host-side copy of the generated program's bucket function. */
+std::uint64_t
+bucketOf(std::uint64_t key, unsigned buckets)
+{
+    return ((key * hashMultiplier) >> hashShift) & (buckets - 1);
+}
+
+} // namespace
+
+Program
+buildHashTableProgram(const HashTableBenchConfig &cfg)
+{
+    if ((cfg.buckets & (cfg.buckets - 1)) != 0)
+        ztx_fatal("hash-table bucket count must be a power of two");
+
+    /*
+     * Registers: R3 probe key, R4 bucket address, R5 read value,
+     * R6 hash scratch, R7 op selector, R8 iterations, R9 table
+     * base, R10 global lock, R11 backoff, R12 key, R13 probe
+     * counter, R14 hash multiplier, R15 bucket mask.
+     * R0..R2 belong to the elision/lock helpers.
+     */
+    Assembler as;
+    const locks::LockRegs lock_regs;
+    as.la(9, 0, std::int64_t(hashTableBase));
+    as.la(10, 0, std::int64_t(globalLockAddr));
+    as.lhi(8, cfg.iterations);
+    as.lhi(14, std::int64_t(hashMultiplier));
+    as.lhi(15, std::int64_t(cfg.buckets - 1));
+    as.label("iter");
+    as.rnd(12, cfg.keySpace);
+    as.ahi(12, 1); // keys are 1..keySpace (0 marks empty)
+    as.rnd(7, 100);
+    as.lr(6, 12);
+    as.msgr(6, 14);
+    as.srlg(6, 6, hashShift);
+    as.ngr(6, 15);
+    as.sllg(6, 6, 8); // bucket index -> byte offset (256-B buckets)
+    as.la(4, 9, 0, 6);
+
+    // Emitted up to twice (TX path and lock fallback): unique label
+    // suffixes per emission.
+    int emission = 0;
+    const auto body = [&] {
+        const std::string n = std::to_string(emission++);
+        as.lhi(13, std::int64_t(cfg.maxProbes));
+        as.label("probe" + n);
+        as.lg(3, 4, 0);
+        as.cghi(3, 0);
+        as.jz("empty" + n);
+        as.cgr(3, 12);
+        as.jz("found" + n);
+        as.la(4, 4, 256); // linear probe into the padded tail
+        as.brct(13, "probe" + n);
+        as.j("end" + n); // probe bound: treat as miss / drop put
+        as.label("empty" + n);
+        as.cghi(7, std::int64_t(cfg.putPercent));
+        as.brc(isa::maskCc0 | isa::maskCc2, "end" + n); // get: miss
+        as.stg(12, 4, 0); // claim the slot: key
+        as.stg(12, 4, 8); // value
+        as.j("end" + n);
+        as.label("found" + n);
+        as.cghi(7, std::int64_t(cfg.putPercent));
+        as.brc(isa::maskCc0 | isa::maskCc2, "get" + n);
+        as.stg(12, 4, 8); // put: update value
+        as.j("end" + n);
+        as.label("get" + n);
+        as.lg(5, 4, 8);
+        as.label("end" + n);
+    };
+
+    as.markb();
+    if (cfg.useElision) {
+        emitLockElision(as, 10, 0, body, "ht");
+    } else {
+        locks::SpinLock::emitAcquire(as, 10, 0, lock_regs, "ht");
+        body();
+        locks::SpinLock::emitRelease(as, 10, 0, lock_regs);
+    }
+    as.marke();
+    as.brct(8, "iter");
+    as.halt();
+    return as.finish();
+}
+
+HashTableBenchResult
+runHashTableBench(const HashTableBenchConfig &cfg)
+{
+    sim::MachineConfig mcfg = cfg.machine;
+    mcfg.activeCpus = cfg.cpus;
+    mcfg.seed = cfg.seed;
+    sim::Machine machine(mcfg);
+
+    // Pre-fill the table with the whole key space so the read-
+    // mostly mix mostly hits (the paper's steady-state hashtable).
+    for (std::uint64_t key = 1; key <= cfg.keySpace; ++key) {
+        std::uint64_t b = bucketOf(key, cfg.buckets);
+        for (unsigned probe = 0; probe < cfg.maxProbes; ++probe) {
+            const Addr slot = hashTableBase + (b + probe) * 256;
+            if (machine.memory().read(slot, 8) == 0 ||
+                machine.memory().read(slot, 8) == key) {
+                machine.memory().write(slot, key, 8);
+                machine.memory().write(slot + 8, key, 8);
+                break;
+            }
+        }
+    }
+
+    const Program program = buildHashTableProgram(cfg);
+    machine.setProgramAll(&program);
+    const Cycles elapsed = machine.run();
+    if (!machine.allHalted())
+        ztx_fatal("hash-table benchmark did not run to completion");
+
+    HashTableBenchResult res;
+    res.elapsedCycles = elapsed;
+    double region_sum = 0;
+    std::uint64_t region_count = 0;
+    for (unsigned i = 0; i < machine.numCpus(); ++i) {
+        auto &cpu = machine.cpu(i);
+        region_sum += cpu.regionCycles().sum();
+        region_count += cpu.regionCycles().count();
+        res.txCommits += cpu.stats().counter("tx.commits").value();
+        res.txAborts += cpu.stats().counter("tx.aborts").value();
+    }
+    res.meanRegionCycles = region_sum / double(region_count);
+    res.throughput = double(cfg.cpus) / res.meanRegionCycles;
+
+    machine.drainAllStores();
+    for (unsigned b = 0; b < cfg.buckets + cfg.maxProbes; ++b) {
+        if (machine.memory().read(hashTableBase + Addr(b) * 256, 8))
+            ++res.occupiedBuckets;
+    }
+    return res;
+}
+
+} // namespace ztx::workload

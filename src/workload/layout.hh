@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Simulated-memory layout used by the benchmark workloads. Every
+ * shared variable and every fine-grained lock sits on its own
+ * 256-byte cache line, as in the paper's setup.
+ */
+
+#ifndef ZTX_WORKLOAD_LAYOUT_HH
+#define ZTX_WORKLOAD_LAYOUT_HH
+
+#include "common/types.hh"
+
+namespace ztx::workload {
+
+/** Pool of shared variables; variable i lives at +i*256. */
+inline constexpr Addr poolBase = 0x1000'0000;
+
+/** Fine-grained locks; lock i (for variable i) at +i*256. */
+inline constexpr Addr fineLockBase = 0x2000'0000;
+
+/** The single coarse-grained / fallback / read-write lock word. */
+inline constexpr Addr globalLockAddr = 0x3000'0000;
+
+/** Hash-table bucket array base (figure 5(e) workload). */
+inline constexpr Addr hashTableBase = 0x4000'0000;
+
+/** Linked-queue anchor (head/tail pointers). */
+inline constexpr Addr queueBase = 0x5000'0000;
+
+/** Per-CPU node arenas for the queue workload. */
+inline constexpr Addr arenaBase = 0x6000'0000;
+inline constexpr Addr arenaStride = 0x0100'0000;
+
+/** Sorted-list-set head sentinel and prefill node arena. */
+inline constexpr Addr listBase = 0x7000'0000;
+inline constexpr Addr listPrefillArena = 0x7100'0000;
+
+} // namespace ztx::workload
+
+#endif // ZTX_WORKLOAD_LAYOUT_HH

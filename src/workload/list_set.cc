@@ -1,0 +1,218 @@
+#include "list_set.hh"
+
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "locks/lock_gen.hh"
+#include "workload/elision.hh"
+#include "workload/layout.hh"
+
+namespace ztx::workload {
+
+using isa::Assembler;
+using isa::Program;
+
+namespace {
+
+/*
+ * Node layout: key @0, next @8, one node per 256-byte line. The
+ * head sentinel's next pointer lives at listBase + 8.
+ *
+ * Registers: R4 prev, R5 curr, R6 key scratch, R7 applied flag,
+ * R8 iterations, R9 head, R10 lock, R12 key, R13 op selector /
+ * new-node address, R14 net-insert counter, R15 arena bump.
+ * R0/R1/R2/R3/R11 belong to the elision and lock helpers.
+ */
+
+/** Emit the sorted traversal: leaves prev in R4, curr in R5, and
+ *  curr->key in R6 (when curr != 0). */
+void
+emitTraverse(Assembler &as, const std::string &tag)
+{
+    as.la(4, 9, 0);
+    as.lg(5, 4, 8);
+    as.label(tag + "_find");
+    as.cghi(5, 0);
+    as.jz(tag + "_stop");
+    as.lg(6, 5, 0);
+    as.cgr(6, 12);
+    as.brc(isa::maskCc0 | isa::maskCc2, tag + "_stop"); // key <= cur
+    as.lr(4, 5);
+    as.lg(5, 5, 8);
+    as.j(tag + "_find");
+    as.label(tag + "_stop");
+}
+
+} // namespace
+
+Program
+buildListSetProgram(const ListSetBenchConfig &cfg)
+{
+    if (cfg.lookupPercent + cfg.insertPercent > 100)
+        ztx_fatal("list-set operation mix exceeds 100%");
+
+    const locks::LockRegs lock_regs;
+    Assembler as;
+    as.la(9, 0, std::int64_t(listBase));
+    as.la(10, 0, std::int64_t(globalLockAddr));
+    as.lhi(8, cfg.iterations);
+    as.lhi(14, 0);
+    as.label("iter");
+    as.rnd(12, cfg.keySpace);
+    as.ahi(12, 1);
+    as.rnd(13, 100);
+    as.cghi(13, std::int64_t(cfg.lookupPercent));
+    as.jl("lookup_sec");
+    as.cghi(13,
+            std::int64_t(cfg.lookupPercent + cfg.insertPercent));
+    as.jl("insert_sec");
+    as.j("delete_sec");
+
+    int emission = 0;
+    const auto wrap = [&](const std::function<void()> &body,
+                          const std::string &site) {
+        as.markb();
+        if (cfg.useElision) {
+            emitLockElision(as, 10, 0, body, site);
+        } else {
+            locks::SpinLock::emitAcquire(as, 10, 0, lock_regs,
+                                         site + "_lk");
+            body();
+            locks::SpinLock::emitRelease(as, 10, 0, lock_regs);
+        }
+        as.marke();
+    };
+
+    // --- Lookup.
+    as.label("lookup_sec");
+    wrap(
+        [&] {
+            emitTraverse(as, "lk" + std::to_string(emission++));
+        },
+        "lookup");
+    as.j("iter_end");
+
+    // --- Insert: node prepared outside the synchronized region.
+    as.label("insert_sec");
+    as.la(13, 15, 0);
+    as.stg(12, 13, 0); // node.key
+    as.la(15, 15, 256);
+    wrap(
+        [&] {
+            const std::string tag =
+                "in" + std::to_string(emission++);
+            emitTraverse(as, tag);
+            as.lhi(7, 0);
+            as.cghi(5, 0);
+            as.jz(tag + "_do"); // at end -> insert
+            as.cgr(6, 12);
+            as.jz(tag + "_dn"); // already present
+            as.label(tag + "_do");
+            as.stg(5, 13, 8);  // node->next = curr
+            as.stg(13, 4, 8);  // prev->next = node
+            as.lhi(7, 1);
+            as.label(tag + "_dn");
+        },
+        "insert");
+    as.agr(14, 7);
+    as.j("iter_end");
+
+    // --- Delete.
+    as.label("delete_sec");
+    wrap(
+        [&] {
+            const std::string tag =
+                "de" + std::to_string(emission++);
+            emitTraverse(as, tag);
+            as.lhi(7, 0);
+            as.cghi(5, 0);
+            as.jz(tag + "_dn"); // not present (end)
+            as.cgr(6, 12);
+            as.jnz(tag + "_dn"); // not present (greater)
+            as.lg(6, 5, 8);      // curr->next
+            as.stg(6, 4, 8);     // prev->next = curr->next
+            as.lhi(7, 1);
+            as.label(tag + "_dn");
+        },
+        "del");
+    as.sgr(14, 7);
+
+    as.label("iter_end");
+    as.brct(8, "iter");
+    as.halt();
+    return as.finish();
+}
+
+ListSetBenchResult
+runListSetBench(const ListSetBenchConfig &cfg)
+{
+    sim::MachineConfig mcfg = cfg.machine;
+    mcfg.activeCpus = cfg.cpus;
+    mcfg.seed = cfg.seed;
+    sim::Machine machine(mcfg);
+
+    // Pre-fill: a sorted chain of the selected keys.
+    Rng prefill_rng(cfg.seed ^ 0xBEEF);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 1; k <= cfg.keySpace; ++k)
+        if (prefill_rng.nextBool(cfg.prefillPercent / 100.0))
+            keys.push_back(k);
+    Addr prev = listBase;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const Addr node = listPrefillArena + Addr(i) * 256;
+        machine.memory().write(node + 0, keys[i], 8);
+        machine.memory().write(prev + 8, node, 8);
+        prev = node;
+    }
+    machine.memory().write(prev + 8, 0, 8);
+
+    const Program program = buildListSetProgram(cfg);
+    machine.setProgramAll(&program);
+    for (unsigned i = 0; i < cfg.cpus; ++i) {
+        machine.cpu(i).setGr(
+            15, arenaBase + Addr(i) * arenaStride);
+    }
+    const Cycles elapsed = machine.run();
+    if (!machine.allHalted())
+        ztx_fatal("list-set benchmark did not run to completion");
+
+    ListSetBenchResult res;
+    res.elapsedCycles = elapsed;
+    double region_sum = 0;
+    std::uint64_t region_count = 0;
+    std::int64_t net_inserts = 0;
+    for (unsigned i = 0; i < machine.numCpus(); ++i) {
+        auto &cpu = machine.cpu(i);
+        region_sum += cpu.regionCycles().sum();
+        region_count += cpu.regionCycles().count();
+        res.txCommits += cpu.stats().counter("tx.commits").value();
+        res.txAborts += cpu.stats().counter("tx.aborts").value();
+        net_inserts += std::int64_t(cpu.gr(14));
+    }
+    res.meanRegionCycles = region_sum / double(region_count);
+    res.throughput = double(cfg.cpus) / res.meanRegionCycles;
+
+    // Validate the structure.
+    machine.drainAllStores();
+    res.sorted = true;
+    std::int64_t last_key = 0;
+    Addr node = machine.memory().read(listBase + 8, 8);
+    while (node != 0 && res.finalLength <= 100000) {
+        const auto key =
+            std::int64_t(machine.memory().read(node + 0, 8));
+        if (key <= last_key)
+            res.sorted = false;
+        last_key = key;
+        ++res.finalLength;
+        node = machine.memory().read(node + 8, 8);
+    }
+    res.lengthConsistent =
+        std::int64_t(keys.size()) + net_inserts ==
+        std::int64_t(res.finalLength);
+    return res;
+}
+
+} // namespace ztx::workload

@@ -1,0 +1,145 @@
+#include "queue.hh"
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "locks/lock_gen.hh"
+#include "workload/layout.hh"
+
+namespace ztx::workload {
+
+using isa::Assembler;
+using isa::Program;
+
+namespace {
+
+/** Queue anchor layout: head pointer at +0, tail pointer at +256. */
+constexpr std::int64_t headDisp = 0;
+constexpr std::int64_t tailDisp = 256;
+
+/** Address of the initial dummy node. */
+constexpr Addr dummyNodeAddr = queueBase + 0x1000;
+
+} // namespace
+
+Program
+buildQueueProgram(const QueueBenchConfig &cfg)
+{
+    /*
+     * Registers: R3/R5/R6 scratch, R4 node address, R8 iterations,
+     * R9 queue anchor, R10 global lock, R11 backoff, R12 value,
+     * R14 dequeue-success counter, R15 per-CPU arena bump pointer
+     * (initialized host-side). R0..R2 belong to the lock helpers.
+     */
+    Assembler as;
+    const locks::LockRegs lock_regs;
+    as.la(9, 0, std::int64_t(queueBase));
+    as.la(10, 0, std::int64_t(globalLockAddr));
+    as.lhi(8, cfg.iterations);
+    as.lhi(14, 0);
+    as.label("iter");
+
+    // --- Prepare a fresh node outside the synchronized region.
+    as.lr(12, 8); // value = remaining-iteration count
+    as.la(4, 15, 0);
+    as.stg(12, 4, 0); // node.value
+    as.lhi(3, 0);
+    as.stg(3, 4, 8); // node.next = nullptr
+    as.la(15, 15, 256);
+
+    // --- Enqueue.
+    const auto enqueue_body = [&] {
+        as.lgfo(3, 9, tailDisp); // tail node (store intent)
+        as.stg(4, 3, 8);         // tail->next = node
+        as.stg(4, 9, tailDisp);  // tail = node
+    };
+    as.markb();
+    if (cfg.useConstrainedTx) {
+        as.tbeginc(0x00);
+        enqueue_body();
+        as.tend();
+    } else {
+        locks::SpinLock::emitAcquire(as, 10, 0, lock_regs, "enq");
+        enqueue_body();
+        locks::SpinLock::emitRelease(as, 10, 0, lock_regs);
+    }
+    as.marke();
+
+    // --- Dequeue.
+    const auto dequeue_body = [&] {
+        as.lgfo(3, 9, headDisp); // dummy/head node (store intent)
+        as.lg(5, 3, 8);          // head->next
+        as.cghi(5, 0);
+        as.jz("deq_empty");      // forward branch: queue empty
+        as.stg(5, 9, headDisp);  // head = next
+        as.lg(6, 5, 0);          // value
+        as.label("deq_empty");
+    };
+    as.markb();
+    if (cfg.useConstrainedTx) {
+        as.tbeginc(0x00);
+        dequeue_body();
+        as.tend();
+    } else {
+        locks::SpinLock::emitAcquire(as, 10, 0, lock_regs, "deq");
+        dequeue_body();
+        locks::SpinLock::emitRelease(as, 10, 0, lock_regs);
+    }
+    as.marke();
+    as.cghi(5, 0);
+    as.jz("deq_was_empty");
+    as.ahi(14, 1);
+    as.label("deq_was_empty");
+
+    as.brct(8, "iter");
+    as.halt();
+    return as.finish();
+}
+
+QueueBenchResult
+runQueueBench(const QueueBenchConfig &cfg)
+{
+    sim::MachineConfig mcfg = cfg.machine;
+    mcfg.activeCpus = cfg.cpus;
+    mcfg.seed = cfg.seed;
+    sim::Machine machine(mcfg);
+
+    // Initial state: head = tail = dummy node with next = nullptr.
+    machine.memory().write(queueBase + headDisp, dummyNodeAddr, 8);
+    machine.memory().write(queueBase + tailDisp, dummyNodeAddr, 8);
+    machine.memory().write(dummyNodeAddr + 8, 0, 8);
+
+    const Program program = buildQueueProgram(cfg);
+    machine.setProgramAll(&program);
+    for (unsigned i = 0; i < cfg.cpus; ++i) {
+        machine.cpu(i).setGr(
+            15, arenaBase + Addr(i) * arenaStride);
+    }
+    const Cycles elapsed = machine.run();
+    if (!machine.allHalted())
+        ztx_fatal("queue benchmark did not run to completion");
+
+    QueueBenchResult res;
+    res.elapsedCycles = elapsed;
+    double region_sum = 0;
+    std::uint64_t region_count = 0;
+    for (unsigned i = 0; i < machine.numCpus(); ++i) {
+        auto &cpu = machine.cpu(i);
+        region_sum += cpu.regionCycles().sum();
+        region_count += cpu.regionCycles().count();
+        res.txCommits += cpu.stats().counter("tx.commits").value();
+        res.txAborts += cpu.stats().counter("tx.aborts").value();
+        res.dequeuedNonEmpty += cpu.gr(14);
+    }
+    res.meanRegionCycles = region_sum / double(region_count);
+    res.throughput = double(cfg.cpus) / res.meanRegionCycles;
+
+    // Walk the queue for the final length; enqueues - successful
+    // dequeues must match it.
+    machine.drainAllStores();
+    Addr node = machine.memory().read(queueBase + headDisp, 8);
+    while ((node = machine.memory().read(node + 8, 8)) != 0)
+        ++res.finalLength;
+    return res;
+}
+
+} // namespace ztx::workload

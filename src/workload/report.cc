@@ -1,0 +1,54 @@
+#include "report.hh"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace ztx::workload {
+
+SeriesTable::SeriesTable(std::string x_label,
+                         std::vector<std::string> series)
+    : xLabel_(std::move(x_label)), series_(std::move(series))
+{
+}
+
+void
+SeriesTable::addRow(double x, const std::vector<double> &values)
+{
+    if (values.size() != series_.size())
+        ztx_panic("row width ", values.size(), " != series count ",
+                  series_.size());
+    rows_.push_back({x, values});
+}
+
+double
+SeriesTable::value(std::size_t row, std::size_t series_idx) const
+{
+    return rows_.at(row).values.at(series_idx);
+}
+
+void
+SeriesTable::print(std::ostream &os) const
+{
+    constexpr int width = 14;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%*s", width, xLabel_.c_str());
+    os << buf;
+    for (const auto &name : series_) {
+        std::snprintf(buf, sizeof(buf), "%*s", width, name.c_str());
+        os << buf;
+    }
+    os << '\n';
+    for (const auto &row : rows_) {
+        std::snprintf(buf, sizeof(buf), "%*.4g", width, row.x);
+        os << buf;
+        for (const double v : row.values) {
+            std::snprintf(buf, sizeof(buf), "%*.4g", width, v);
+            os << buf;
+        }
+        os << '\n';
+    }
+}
+
+} // namespace ztx::workload

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text series table for the benchmark binaries: one x column
+ * (e.g. "CPUs") plus one column per series, printed aligned — the
+ * rows/series that regenerate the paper's figures.
+ */
+
+#ifndef ZTX_WORKLOAD_REPORT_HH
+#define ZTX_WORKLOAD_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ztx::workload {
+
+/** Column-aligned x/series table. */
+class SeriesTable
+{
+  public:
+    /**
+     * @param x_label Header of the x column.
+     * @param series Headers of the value columns.
+     */
+    SeriesTable(std::string x_label,
+                std::vector<std::string> series);
+
+    /** Append a row; @p values must match the series count. */
+    void addRow(double x, const std::vector<double> &values);
+
+    /** Print the aligned table. */
+    void print(std::ostream &os) const;
+
+    /** Value at (@p row, @p series_idx), for tests. */
+    double value(std::size_t row, std::size_t series_idx) const;
+
+    /** Number of rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string xLabel_;
+    std::vector<std::string> series_;
+    struct Row
+    {
+        double x;
+        std::vector<double> values;
+    };
+    std::vector<Row> rows_;
+};
+
+} // namespace ztx::workload
+
+#endif // ZTX_WORKLOAD_REPORT_HH

@@ -1,0 +1,148 @@
+/** @file Unit tests for the set-associative tag array. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache_array.hh"
+
+namespace {
+
+using ztx::Addr;
+using ztx::lineSizeBytes;
+using ztx::mem::CacheArray;
+using ztx::mem::CacheGeometry;
+namespace line_flag = ztx::mem::line_flag;
+
+/** 4 rows x 2 ways of 256-byte lines. */
+CacheArray
+tinyArray()
+{
+    return CacheArray(CacheGeometry{4 * 2 * lineSizeBytes, 2}, "tiny");
+}
+
+/** Line address landing in @p row with tag-part @p k. */
+Addr
+lineInRow(unsigned row, unsigned k)
+{
+    return Addr(row + 4 * k) * lineSizeBytes;
+}
+
+TEST(CacheArray, GeometryDerivesRows)
+{
+    CacheArray a(CacheGeometry{96 * 1024, 6}, "l1");
+    EXPECT_EQ(a.rows(), 64u);
+    EXPECT_EQ(a.assoc(), 6u);
+}
+
+TEST(CacheArray, InsertThenContains)
+{
+    auto a = tinyArray();
+    EXPECT_FALSE(a.contains(0));
+    const auto victim = a.insert(0);
+    EXPECT_FALSE(victim.valid);
+    EXPECT_TRUE(a.contains(0));
+    EXPECT_EQ(a.validCount(), 1u);
+}
+
+TEST(CacheArray, EvictsTrueLruWithinSet)
+{
+    auto a = tinyArray();
+    const Addr first = lineInRow(1, 0);
+    const Addr second = lineInRow(1, 1);
+    const Addr third = lineInRow(1, 2);
+    a.insert(first);
+    a.insert(second);
+    a.touch(first); // make `second` the LRU way
+    const auto victim = a.insert(third);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, second);
+    EXPECT_TRUE(a.contains(first));
+    EXPECT_TRUE(a.contains(third));
+    EXPECT_FALSE(a.contains(second));
+}
+
+TEST(CacheArray, DifferentRowsDoNotConflict)
+{
+    auto a = tinyArray();
+    for (unsigned row = 0; row < 4; ++row) {
+        a.insert(lineInRow(row, 0));
+        a.insert(lineInRow(row, 1));
+    }
+    EXPECT_EQ(a.validCount(), 8u);
+}
+
+TEST(CacheArray, VictimCarriesFlags)
+{
+    auto a = tinyArray();
+    a.insert(lineInRow(0, 0), line_flag::txRead);
+    a.insert(lineInRow(0, 1));
+    a.touch(lineInRow(0, 1));
+    // Way with txRead is older; it gets evicted with its flags.
+    const auto victim = a.insert(lineInRow(0, 2));
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, lineInRow(0, 0));
+    EXPECT_EQ(victim.flags, line_flag::txRead);
+}
+
+TEST(CacheArray, FlagSetAndClear)
+{
+    auto a = tinyArray();
+    a.insert(0);
+    a.setFlags(0, line_flag::txRead);
+    EXPECT_EQ(a.flagsOf(0), line_flag::txRead);
+    a.setFlags(0, line_flag::txDirty);
+    EXPECT_EQ(a.flagsOf(0), line_flag::txRead | line_flag::txDirty);
+    a.clearFlags(0, line_flag::txRead);
+    EXPECT_EQ(a.flagsOf(0), line_flag::txDirty);
+}
+
+TEST(CacheArray, ClearFlagsAll)
+{
+    auto a = tinyArray();
+    a.insert(lineInRow(0, 0), line_flag::txRead);
+    a.insert(lineInRow(2, 0), line_flag::txDirty);
+    a.clearFlagsAll(line_flag::txRead | line_flag::txDirty);
+    EXPECT_EQ(a.flagsOf(lineInRow(0, 0)), 0u);
+    EXPECT_EQ(a.flagsOf(lineInRow(2, 0)), 0u);
+}
+
+TEST(CacheArray, InvalidateRemovesAndClearsFlags)
+{
+    auto a = tinyArray();
+    a.insert(0, line_flag::txDirty);
+    EXPECT_TRUE(a.invalidate(0));
+    EXPECT_FALSE(a.contains(0));
+    EXPECT_FALSE(a.invalidate(0));
+    // Reinsert reuses the slot fresh.
+    a.insert(0);
+    EXPECT_EQ(a.flagsOf(0), 0u);
+}
+
+TEST(CacheArray, TouchMissReturnsFalse)
+{
+    auto a = tinyArray();
+    EXPECT_FALSE(a.touch(0x1000));
+}
+
+TEST(CacheArray, ForEachValidVisitsAll)
+{
+    auto a = tinyArray();
+    a.insert(lineInRow(0, 0));
+    a.insert(lineInRow(3, 1));
+    std::vector<Addr> seen;
+    a.forEachValid([&](const CacheArray::Entry &e) {
+        seen.push_back(e.line);
+    });
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(CacheArray, RowMapping)
+{
+    auto a = tinyArray();
+    EXPECT_EQ(a.row(0), 0u);
+    EXPECT_EQ(a.row(lineSizeBytes), 1u);
+    EXPECT_EQ(a.row(4 * lineSizeBytes), 0u);
+}
+
+} // namespace

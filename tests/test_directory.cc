@@ -1,0 +1,104 @@
+/** @file Unit tests for the global coherence directory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/directory.hh"
+
+namespace {
+
+using ztx::Addr;
+using ztx::CpuId;
+using ztx::invalidCpu;
+using ztx::mem::CoherenceDirectory;
+
+constexpr Addr lineA = 0x1000;
+constexpr Addr lineB = 0x2000;
+
+TEST(Directory, UnknownLineIsIdle)
+{
+    CoherenceDirectory d;
+    EXPECT_TRUE(d.lookup(lineA).idle());
+    EXPECT_FALSE(d.holds(0, lineA));
+}
+
+TEST(Directory, ExclusiveOwnership)
+{
+    CoherenceDirectory d;
+    d.setExclusive(lineA, 3);
+    EXPECT_EQ(d.lookup(lineA).owner, CpuId(3));
+    EXPECT_TRUE(d.holds(3, lineA));
+    EXPECT_FALSE(d.holds(2, lineA));
+}
+
+TEST(Directory, SharersAccumulate)
+{
+    CoherenceDirectory d;
+    d.addSharer(lineA, 1);
+    d.addSharer(lineA, 2);
+    EXPECT_TRUE(d.holds(1, lineA));
+    EXPECT_TRUE(d.holds(2, lineA));
+    EXPECT_EQ(d.lookup(lineA).owner, invalidCpu);
+}
+
+TEST(Directory, DemoteOwnerBecomesSharer)
+{
+    CoherenceDirectory d;
+    d.setExclusive(lineA, 5);
+    d.demoteOwner(lineA);
+    EXPECT_EQ(d.lookup(lineA).owner, invalidCpu);
+    EXPECT_TRUE(d.holds(5, lineA));
+    d.addSharer(lineA, 6);
+    EXPECT_TRUE(d.holds(6, lineA));
+}
+
+TEST(Directory, SetExclusiveDropsOldSharers)
+{
+    CoherenceDirectory d;
+    d.addSharer(lineA, 1);
+    d.addSharer(lineA, 2);
+    d.setExclusive(lineA, 7);
+    EXPECT_FALSE(d.holds(1, lineA));
+    EXPECT_FALSE(d.holds(2, lineA));
+    EXPECT_TRUE(d.holds(7, lineA));
+}
+
+TEST(Directory, RemoveOwnerAndSharers)
+{
+    CoherenceDirectory d;
+    d.setExclusive(lineA, 4);
+    d.remove(lineA, 4);
+    EXPECT_TRUE(d.lookup(lineA).idle());
+}
+
+TEST(Directory, RemoveErasesIdleEntries)
+{
+    CoherenceDirectory d;
+    d.addSharer(lineA, 0);
+    d.addSharer(lineB, 0);
+    EXPECT_EQ(d.trackedLines(), 2u);
+    d.remove(lineA, 0);
+    EXPECT_EQ(d.trackedLines(), 1u);
+}
+
+TEST(Directory, SharersExceptSkipsSelfAndOwner)
+{
+    CoherenceDirectory d;
+    d.addSharer(lineA, 1);
+    d.addSharer(lineA, 2);
+    d.addSharer(lineA, 3);
+    const auto others = d.sharersExcept(lineA, 2);
+    EXPECT_EQ(others.size(), 2u);
+    EXPECT_EQ(others[0], CpuId(1));
+    EXPECT_EQ(others[1], CpuId(3));
+}
+
+TEST(Directory, IndependentLines)
+{
+    CoherenceDirectory d;
+    d.setExclusive(lineA, 1);
+    d.setExclusive(lineB, 2);
+    EXPECT_TRUE(d.holds(1, lineA));
+    EXPECT_FALSE(d.holds(1, lineB));
+}
+
+} // namespace

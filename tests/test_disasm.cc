@@ -1,0 +1,110 @@
+/** @file Disassembler unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+
+namespace {
+
+using namespace ztx::isa;
+
+/** Assemble one instruction and disassemble it. */
+template <typename EmitFn>
+std::string
+roundTrip(EmitFn &&emit)
+{
+    Assembler as;
+    emit(as);
+    as.halt();
+    const Program p = as.finish();
+    return disassemble(p.slots()[0].inst);
+}
+
+TEST(Disasm, ImmediateForms)
+{
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.lhi(1, 42); }),
+              "LHI R1,42");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.ahi(3, -7); }),
+              "AHI R3,-7");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.cghi(5, 6); }),
+              "CGHI R5,6");
+}
+
+TEST(Disasm, RegisterRegisterForms)
+{
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.agr(1, 2); }),
+              "AGR R1,R2");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.sllg(1, 2, 8); }),
+              "SLLG R1,R2,8");
+}
+
+TEST(Disasm, StorageForms)
+{
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.lg(1, 9, 16); }),
+              "LG R1,16(R9)");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.lg(1, 9, 0, 12); }),
+              "LG R1,0(R12,R9)");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.stg(2, 9, 8); }),
+              "STG R2,8(R9)");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.lgfo(1, 9); }),
+              "LGFO R1,0(R9)");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.cs(1, 3, 9, 0); }),
+              "CS R1,R3,0(R9)");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.ntstg(7, 10, 8); }),
+              "NTSTG R7,8(R10)");
+}
+
+TEST(Disasm, TransactionalForms)
+{
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.tend(); }), "TEND");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.tbeginc(0x80); }),
+              "TBEGINC GRSM=0x80,A");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.tabort(0, 256); }),
+              "TABORT 256(R0)");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.etnd(4); }), "ETND R4");
+    EXPECT_EQ(roundTrip([](Assembler &a) { a.ppa(0); }), "PPA R0");
+    const std::string tb = roundTrip([](Assembler &a) {
+        a.tbegin(0xFF, {.pifc = 2});
+    });
+    EXPECT_NE(tb.find("TBEGIN"), std::string::npos);
+    EXPECT_NE(tb.find("GRSM=0xff"), std::string::npos);
+    EXPECT_NE(tb.find("PIFC=2"), std::string::npos);
+}
+
+TEST(Disasm, BranchesShowResolvedTargets)
+{
+    Assembler as;
+    as.label("top");
+    as.j("top");
+    as.halt();
+    const Program p = as.finish();
+    const std::string text = disassemble(p.slots()[0].inst);
+    EXPECT_NE(text.find("J 0x"), std::string::npos);
+}
+
+TEST(Disasm, ListingHasOneLinePerInstruction)
+{
+    Assembler as;
+    as.lhi(1, 1);
+    as.tbeginc(0);
+    as.tend();
+    as.halt();
+    const Program p = as.finish();
+    const std::string text = listing(p);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+    EXPECT_NE(text.find("LHI R1,1"), std::string::npos);
+    EXPECT_NE(text.find("HALT"), std::string::npos);
+}
+
+TEST(Disasm, EveryOpcodeDisassemblesNonEmpty)
+{
+    // Smoke: every opcode has a printable mnemonic.
+    for (unsigned op = 0; op <= unsigned(Opcode::HALT); ++op) {
+        Instruction inst;
+        inst.op = Opcode(op);
+        EXPECT_FALSE(disassemble(inst).empty()) << op;
+    }
+}
+
+} // namespace

@@ -1,0 +1,345 @@
+/** @file Unit and invariant tests for the coherent cache hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/hierarchy.hh"
+
+namespace {
+
+using namespace ztx;
+using namespace ztx::mem;
+
+/** Scripted XI client: counts XIs, optionally rejects a few. */
+class StubClient : public CacheClient
+{
+  public:
+    XiResponse
+    incomingXi(const XiContext &ctx) override
+    {
+        received.push_back(ctx);
+        if (rejectBudget > 0 && (ctx.kind == XiKind::Demote ||
+                                 ctx.kind == XiKind::Exclusive)) {
+            --rejectBudget;
+            return XiResponse::Reject;
+        }
+        return XiResponse::Accept;
+    }
+
+    void
+    l1Evicted(Addr line, std::uint8_t flags) override
+    {
+        evicted.emplace_back(line, flags);
+    }
+
+    std::vector<XiContext> received;
+    std::vector<std::pair<Addr, std::uint8_t>> evicted;
+    int rejectBudget = 0;
+};
+
+/** Hierarchy + stub clients, small topology, configurable geometry. */
+struct Rig
+{
+    explicit Rig(HierarchyGeometry geo = HierarchyGeometry{},
+                 Topology topo = Topology(2, 2, 2))
+        : hier(topo, LatencyModel{}, geo)
+    {
+        for (unsigned i = 0; i < topo.numCpus(); ++i) {
+            clients.push_back(std::make_unique<StubClient>());
+            hier.setClient(i, clients.back().get());
+        }
+    }
+
+    Hierarchy hier;
+    std::vector<std::unique_ptr<StubClient>> clients;
+};
+
+constexpr Addr lineA = 0x10000;
+constexpr Addr lineB = 0x20000;
+
+TEST(Hierarchy, ColdFetchComesFromMemory)
+{
+    Rig rig;
+    const auto res = rig.hier.fetch(0, lineA, false);
+    EXPECT_FALSE(res.rejected);
+    EXPECT_EQ(res.source, DataSource::Memory);
+    EXPECT_TRUE(rig.hier.inL1(0, lineA));
+    EXPECT_TRUE(rig.hier.inL2(0, lineA));
+    EXPECT_TRUE(rig.hier.inL3(0, lineA));
+    EXPECT_TRUE(rig.hier.inL4(0, lineA));
+    rig.hier.checkInvariants();
+}
+
+TEST(Hierarchy, SecondFetchHitsL1)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, false);
+    const auto res = rig.hier.fetch(0, lineA, false);
+    EXPECT_EQ(res.source, DataSource::L1);
+    EXPECT_EQ(res.latency, rig.hier.latencyModel().l1Hit);
+}
+
+TEST(Hierarchy, ReadSharingSendsNoXi)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, false);
+    rig.hier.fetch(1, lineA, false);
+    EXPECT_TRUE(rig.clients[0]->received.empty());
+    EXPECT_TRUE(rig.hier.directory().holds(0, lineA));
+    EXPECT_TRUE(rig.hier.directory().holds(1, lineA));
+}
+
+TEST(Hierarchy, ReadOfExclusiveLineSendsDemoteXi)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, true);
+    EXPECT_EQ(rig.hier.directory().lookup(lineA).owner, CpuId(0));
+    const auto res = rig.hier.fetch(1, lineA, false);
+    EXPECT_FALSE(res.rejected);
+    ASSERT_EQ(rig.clients[0]->received.size(), 1u);
+    EXPECT_EQ(rig.clients[0]->received[0].kind, XiKind::Demote);
+    // Previous owner keeps a read-only copy.
+    EXPECT_TRUE(rig.hier.inL1(0, lineA));
+    EXPECT_TRUE(rig.hier.directory().holds(0, lineA));
+    EXPECT_EQ(rig.hier.directory().lookup(lineA).owner, invalidCpu);
+}
+
+TEST(Hierarchy, WriteOfSharedLineInvalidatesSharers)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, false);
+    rig.hier.fetch(1, lineA, false);
+    const auto res = rig.hier.fetch(2, lineA, true);
+    EXPECT_FALSE(res.rejected);
+    ASSERT_EQ(rig.clients[0]->received.size(), 1u);
+    EXPECT_EQ(rig.clients[0]->received[0].kind, XiKind::ReadOnly);
+    ASSERT_EQ(rig.clients[1]->received.size(), 1u);
+    EXPECT_FALSE(rig.hier.inL1(0, lineA));
+    EXPECT_FALSE(rig.hier.inL2(0, lineA));
+    EXPECT_FALSE(rig.hier.directory().holds(0, lineA));
+    EXPECT_EQ(rig.hier.directory().lookup(lineA).owner, CpuId(2));
+    rig.hier.checkInvariants();
+}
+
+TEST(Hierarchy, WriteOfExclusiveLineSendsExclusiveXi)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, true);
+    rig.hier.fetch(1, lineA, true);
+    ASSERT_EQ(rig.clients[0]->received.size(), 1u);
+    EXPECT_EQ(rig.clients[0]->received[0].kind, XiKind::Exclusive);
+    EXPECT_FALSE(rig.hier.inL2(0, lineA));
+    EXPECT_EQ(rig.hier.directory().lookup(lineA).owner, CpuId(1));
+}
+
+TEST(Hierarchy, RejectedXiLeavesStateUntouched)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, true);
+    rig.clients[0]->rejectBudget = 1;
+    const auto res = rig.hier.fetch(1, lineA, true);
+    EXPECT_TRUE(res.rejected);
+    EXPECT_EQ(res.rejecter, CpuId(0));
+    EXPECT_GT(res.latency, 0u);
+    EXPECT_EQ(rig.hier.directory().lookup(lineA).owner, CpuId(0));
+    EXPECT_FALSE(rig.hier.inL2(1, lineA));
+    // Retry after the owner stops rejecting succeeds.
+    const auto res2 = rig.hier.fetch(1, lineA, true);
+    EXPECT_FALSE(res2.rejected);
+    EXPECT_EQ(rig.hier.directory().lookup(lineA).owner, CpuId(1));
+}
+
+TEST(Hierarchy, UpgradeFromSharedToExclusive)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, false);
+    rig.hier.fetch(1, lineA, false);
+    const auto res = rig.hier.fetch(0, lineA, true);
+    EXPECT_FALSE(res.rejected);
+    EXPECT_EQ(rig.hier.directory().lookup(lineA).owner, CpuId(0));
+    EXPECT_FALSE(rig.hier.directory().holds(1, lineA));
+    // Local data: upgrade is served from the local caches.
+    EXPECT_TRUE(res.source == DataSource::L1 ||
+                res.source == DataSource::L2);
+}
+
+TEST(Hierarchy, InterventionSourceTracksDistance)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, true);
+    // CPU 1 is on the same chip: data via shared L3.
+    auto res = rig.hier.fetch(1, lineA, false);
+    EXPECT_EQ(res.source, DataSource::L3);
+    // CPU 2 is on the other chip of the MCM.
+    rig.hier.fetch(2, lineB, false);
+    rig.hier.fetch(0, lineB, true);
+    ASSERT_FALSE(rig.hier.inL2(2, lineB));
+    auto res2 = rig.hier.fetch(2, lineB, false);
+    EXPECT_EQ(res2.source, DataSource::L4);
+    // CPU 4 is on the other MCM.
+    auto res3 = rig.hier.fetch(4, lineA, false);
+    EXPECT_EQ(res3.source, DataSource::RemoteMcm);
+}
+
+TEST(Hierarchy, TxMarksSetAndClear)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, false);
+    rig.hier.markTxRead(0, lineA);
+    EXPECT_TRUE(rig.hier.txRead(0, lineA));
+    rig.hier.fetch(0, lineB, true);
+    rig.hier.markTxDirty(0, lineB);
+    EXPECT_TRUE(rig.hier.txDirty(0, lineB));
+    rig.hier.clearTxMarks(0);
+    EXPECT_FALSE(rig.hier.txRead(0, lineA));
+    EXPECT_FALSE(rig.hier.txDirty(0, lineB));
+}
+
+TEST(Hierarchy, XiContextCarriesTxBits)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, false);
+    rig.hier.markTxRead(0, lineA);
+    rig.hier.fetch(1, lineA, true);
+    ASSERT_EQ(rig.clients[0]->received.size(), 1u);
+    EXPECT_TRUE(rig.clients[0]->received[0].txRead);
+    EXPECT_FALSE(rig.clients[0]->received[0].txDirty);
+    EXPECT_EQ(rig.clients[0]->received[0].requester, CpuId(1));
+}
+
+TEST(Hierarchy, KillTxDirtyLinesRemovesFromL1Only)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, true);
+    rig.hier.markTxDirty(0, lineA);
+    rig.hier.killTxDirtyLines(0);
+    EXPECT_FALSE(rig.hier.inL1(0, lineA));
+    EXPECT_TRUE(rig.hier.inL2(0, lineA));
+    EXPECT_TRUE(rig.hier.directory().holds(0, lineA));
+    rig.hier.checkInvariants();
+}
+
+/** Geometry with a tiny L1 to force associativity evictions. */
+HierarchyGeometry
+tinyL1Geometry()
+{
+    HierarchyGeometry geo;
+    geo.l1 = CacheGeometry{2 * 2 * lineSizeBytes, 2}; // 2 rows x 2 ways
+    geo.l2 = CacheGeometry{8 * 4 * lineSizeBytes, 4};
+    geo.l3 = CacheGeometry{64 * 8 * lineSizeBytes, 8};
+    geo.l4 = CacheGeometry{256 * 8 * lineSizeBytes, 8};
+    return geo;
+}
+
+/** Line falling in L1 row @p row (tiny geometry: 2 rows). */
+Addr
+tinyLine(unsigned row, unsigned k)
+{
+    return Addr(row + 2 * k) * lineSizeBytes;
+}
+
+TEST(Hierarchy, L1EvictionSetsLruExtensionForTxRead)
+{
+    Rig rig(tinyL1Geometry());
+    // Fill row 0 with tx-read lines, then overflow it.
+    rig.hier.fetch(0, tinyLine(0, 0), false);
+    rig.hier.markTxRead(0, tinyLine(0, 0));
+    rig.hier.fetch(0, tinyLine(0, 1), false);
+    rig.hier.markTxRead(0, tinyLine(0, 1));
+    EXPECT_FALSE(rig.hier.lruExtensionAny(0));
+    rig.hier.fetch(0, tinyLine(0, 2), false);
+    EXPECT_TRUE(rig.hier.lruExtensionAny(0));
+    EXPECT_TRUE(rig.hier.lruExtensionHit(0, tinyLine(0, 0)));
+    // Row 1 is unaffected.
+    EXPECT_FALSE(rig.hier.lruExtensionHit(0, tinyLine(1, 0)));
+    // The client saw the L1 eviction notification.
+    EXPECT_FALSE(rig.clients[0]->evicted.empty());
+}
+
+TEST(Hierarchy, LruExtensionDisabledDeliversLruXi)
+{
+    Rig rig(tinyL1Geometry());
+    rig.hier.setLruExtensionEnabled(false);
+    rig.hier.fetch(0, tinyLine(0, 0), false);
+    rig.hier.markTxRead(0, tinyLine(0, 0));
+    rig.hier.fetch(0, tinyLine(0, 1), false);
+    rig.hier.fetch(0, tinyLine(0, 2), false);
+    // The displaced tx-read line arrives as a non-rejectable LRU XI.
+    bool saw_lru = false;
+    for (const auto &ctx : rig.clients[0]->received)
+        if (ctx.kind == XiKind::Lru && ctx.txRead)
+            saw_lru = true;
+    EXPECT_TRUE(saw_lru);
+}
+
+TEST(Hierarchy, L2EvictionInvalidatesL1AndDirectory)
+{
+    Rig rig(tinyL1Geometry());
+    // Overflow one L2 row (4 ways, tiny geometry has 8 rows).
+    std::vector<Addr> lines;
+    for (unsigned k = 0; k < 5; ++k)
+        lines.push_back(Addr(8 * k) * lineSizeBytes); // L2 row 0
+    for (const Addr line : lines)
+        rig.hier.fetch(0, line, false);
+    // The first line is the LRU way and must be gone everywhere.
+    EXPECT_FALSE(rig.hier.inL2(0, lines[0]));
+    EXPECT_FALSE(rig.hier.inL1(0, lines[0]));
+    EXPECT_FALSE(rig.hier.directory().holds(0, lines[0]));
+    // An LRU XI was delivered for it.
+    bool saw_lru = false;
+    for (const auto &ctx : rig.clients[0]->received)
+        if (ctx.kind == XiKind::Lru && ctx.line == lines[0])
+            saw_lru = true;
+    EXPECT_TRUE(saw_lru);
+    rig.hier.checkInvariants();
+}
+
+TEST(Hierarchy, RandomTrafficKeepsInvariants)
+{
+    Rig rig(tinyL1Geometry());
+    Rng rng(1234);
+    for (int i = 0; i < 5000; ++i) {
+        const CpuId cpu = CpuId(rng.nextBounded(8));
+        const Addr line = rng.nextBounded(64) * lineSizeBytes;
+        const bool exclusive = rng.nextBool(0.3);
+        // Stub clients never reject with rejectBudget == 0.
+        rig.hier.fetch(cpu, line, exclusive);
+        if (i % 500 == 0)
+            rig.hier.checkInvariants();
+    }
+    rig.hier.checkInvariants();
+}
+
+TEST(Hierarchy, SingleWriterInvariantUnderRandomTraffic)
+{
+    Rig rig;
+    Rng rng(99);
+    for (int i = 0; i < 3000; ++i) {
+        const CpuId cpu = CpuId(rng.nextBounded(8));
+        const Addr line = rng.nextBounded(16) * lineSizeBytes;
+        rig.hier.fetch(cpu, line, rng.nextBool(0.5));
+        const auto &e = rig.hier.directory().lookup(line);
+        if (e.owner != invalidCpu) {
+            // Exclusive owner implies no other holder.
+            for (unsigned other = 0; other < 8; ++other) {
+                if (CpuId(other) != e.owner) {
+                    EXPECT_FALSE(rig.hier.inL2(other, line));
+                }
+            }
+        }
+    }
+}
+
+TEST(Hierarchy, FetchCountsAppearInStats)
+{
+    Rig rig;
+    rig.hier.fetch(0, lineA, false);
+    rig.hier.fetch(0, lineA, false);
+    EXPECT_EQ(rig.hier.stats().counter("fetch.total").value(), 2u);
+    EXPECT_EQ(rig.hier.stats().counter("fetch.l1_hit").value(), 1u);
+}
+
+} // namespace

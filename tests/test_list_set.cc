@@ -1,0 +1,102 @@
+/** @file Sorted linked-list set workload: structure integrity. */
+
+#include <gtest/gtest.h>
+
+#include "workload/list_set.hh"
+#include "ztx_test_util.hh"
+
+namespace {
+
+using namespace ztx;
+using namespace ztx::test;
+using namespace ztx::workload;
+
+ListSetBenchConfig
+base(unsigned cpus, bool elide)
+{
+    ListSetBenchConfig cfg;
+    cfg.cpus = cpus;
+    cfg.useElision = elide;
+    cfg.iterations = 120;
+    cfg.machine = smallConfig(cpus);
+    return cfg;
+}
+
+TEST(ListSet, SingleCpuLockKeepsStructure)
+{
+    const auto res = runListSetBench(base(1, false));
+    EXPECT_TRUE(res.sorted);
+    EXPECT_TRUE(res.lengthConsistent);
+    EXPECT_GT(res.throughput, 0.0);
+}
+
+TEST(ListSet, SingleCpuElisionKeepsStructure)
+{
+    const auto res = runListSetBench(base(1, true));
+    EXPECT_TRUE(res.sorted);
+    EXPECT_TRUE(res.lengthConsistent);
+    EXPECT_GT(res.txCommits, 0u);
+}
+
+class ListSetConcurrent
+    : public ::testing::TestWithParam<std::tuple<bool, unsigned>>
+{
+};
+
+TEST_P(ListSetConcurrent, SortedAndConsistentUnderContention)
+{
+    const bool elide = std::get<0>(GetParam());
+    const unsigned seed = std::get<1>(GetParam());
+    auto cfg = base(4, elide);
+    cfg.seed = seed;
+    const auto res = runListSetBench(cfg);
+    EXPECT_TRUE(res.sorted);
+    EXPECT_TRUE(res.lengthConsistent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ListSetConcurrent,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(1u, 99u, 777u)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) ? "elision"
+                                                   : "lock") +
+               "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ListSet, ElisionScalesBetterThanLock)
+{
+    auto lock_cfg = base(8, false);
+    auto tx_cfg = base(8, true);
+    const auto lock_res = runListSetBench(lock_cfg);
+    const auto tx_res = runListSetBench(tx_cfg);
+    EXPECT_TRUE(tx_res.sorted);
+    EXPECT_GT(tx_res.throughput, lock_res.throughput);
+}
+
+TEST(ListSet, OperationMixRespected)
+{
+    // Lookup-only mix: the structure must be exactly the prefill.
+    auto cfg = base(4, true);
+    cfg.lookupPercent = 100;
+    cfg.insertPercent = 0;
+    const auto res = runListSetBench(cfg);
+    EXPECT_TRUE(res.lengthConsistent);
+    // With no writers there are no conflicts at all.
+    EXPECT_EQ(res.txAborts, 0u);
+}
+
+TEST(ListSet, LongTraversalsUseLruExtension)
+{
+    // A big key space makes traversal read sets exceed single L1
+    // rows; the extension machinery must carry them.
+    auto cfg = base(2, true);
+    cfg.keySpace = 400;
+    cfg.prefillPercent = 80;
+    cfg.iterations = 40;
+    const auto res = runListSetBench(cfg);
+    EXPECT_TRUE(res.sorted);
+    EXPECT_TRUE(res.lengthConsistent);
+}
+
+} // namespace

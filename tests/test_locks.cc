@@ -1,0 +1,139 @@
+/** @file Lock generators: mutual exclusion and reader concurrency. */
+
+#include <gtest/gtest.h>
+
+#include "locks/lock_gen.hh"
+#include "ztx_test_util.hh"
+
+namespace {
+
+using namespace ztx;
+using namespace ztx::test;
+using isa::Assembler;
+using isa::Program;
+
+constexpr Addr lockAddr = dataBase + 0x10000;
+
+/** Locked increment loop: GR9 data, GR10 lock. */
+Program
+lockedIncrementProgram(unsigned iterations)
+{
+    locks::LockRegs regs;
+    Assembler as;
+    as.la(9, 0, std::int64_t(dataBase));
+    as.la(10, 0, std::int64_t(lockAddr));
+    as.lhi(8, std::int64_t(iterations));
+    as.label("loop");
+    locks::SpinLock::emitAcquire(as, 10, 0, regs, "lk");
+    as.lg(3, 9);
+    as.ahi(3, 1);
+    as.stg(3, 9);
+    locks::SpinLock::emitRelease(as, 10, 0, regs);
+    as.brct(8, "loop");
+    as.halt();
+    return as.finish();
+}
+
+TEST(SpinLock, SingleCpuIncrements)
+{
+    const Program p = lockedIncrementProgram(50);
+    sim::Machine m(smallConfig(1));
+    m.setProgram(0, &p);
+    m.run();
+    EXPECT_EQ(m.peekMem(dataBase, 8), 50u);
+    EXPECT_EQ(m.peekMem(lockAddr, 8), 0u); // released
+}
+
+TEST(SpinLock, MutualExclusionAcrossCpus)
+{
+    constexpr unsigned iters = 300;
+    const Program p = lockedIncrementProgram(iters);
+    for (const unsigned cpus : {2u, 4u, 8u}) {
+        sim::Machine m(smallConfig(cpus));
+        for (unsigned i = 0; i < cpus; ++i)
+            m.setProgram(i, &p);
+        m.run();
+        EXPECT_TRUE(m.allHalted()) << cpus;
+        EXPECT_EQ(m.peekMem(dataBase, 8), Addr(cpus) * iters)
+            << cpus;
+        EXPECT_EQ(m.peekMem(lockAddr, 8), 0u);
+    }
+}
+
+/** RW-lock writer increment / reader observe programs. */
+Program
+rwWriterProgram(unsigned iterations)
+{
+    locks::LockRegs regs;
+    Assembler as;
+    as.la(9, 0, std::int64_t(dataBase));
+    as.la(10, 0, std::int64_t(lockAddr));
+    as.lhi(8, std::int64_t(iterations));
+    as.label("loop");
+    locks::RwLock::emitWriteAcquire(as, 10, 0, regs, "w");
+    // Update two lines under the write lock; readers must never see
+    // them out of sync.
+    as.lg(3, 9);
+    as.ahi(3, 1);
+    as.stg(3, 9);
+    as.stg(3, 9, 256);
+    locks::RwLock::emitWriteRelease(as, 10, 0, regs);
+    as.brct(8, "loop");
+    as.halt();
+    return as.finish();
+}
+
+Program
+rwReaderProgram(unsigned iterations)
+{
+    locks::LockRegs regs;
+    Assembler as;
+    as.la(9, 0, std::int64_t(dataBase));
+    as.la(10, 0, std::int64_t(lockAddr));
+    as.lhi(8, std::int64_t(iterations));
+    as.lhi(7, 0); // mismatch counter
+    as.label("loop");
+    locks::RwLock::emitReadAcquire(as, 10, 0, regs, "r");
+    as.lg(3, 9);
+    as.lg(4, 9, 256);
+    locks::RwLock::emitReadRelease(as, 10, 0, regs, "rr");
+    as.sgr(3, 4);
+    as.cghi(3, 0);
+    as.jz("ok");
+    as.ahi(7, 1);
+    as.label("ok");
+    as.brct(8, "loop");
+    as.halt();
+    return as.finish();
+}
+
+TEST(RwLock, ReadersNeverSeeTornWrites)
+{
+    const Program writer = rwWriterProgram(200);
+    const Program reader = rwReaderProgram(200);
+    sim::Machine m(smallConfig(4));
+    m.setProgram(0, &writer);
+    m.setProgram(1, &reader);
+    m.setProgram(2, &reader);
+    m.setProgram(3, &reader);
+    m.run();
+    EXPECT_TRUE(m.allHalted());
+    EXPECT_EQ(m.peekMem(dataBase, 8), 200u);
+    EXPECT_EQ(m.peekMem(dataBase + 256, 8), 200u);
+    EXPECT_EQ(m.cpu(1).gr(7), 0u);
+    EXPECT_EQ(m.cpu(2).gr(7), 0u);
+    EXPECT_EQ(m.cpu(3).gr(7), 0u);
+    EXPECT_EQ(m.peekMem(lockAddr, 8), 0u);
+}
+
+TEST(RwLock, WriterExcludesWriters)
+{
+    const Program writer = rwWriterProgram(200);
+    sim::Machine m(smallConfig(2));
+    m.setProgram(0, &writer);
+    m.setProgram(1, &writer);
+    m.run();
+    EXPECT_EQ(m.peekMem(dataBase, 8), 400u);
+}
+
+} // namespace

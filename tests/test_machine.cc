@@ -1,0 +1,177 @@
+/** @file Machine scheduler: determinism, bounds, solo mode. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "ztx_test_util.hh"
+
+namespace {
+
+using namespace ztx;
+using namespace ztx::test;
+using isa::Assembler;
+using isa::Program;
+
+/** Counts iterations into GR5 until halted externally. */
+Program
+counterProgram(unsigned iterations)
+{
+    Assembler as;
+    as.lhi(5, 0);
+    as.lhi(8, std::int64_t(iterations));
+    as.label("loop");
+    as.ahi(5, 1);
+    as.brct(8, "loop");
+    as.halt();
+    return as.finish();
+}
+
+TEST(Machine, RunsToCompletion)
+{
+    const Program p = counterProgram(100);
+    sim::Machine m(smallConfig(2));
+    m.setProgramAll(&p);
+    const Cycles elapsed = m.run();
+    EXPECT_TRUE(m.allHalted());
+    EXPECT_GT(elapsed, 0u);
+    EXPECT_EQ(m.cpu(0).gr(5), 100u);
+    EXPECT_EQ(m.cpu(1).gr(5), 100u);
+}
+
+TEST(Machine, BoundedRunStops)
+{
+    Assembler as;
+    as.label("spin");
+    as.ahi(5, 1);
+    as.j("spin");
+    const Program p = as.finish();
+    sim::Machine m(smallConfig(1));
+    m.setProgram(0, &p);
+    const Cycles elapsed = m.run(10'000);
+    EXPECT_FALSE(m.allHalted());
+    EXPECT_LE(elapsed, 10'000u);
+    const std::uint64_t first = m.cpu(0).gr(5);
+    EXPECT_GT(first, 0u);
+    // Resumable: more progress on the next run call.
+    m.run(10'000);
+    EXPECT_GT(m.cpu(0).gr(5), first);
+}
+
+TEST(Machine, DeterministicAcrossIdenticalRuns)
+{
+    auto run_once = [](std::uint64_t seed) {
+        Assembler as;
+        as.la(9, 0, std::int64_t(dataBase));
+        as.lhi(8, 50);
+        as.label("loop");
+        as.rnd(1, 16);
+        as.sllg(1, 1, 8); // line offset
+        as.agr(1, 9);
+        as.lr(2, 1);
+        as.lg(3, 1);
+        as.ahi(3, 1);
+        as.stg(3, 2);
+        as.brct(8, "loop");
+        as.halt();
+        const Program p = as.finish();
+        auto cfg = smallConfig(4);
+        cfg.seed = seed;
+        sim::Machine m(cfg);
+        for (unsigned i = 0; i < 4; ++i)
+            m.setProgram(i, &p);
+        const Cycles elapsed = m.run();
+        std::uint64_t sum = 0;
+        for (unsigned i = 0; i < 16; ++i)
+            sum += m.peekMem(dataBase + i * 256, 8) * (i + 1);
+        return std::pair(elapsed, sum);
+    };
+    const auto a = run_once(42);
+    const auto b = run_once(42);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+    const auto c = run_once(43);
+    EXPECT_NE(a, c); // different seed, different interleaving
+}
+
+TEST(Machine, SoloModeParksOtherCpus)
+{
+    Assembler as;
+    as.label("spin");
+    as.ahi(5, 1);
+    as.j("spin");
+    const Program p = as.finish();
+    sim::Machine m(smallConfig(2));
+    m.setProgram(0, &p);
+    m.setProgram(1, &p);
+    m.requestSolo(0);
+    m.run(20'000);
+    EXPECT_GT(m.cpu(0).gr(5), 100u);
+    EXPECT_EQ(m.cpu(1).gr(5), 0u); // parked
+    m.releaseSolo(0);
+    m.run(20'000);
+    EXPECT_GT(m.cpu(1).gr(5), 100u);
+}
+
+TEST(Machine, SoloRequestsSerializeWithoutDeadlock)
+{
+    // The first requester wins; the loser's request is dropped (it
+    // will re-request on its next abort). Solo also auto-releases
+    // when the holder halts, so competing requests cannot wedge the
+    // machine.
+    sim::Machine m(smallConfig(2));
+    m.requestSolo(0);
+    m.requestSolo(1); // loser: ignored
+    const Program p = counterProgram(10);
+    m.setProgram(0, &p);
+    m.setProgram(1, &p);
+    m.run();
+    EXPECT_TRUE(m.cpu(0).halted());
+    EXPECT_TRUE(m.cpu(1).halted());
+}
+
+TEST(Machine, StatsDumpContainsComponents)
+{
+    const Program p = counterProgram(5);
+    sim::Machine m(smallConfig(1));
+    m.setProgram(0, &p);
+    m.run();
+    std::ostringstream os;
+    m.dumpStats(os);
+    const std::string dump = os.str();
+    EXPECT_NE(dump.find("cpu0.instructions"), std::string::npos);
+}
+
+TEST(Machine, ActiveCpusBoundedByTopology)
+{
+    auto cfg = smallConfig(8); // exactly the topology capacity
+    sim::Machine m(cfg);
+    EXPECT_EQ(m.numCpus(), 8u);
+}
+
+TEST(Machine, InterleavingProducesRaces)
+{
+    // Unsynchronized read-modify-write on a shared counter from two
+    // CPUs loses updates — evidence the scheduler interleaves at
+    // sub-operation granularity (and the baseline for why TX/locks
+    // are needed at all).
+    Assembler as;
+    as.la(9, 0, std::int64_t(dataBase));
+    as.lhi(8, 400);
+    as.label("loop");
+    as.lg(1, 9);
+    as.ahi(1, 1);
+    as.stg(1, 9);
+    as.brct(8, "loop");
+    as.halt();
+    const Program p = as.finish();
+    sim::Machine m(smallConfig(2));
+    m.setProgram(0, &p);
+    m.setProgram(1, &p);
+    m.run();
+    EXPECT_LT(m.peekMem(dataBase, 8), 800u);
+    EXPECT_GE(m.peekMem(dataBase, 8), 400u);
+}
+
+} // namespace

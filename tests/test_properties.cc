@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Property tests: invariants that must hold for every seed,
+ * interleaving, synchronization method, and machine shape —
+ * serializability (no lost updates), opacity (no torn reads, even
+ * transiently), conservation under transfers, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "workload/layout.hh"
+#include "workload/update_bench.hh"
+#include "ztx_test_util.hh"
+
+namespace {
+
+using namespace ztx;
+using namespace ztx::test;
+using isa::Assembler;
+using isa::Program;
+using workload::SyncMethod;
+
+// ---------------------------------------------------------------
+// Serializability: counters never lose updates, any method, any
+// seed, any CPU count.
+// ---------------------------------------------------------------
+
+using SerParam = std::tuple<SyncMethod, unsigned, unsigned>;
+
+class Serializability : public ::testing::TestWithParam<SerParam>
+{
+};
+
+TEST_P(Serializability, NoLostUpdates)
+{
+    const auto [method, cpus, seed] = GetParam();
+    workload::UpdateBenchConfig cfg;
+    cfg.method = method;
+    cfg.cpus = cpus;
+    cfg.poolSize = 8;
+    cfg.varsPerOp = method == SyncMethod::FineLock ? 1 : 4;
+    cfg.iterations = 60;
+    cfg.seed = seed;
+    cfg.machine = smallConfig(cpus);
+    const auto res = workload::runUpdateBench(cfg);
+    EXPECT_EQ(res.poolSum,
+              std::uint64_t(cpus) * cfg.iterations * cfg.varsPerOp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Serializability,
+    ::testing::Combine(
+        ::testing::Values(SyncMethod::CoarseLock,
+                          SyncMethod::FineLock, SyncMethod::TBegin,
+                          SyncMethod::TBeginc),
+        ::testing::Values(2u, 5u, 8u),
+        ::testing::Values(1u, 42u, 31337u)),
+    [](const auto &info) {
+        std::string name =
+            workload::syncMethodName(std::get<0>(info.param));
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_c" + std::to_string(std::get<1>(info.param)) +
+               "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------
+// Opacity / atomicity: writers keep two lines equal inside one
+// transaction; transactional readers must never observe them
+// different — not even transiently on a path that later aborts.
+// ---------------------------------------------------------------
+
+Program
+pairWriterProgram(unsigned iterations)
+{
+    Assembler as;
+    as.la(9, 0, std::int64_t(dataBase));
+    as.lhi(8, std::int64_t(iterations));
+    as.label("loop");
+    as.tbeginc(0x00);
+    as.lgfo(1, 9, 0);
+    as.ahi(1, 1);
+    as.stg(1, 9, 0);
+    as.lgfo(2, 9, 256);
+    as.ahi(2, 1);
+    as.stg(2, 9, 256);
+    as.tend();
+    as.brct(8, "loop");
+    as.halt();
+    return as.finish();
+}
+
+Program
+pairCheckerProgram(unsigned iterations)
+{
+    Assembler as;
+    as.la(9, 0, std::int64_t(dataBase));
+    as.lhi(8, std::int64_t(iterations));
+    as.lhi(7, 0); // mismatch counter
+    as.label("loop");
+    as.label("retry");
+    as.tbegin(0x00);
+    as.jnz("retry");
+    as.lg(1, 9, 0);
+    as.lg(2, 9, 256);
+    as.tend();
+    as.sgr(1, 2);
+    as.cghi(1, 0);
+    as.jz("ok");
+    as.ahi(7, 1);
+    as.label("ok");
+    as.brct(8, "loop");
+    as.halt();
+    return as.finish();
+}
+
+class Opacity : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Opacity, PairedUpdatesNeverTearUnderTx)
+{
+    const unsigned seed = GetParam();
+    auto cfg = smallConfig(4);
+    cfg.seed = seed;
+    sim::Machine m(cfg);
+    const Program writer = pairWriterProgram(150);
+    const Program checker = pairCheckerProgram(150);
+    m.setProgram(0, &writer);
+    m.setProgram(1, &writer);
+    m.setProgram(2, &checker);
+    m.setProgram(3, &checker);
+    m.run();
+    ASSERT_TRUE(m.allHalted());
+    EXPECT_EQ(m.cpu(2).gr(7), 0u);
+    EXPECT_EQ(m.cpu(3).gr(7), 0u);
+    EXPECT_EQ(m.peekMem(dataBase, 8), 300u);
+    EXPECT_EQ(m.peekMem(dataBase + 256, 8), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Opacity,
+                         ::testing::Values(1u, 7u, 99u, 12345u,
+                                           777777u));
+
+// ---------------------------------------------------------------
+// Conservation: random transfers between accounts preserve the
+// total balance exactly.
+// ---------------------------------------------------------------
+
+Program
+transferProgram(unsigned accounts, unsigned iterations)
+{
+    Assembler as;
+    as.la(9, 0, std::int64_t(dataBase));
+    as.lhi(8, std::int64_t(iterations));
+    as.label("loop");
+    as.rnd(4, accounts); // from
+    as.rnd(5, accounts); // to
+    as.sllg(4, 4, 8);
+    as.sllg(5, 5, 8);
+    as.agr(4, 9);
+    as.agr(5, 9);
+    as.rnd(6, 10); // amount
+    as.tbeginc(0x00);
+    as.lgfo(1, 4);
+    as.sgr(1, 6);
+    as.stg(1, 4);
+    as.lgfo(2, 5);
+    as.agr(2, 6);
+    as.stg(2, 5);
+    as.tend();
+    as.brct(8, "loop");
+    as.halt();
+    return as.finish();
+}
+
+class Conservation : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Conservation, TransfersPreserveTotalBalance)
+{
+    const unsigned seed = GetParam();
+    constexpr unsigned accounts = 12;
+    constexpr std::uint64_t initial = 1000;
+    auto cfg = smallConfig(6);
+    cfg.seed = seed;
+    sim::Machine m(cfg);
+    for (unsigned a = 0; a < accounts; ++a)
+        m.memory().write(dataBase + Addr(a) * 256, initial, 8);
+    const Program p = transferProgram(accounts, 120);
+    m.setProgramAll(&p);
+    m.run();
+    ASSERT_TRUE(m.allHalted());
+    std::uint64_t total = 0;
+    for (unsigned a = 0; a < accounts; ++a)
+        total += m.peekMem(dataBase + Addr(a) * 256, 8);
+    EXPECT_EQ(total, accounts * initial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Conservation,
+                         ::testing::Values(3u, 17u, 2026u, 555u));
+
+// ---------------------------------------------------------------
+// Determinism: identical configurations produce identical machine
+// histories (elapsed cycles and all architected outcomes).
+// ---------------------------------------------------------------
+
+class Determinism
+    : public ::testing::TestWithParam<std::tuple<SyncMethod, unsigned>>
+{
+};
+
+TEST_P(Determinism, RepeatRunsAreBitIdentical)
+{
+    const auto [method, cpus] = GetParam();
+    workload::UpdateBenchConfig cfg;
+    cfg.method = method;
+    cfg.cpus = cpus;
+    cfg.poolSize = 6;
+    cfg.varsPerOp = 1;
+    cfg.iterations = 80;
+    cfg.machine = smallConfig(cpus);
+    const auto a = workload::runUpdateBench(cfg);
+    const auto b = workload::runUpdateBench(cfg);
+    EXPECT_EQ(a.elapsedCycles, b.elapsedCycles);
+    EXPECT_EQ(a.meanRegionCycles, b.meanRegionCycles);
+    EXPECT_EQ(a.txAborts, b.txAborts);
+    EXPECT_EQ(a.xiRejects, b.xiRejects);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Determinism,
+    ::testing::Combine(::testing::Values(SyncMethod::TBegin,
+                                         SyncMethod::TBeginc),
+                       ::testing::Values(3u, 8u)),
+    [](const auto &info) {
+        std::string name =
+            workload::syncMethodName(std::get<0>(info.param));
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_c" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------
+// Strong atomicity: a non-transactional reader polling a pair of
+// transactionally-updated lines never observes them torn either.
+// ---------------------------------------------------------------
+
+TEST(StrongAtomicity, NonTxReaderSeesNoTornPairs)
+{
+    // Non-transactional reads are individually atomic but a pair of
+    // reads is not; so the checker re-reads until stable, verifying
+    // that every *stable snapshot* satisfies the invariant.
+    Assembler as;
+    as.la(9, 0, std::int64_t(dataBase));
+    as.lhi(8, 200);
+    as.lhi(7, 0);
+    as.label("loop");
+    as.lg(1, 9, 0);
+    as.lg(2, 9, 256);
+    as.lg(3, 9, 0);
+    as.cgr(1, 3);
+    as.jnz("unstable"); // racing with a commit: skip the check
+    as.sgr(1, 2);
+    as.cghi(1, 0);
+    as.jz("unstable");
+    as.ahi(7, 1);
+    as.label("unstable");
+    as.brct(8, "loop");
+    as.halt();
+    const Program checker = as.finish();
+
+    const Program writer = pairWriterProgram(200);
+    sim::Machine m(smallConfig(3));
+    m.setProgram(0, &writer);
+    m.setProgram(1, &writer);
+    m.setProgram(2, &checker);
+    m.run();
+    ASSERT_TRUE(m.allHalted());
+    EXPECT_EQ(m.cpu(2).gr(7), 0u);
+    EXPECT_EQ(m.peekMem(dataBase, 8), 400u);
+}
+
+// ---------------------------------------------------------------
+// Mixed transactional and I/O traffic keeps hierarchy invariants.
+// ---------------------------------------------------------------
+
+TEST(MixedTraffic, HierarchyInvariantsHoldUnderTxAndIo)
+{
+    auto cfg = smallConfig(4);
+    cfg.enableIo = true;
+    sim::Machine m(cfg);
+    const Program p = transferProgram(8, 80);
+    for (unsigned a = 0; a < 8; ++a)
+        m.memory().write(dataBase + Addr(a) * 256, 100, 8);
+    m.setProgramAll(&p);
+    for (int i = 0; i < 10; ++i) {
+        m.io().submit({.write = true,
+                       .addr = dataBase + 0x8000 + Addr(i) * 512,
+                       .length = 512,
+                       .pattern = std::uint8_t(i)});
+    }
+    m.run(400'000);
+    m.hierarchy().checkInvariants();
+    m.drainIo();
+    EXPECT_TRUE(m.allHalted());
+    std::uint64_t total = 0;
+    for (unsigned a = 0; a < 8; ++a)
+        total += m.peekMem(dataBase + Addr(a) * 256, 8);
+    EXPECT_EQ(total, 800u);
+    m.hierarchy().checkInvariants();
+}
+
+} // namespace

@@ -1,0 +1,48 @@
+/** @file Unit tests for the bench report table. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/report.hh"
+
+namespace {
+
+using ztx::workload::SeriesTable;
+
+TEST(SeriesTable, StoresValuesByRowAndSeries)
+{
+    SeriesTable t("CPUs", {"a", "b"});
+    t.addRow(2, {1.0, 2.0});
+    t.addRow(4, {3.0, 4.0});
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_DOUBLE_EQ(t.value(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(t.value(1, 1), 4.0);
+}
+
+TEST(SeriesTable, PrintsHeaderAndAlignedRows)
+{
+    SeriesTable t("CPUs", {"Lock", "TX"});
+    t.addRow(2, {10.5, 20.25});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("CPUs"), std::string::npos);
+    EXPECT_NE(out.find("Lock"), std::string::npos);
+    EXPECT_NE(out.find("TX"), std::string::npos);
+    EXPECT_NE(out.find("10.5"), std::string::npos);
+    EXPECT_NE(out.find("20.25"), std::string::npos);
+    // Two lines: header + one row.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(SeriesTable, EmptyTablePrintsHeaderOnly)
+{
+    SeriesTable t("x", {"y"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/** @file Unit tests for counters, distributions, and histograms. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace {
+
+using ztx::Counter;
+using ztx::Distribution;
+using ztx::Histogram;
+using ztx::StatGroup;
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, MeanMinMax)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(9.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(Distribution, ResetForgets)
+{
+    Distribution d;
+    d.sample(100.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10.0); // [0,10) [10,20) [20,30) [30,40) + overflow
+    h.sample(0.0);
+    h.sample(9.9);
+    h.sample(10.0);
+    h.sample(35.0);
+    h.sample(40.0);  // overflow
+    h.sample(999.0); // overflow
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(4), 2u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, NegativeClampsToFirstBucket)
+{
+    Histogram h(2, 1.0);
+    h.sample(-5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+TEST(StatGroup, NamedCountersPersist)
+{
+    StatGroup g("cpu0");
+    g.counter("aborts").inc(3);
+    EXPECT_EQ(g.counter("aborts").value(), 3u);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("l1");
+    g.counter("hits").inc(7);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "l1.hits 7\n");
+}
+
+TEST(StatGroup, ResetAllClearsEverything)
+{
+    StatGroup g("x");
+    g.counter("a").inc(2);
+    g.distribution("d").sample(1.0);
+    g.resetAll();
+    EXPECT_EQ(g.counter("a").value(), 0u);
+    EXPECT_EQ(g.distribution("d").count(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared helpers for zTX tests: small machines and common programs.
+ */
+
+#ifndef ZTX_TESTS_ZTX_TEST_UTIL_HH
+#define ZTX_TESTS_ZTX_TEST_UTIL_HH
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+namespace ztx::test {
+
+/** A machine with @p cpus CPUs on a 2-cores/2-chips/2-MCMs shape. */
+inline sim::MachineConfig
+smallConfig(unsigned cpus = 2)
+{
+    sim::MachineConfig cfg;
+    cfg.topology = mem::Topology(2, 2, 2);
+    cfg.activeCpus = cpus;
+    cfg.seed = 12345;
+    return cfg;
+}
+
+/** Data addresses used by the mini programs below. */
+inline constexpr Addr dataBase = 0x40'0000;
+
+} // namespace ztx::test
+
+#endif // ZTX_TESTS_ZTX_TEST_UTIL_HH
