@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/components.dir/components.cc.o"
+  "CMakeFiles/components.dir/components.cc.o.d"
+  "components"
+  "components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a.dir/fig5a.cc.o"
+  "CMakeFiles/fig5a.dir/fig5a.cc.o.d"
+  "fig5a"
+  "fig5a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b.dir/fig5b.cc.o"
+  "CMakeFiles/fig5b.dir/fig5b.cc.o.d"
+  "fig5b"
+  "fig5b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c.dir/fig5c.cc.o"
+  "CMakeFiles/fig5c.dir/fig5c.cc.o.d"
+  "fig5c"
+  "fig5c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

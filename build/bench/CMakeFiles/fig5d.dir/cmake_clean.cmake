@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d.dir/fig5d.cc.o"
+  "CMakeFiles/fig5d.dir/fig5d.cc.o.d"
+  "fig5d"
+  "fig5d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

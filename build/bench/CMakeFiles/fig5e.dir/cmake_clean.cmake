@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5e.dir/fig5e.cc.o"
+  "CMakeFiles/fig5e.dir/fig5e.cc.o.d"
+  "fig5e"
+  "fig5e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

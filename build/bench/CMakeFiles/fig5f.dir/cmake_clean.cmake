@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5f.dir/fig5f.cc.o"
+  "CMakeFiles/fig5f.dir/fig5f.cc.o.d"
+  "fig5f"
+  "fig5f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_set.dir/list_set_bench.cc.o"
+  "CMakeFiles/list_set.dir/list_set_bench.cc.o.d"
+  "list_set"
+  "list_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

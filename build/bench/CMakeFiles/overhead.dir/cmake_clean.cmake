@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead.dir/overhead.cc.o"
+  "CMakeFiles/overhead.dir/overhead.cc.o.d"
+  "overhead"
+  "overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue.dir/queue_bench.cc.o"
+  "CMakeFiles/queue.dir/queue_bench.cc.o.d"
+  "queue"
+  "queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity.dir/sensitivity.cc.o"
+  "CMakeFiles/sensitivity.dir/sensitivity.cc.o.d"
+  "sensitivity"
+  "sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sensitivity.
+# This may be replaced when dependencies are built.

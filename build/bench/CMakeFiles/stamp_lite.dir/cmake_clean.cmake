@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_lite.dir/stamp_lite.cc.o"
+  "CMakeFiles/stamp_lite.dir/stamp_lite.cc.o.d"
+  "stamp_lite"
+  "stamp_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

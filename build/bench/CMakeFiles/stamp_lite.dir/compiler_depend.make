@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stamp_lite.
+# This may be replaced when dependencies are built.

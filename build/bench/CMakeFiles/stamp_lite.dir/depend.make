@@ -1,0 +1,2 @@
+# Empty dependencies file for stamp_lite.
+# This may be replaced when dependencies are built.

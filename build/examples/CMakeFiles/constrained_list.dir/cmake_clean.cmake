@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_list.dir/constrained_list.cpp.o"
+  "CMakeFiles/constrained_list.dir/constrained_list.cpp.o.d"
+  "constrained_list"
+  "constrained_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for constrained_list.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugging_tdb.dir/debugging_tdb.cpp.o"
+  "CMakeFiles/debugging_tdb.dir/debugging_tdb.cpp.o.d"
+  "debugging_tdb"
+  "debugging_tdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugging_tdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for debugging_tdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_elision.dir/lock_elision.cpp.o"
+  "CMakeFiles/lock_elision.dir/lock_elision.cpp.o.d"
+  "lock_elision"
+  "lock_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lock_elision.
+# This may be replaced when dependencies are built.

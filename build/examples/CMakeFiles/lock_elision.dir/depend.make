@@ -1,0 +1,2 @@
+# Empty dependencies file for lock_elision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readers_writer.dir/readers_writer.cpp.o"
+  "CMakeFiles/readers_writer.dir/readers_writer.cpp.o.d"
+  "readers_writer"
+  "readers_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readers_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

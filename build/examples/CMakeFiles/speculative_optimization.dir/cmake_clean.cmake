@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_optimization.dir/speculative_optimization.cpp.o"
+  "CMakeFiles/speculative_optimization.dir/speculative_optimization.cpp.o.d"
+  "speculative_optimization"
+  "speculative_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

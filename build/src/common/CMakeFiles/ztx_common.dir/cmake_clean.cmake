@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_common.dir/log.cc.o"
+  "CMakeFiles/ztx_common.dir/log.cc.o.d"
+  "CMakeFiles/ztx_common.dir/rng.cc.o"
+  "CMakeFiles/ztx_common.dir/rng.cc.o.d"
+  "CMakeFiles/ztx_common.dir/stats.cc.o"
+  "CMakeFiles/ztx_common.dir/stats.cc.o.d"
+  "CMakeFiles/ztx_common.dir/trace.cc.o"
+  "CMakeFiles/ztx_common.dir/trace.cc.o.d"
+  "libztx_common.a"
+  "libztx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

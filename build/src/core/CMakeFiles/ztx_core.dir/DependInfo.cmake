@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpu.cc" "src/core/CMakeFiles/ztx_core.dir/cpu.cc.o" "gcc" "src/core/CMakeFiles/ztx_core.dir/cpu.cc.o.d"
+  "/root/repo/src/core/store_cache.cc" "src/core/CMakeFiles/ztx_core.dir/store_cache.cc.o" "gcc" "src/core/CMakeFiles/ztx_core.dir/store_cache.cc.o.d"
+  "/root/repo/src/core/store_queue.cc" "src/core/CMakeFiles/ztx_core.dir/store_queue.cc.o" "gcc" "src/core/CMakeFiles/ztx_core.dir/store_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ztx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ztx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ztx_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/ztx_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/ztx_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/millicode/CMakeFiles/ztx_millicode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

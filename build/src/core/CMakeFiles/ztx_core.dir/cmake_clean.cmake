@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_core.dir/cpu.cc.o"
+  "CMakeFiles/ztx_core.dir/cpu.cc.o.d"
+  "CMakeFiles/ztx_core.dir/store_cache.cc.o"
+  "CMakeFiles/ztx_core.dir/store_cache.cc.o.d"
+  "CMakeFiles/ztx_core.dir/store_queue.cc.o"
+  "CMakeFiles/ztx_core.dir/store_queue.cc.o.d"
+  "libztx_core.a"
+  "libztx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

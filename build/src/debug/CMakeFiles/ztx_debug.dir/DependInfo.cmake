@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/debug/os_model.cc" "src/debug/CMakeFiles/ztx_debug.dir/os_model.cc.o" "gcc" "src/debug/CMakeFiles/ztx_debug.dir/os_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ztx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/ztx_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ztx_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ztx_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

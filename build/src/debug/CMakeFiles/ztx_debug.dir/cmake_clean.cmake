@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_debug.dir/os_model.cc.o"
+  "CMakeFiles/ztx_debug.dir/os_model.cc.o.d"
+  "libztx_debug.a"
+  "libztx_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

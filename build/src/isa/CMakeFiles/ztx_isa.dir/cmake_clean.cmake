@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_isa.dir/assembler.cc.o"
+  "CMakeFiles/ztx_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/ztx_isa.dir/disasm.cc.o"
+  "CMakeFiles/ztx_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/ztx_isa.dir/opcodes.cc.o"
+  "CMakeFiles/ztx_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/ztx_isa.dir/program.cc.o"
+  "CMakeFiles/ztx_isa.dir/program.cc.o.d"
+  "libztx_isa.a"
+  "libztx_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

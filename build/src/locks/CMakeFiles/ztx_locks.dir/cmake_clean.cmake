@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_locks.dir/lock_gen.cc.o"
+  "CMakeFiles/ztx_locks.dir/lock_gen.cc.o.d"
+  "libztx_locks.a"
+  "libztx_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_array.cc" "src/mem/CMakeFiles/ztx_mem.dir/cache_array.cc.o" "gcc" "src/mem/CMakeFiles/ztx_mem.dir/cache_array.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/mem/CMakeFiles/ztx_mem.dir/directory.cc.o" "gcc" "src/mem/CMakeFiles/ztx_mem.dir/directory.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/ztx_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/ztx_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/mem/CMakeFiles/ztx_mem.dir/main_memory.cc.o" "gcc" "src/mem/CMakeFiles/ztx_mem.dir/main_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ztx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_mem.dir/cache_array.cc.o"
+  "CMakeFiles/ztx_mem.dir/cache_array.cc.o.d"
+  "CMakeFiles/ztx_mem.dir/directory.cc.o"
+  "CMakeFiles/ztx_mem.dir/directory.cc.o.d"
+  "CMakeFiles/ztx_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/ztx_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ztx_mem.dir/main_memory.cc.o"
+  "CMakeFiles/ztx_mem.dir/main_memory.cc.o.d"
+  "libztx_mem.a"
+  "libztx_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

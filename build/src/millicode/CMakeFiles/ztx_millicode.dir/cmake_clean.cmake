@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_millicode.dir/millicode.cc.o"
+  "CMakeFiles/ztx_millicode.dir/millicode.cc.o.d"
+  "libztx_millicode.a"
+  "libztx_millicode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_millicode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

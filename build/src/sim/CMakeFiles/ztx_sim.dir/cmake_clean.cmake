@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_sim.dir/io_subsystem.cc.o"
+  "CMakeFiles/ztx_sim.dir/io_subsystem.cc.o.d"
+  "CMakeFiles/ztx_sim.dir/machine.cc.o"
+  "CMakeFiles/ztx_sim.dir/machine.cc.o.d"
+  "libztx_sim.a"
+  "libztx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_tx.dir/abort.cc.o"
+  "CMakeFiles/ztx_tx.dir/abort.cc.o.d"
+  "CMakeFiles/ztx_tx.dir/constraints.cc.o"
+  "CMakeFiles/ztx_tx.dir/constraints.cc.o.d"
+  "CMakeFiles/ztx_tx.dir/tdb.cc.o"
+  "CMakeFiles/ztx_tx.dir/tdb.cc.o.d"
+  "libztx_tx.a"
+  "libztx_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/elision.cc" "src/workload/CMakeFiles/ztx_workload.dir/elision.cc.o" "gcc" "src/workload/CMakeFiles/ztx_workload.dir/elision.cc.o.d"
+  "/root/repo/src/workload/footprint.cc" "src/workload/CMakeFiles/ztx_workload.dir/footprint.cc.o" "gcc" "src/workload/CMakeFiles/ztx_workload.dir/footprint.cc.o.d"
+  "/root/repo/src/workload/hashtable.cc" "src/workload/CMakeFiles/ztx_workload.dir/hashtable.cc.o" "gcc" "src/workload/CMakeFiles/ztx_workload.dir/hashtable.cc.o.d"
+  "/root/repo/src/workload/list_set.cc" "src/workload/CMakeFiles/ztx_workload.dir/list_set.cc.o" "gcc" "src/workload/CMakeFiles/ztx_workload.dir/list_set.cc.o.d"
+  "/root/repo/src/workload/queue.cc" "src/workload/CMakeFiles/ztx_workload.dir/queue.cc.o" "gcc" "src/workload/CMakeFiles/ztx_workload.dir/queue.cc.o.d"
+  "/root/repo/src/workload/report.cc" "src/workload/CMakeFiles/ztx_workload.dir/report.cc.o" "gcc" "src/workload/CMakeFiles/ztx_workload.dir/report.cc.o.d"
+  "/root/repo/src/workload/update_bench.cc" "src/workload/CMakeFiles/ztx_workload.dir/update_bench.cc.o" "gcc" "src/workload/CMakeFiles/ztx_workload.dir/update_bench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ztx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/locks/CMakeFiles/ztx_locks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ztx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/millicode/CMakeFiles/ztx_millicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/ztx_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/ztx_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ztx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ztx_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ztx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

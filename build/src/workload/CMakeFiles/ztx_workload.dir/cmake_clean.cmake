@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ztx_workload.dir/elision.cc.o"
+  "CMakeFiles/ztx_workload.dir/elision.cc.o.d"
+  "CMakeFiles/ztx_workload.dir/footprint.cc.o"
+  "CMakeFiles/ztx_workload.dir/footprint.cc.o.d"
+  "CMakeFiles/ztx_workload.dir/hashtable.cc.o"
+  "CMakeFiles/ztx_workload.dir/hashtable.cc.o.d"
+  "CMakeFiles/ztx_workload.dir/list_set.cc.o"
+  "CMakeFiles/ztx_workload.dir/list_set.cc.o.d"
+  "CMakeFiles/ztx_workload.dir/queue.cc.o"
+  "CMakeFiles/ztx_workload.dir/queue.cc.o.d"
+  "CMakeFiles/ztx_workload.dir/report.cc.o"
+  "CMakeFiles/ztx_workload.dir/report.cc.o.d"
+  "CMakeFiles/ztx_workload.dir/update_bench.cc.o"
+  "CMakeFiles/ztx_workload.dir/update_bench.cc.o.d"
+  "libztx_workload.a"
+  "libztx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ztx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

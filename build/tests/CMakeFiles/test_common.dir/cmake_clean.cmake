@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_rng.cc.o"
+  "CMakeFiles/test_common.dir/test_rng.cc.o.d"
+  "CMakeFiles/test_common.dir/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/test_stats.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constrained.dir/test_constrained.cc.o"
+  "CMakeFiles/test_constrained.dir/test_constrained.cc.o.d"
+  "test_constrained"
+  "test_constrained.pdb"
+  "test_constrained[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_basic.dir/test_cpu_basic.cc.o"
+  "CMakeFiles/test_cpu_basic.dir/test_cpu_basic.cc.o.d"
+  "test_cpu_basic"
+  "test_cpu_basic.pdb"
+  "test_cpu_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

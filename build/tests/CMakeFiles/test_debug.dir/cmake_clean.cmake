@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debug.dir/test_debug.cc.o"
+  "CMakeFiles/test_debug.dir/test_debug.cc.o.d"
+  "test_debug"
+  "test_debug.pdb"
+  "test_debug[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filtering.dir/test_filtering.cc.o"
+  "CMakeFiles/test_filtering.dir/test_filtering.cc.o.d"
+  "test_filtering"
+  "test_filtering.pdb"
+  "test_filtering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

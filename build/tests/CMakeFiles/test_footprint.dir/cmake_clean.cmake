@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_footprint.dir/test_footprint.cc.o"
+  "CMakeFiles/test_footprint.dir/test_footprint.cc.o.d"
+  "test_footprint"
+  "test_footprint.pdb"
+  "test_footprint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

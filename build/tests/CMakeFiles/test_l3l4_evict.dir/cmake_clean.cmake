@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l3l4_evict.dir/test_l3l4_evict.cc.o"
+  "CMakeFiles/test_l3l4_evict.dir/test_l3l4_evict.cc.o.d"
+  "test_l3l4_evict"
+  "test_l3l4_evict.pdb"
+  "test_l3l4_evict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l3l4_evict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_l3l4_evict.
+# This may be replaced when dependencies are built.

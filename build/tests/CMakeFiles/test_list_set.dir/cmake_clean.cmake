@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_list_set.dir/test_list_set.cc.o"
+  "CMakeFiles/test_list_set.dir/test_list_set.cc.o.d"
+  "test_list_set"
+  "test_list_set.pdb"
+  "test_list_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_list_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

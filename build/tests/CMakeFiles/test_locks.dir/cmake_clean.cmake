@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locks.dir/test_locks.cc.o"
+  "CMakeFiles/test_locks.dir/test_locks.cc.o.d"
+  "test_locks"
+  "test_locks.pdb"
+  "test_locks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

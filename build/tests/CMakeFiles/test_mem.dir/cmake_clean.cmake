@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/test_cache_array.cc.o"
+  "CMakeFiles/test_mem.dir/test_cache_array.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_directory.cc.o"
+  "CMakeFiles/test_mem.dir/test_directory.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_hierarchy.cc.o"
+  "CMakeFiles/test_mem.dir/test_hierarchy.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_main_memory.cc.o"
+  "CMakeFiles/test_mem.dir/test_main_memory.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_topology.cc.o"
+  "CMakeFiles/test_mem.dir/test_topology.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

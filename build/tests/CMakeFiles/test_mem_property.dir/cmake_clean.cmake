@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_property.dir/test_mem_property.cc.o"
+  "CMakeFiles/test_mem_property.dir/test_mem_property.cc.o.d"
+  "test_mem_property"
+  "test_mem_property.pdb"
+  "test_mem_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

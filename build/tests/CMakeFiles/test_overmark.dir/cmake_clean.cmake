@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overmark.dir/test_overmark.cc.o"
+  "CMakeFiles/test_overmark.dir/test_overmark.cc.o.d"
+  "test_overmark"
+  "test_overmark.pdb"
+  "test_overmark[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_arch.dir/test_param_arch.cc.o"
+  "CMakeFiles/test_param_arch.dir/test_param_arch.cc.o.d"
+  "test_param_arch"
+  "test_param_arch.pdb"
+  "test_param_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

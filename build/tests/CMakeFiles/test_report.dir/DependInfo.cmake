@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/test_report.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/test_report.dir/test_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ztx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ztx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ztx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/millicode/CMakeFiles/ztx_millicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/ztx_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/ztx_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ztx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/locks/CMakeFiles/ztx_locks.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ztx_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ztx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

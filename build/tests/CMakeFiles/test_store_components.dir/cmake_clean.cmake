@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_components.dir/test_store_components.cc.o"
+  "CMakeFiles/test_store_components.dir/test_store_components.cc.o.d"
+  "test_store_components"
+  "test_store_components.pdb"
+  "test_store_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

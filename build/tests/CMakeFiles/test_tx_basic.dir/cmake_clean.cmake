@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tx_basic.dir/test_tx_basic.cc.o"
+  "CMakeFiles/test_tx_basic.dir/test_tx_basic.cc.o.d"
+  "test_tx_basic"
+  "test_tx_basic.pdb"
+  "test_tx_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tx_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

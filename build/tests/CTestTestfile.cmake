@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_tx_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_constrained[1]_include.cmake")
+include("/root/repo/build/tests/test_filtering[1]_include.cmake")
+include("/root/repo/build/tests/test_debug[1]_include.cmake")
+include("/root/repo/build/tests/test_store_components[1]_include.cmake")
+include("/root/repo/build/tests/test_footprint[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_locks[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_property[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_disasm[1]_include.cmake")
+include("/root/repo/build/tests/test_overmark[1]_include.cmake")
+include("/root/repo/build/tests/test_param_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_list_set[1]_include.cmake")
+include("/root/repo/build/tests/test_l3l4_evict[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
