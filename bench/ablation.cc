@@ -14,6 +14,7 @@
 
 #include "bench_util.hh"
 #include "isa/assembler.hh"
+#include "json_report.hh"
 #include "workload/layout.hh"
 #include "workload/report.hh"
 
@@ -24,7 +25,8 @@ using namespace ztx::workload;
 
 /** High-contention single-variable updates with a TM config tweak. */
 double
-contendedThroughput(unsigned cpus, bool stiff_arm)
+contendedThroughput(bench::JsonReport &report, unsigned cpus,
+                    bool stiff_arm)
 {
     UpdateBenchConfig cfg;
     cfg.cpus = cpus;
@@ -34,7 +36,16 @@ contendedThroughput(unsigned cpus, bool stiff_arm)
     cfg.iterations = ztx::bench::benchIterations();
     cfg.machine = ztx::bench::benchMachine();
     cfg.machine.tm.stiffArmEnabled = stiff_arm;
-    return runUpdateBench(cfg).throughput;
+    const auto res = runUpdateBench(cfg);
+    report.addSimWork(res.elapsedCycles, res.instructions);
+    if (report.enabled()) {
+        Json rec = bench::resultJson(res);
+        rec["section"] = "stiff-arm";
+        rec["cpus"] = cpus;
+        rec["variant"] = stiff_arm ? "stiff-arm" : "no-stiff-arm";
+        report.addRecord(std::move(rec));
+    }
+    return res.throughput;
 }
 
 /** TX reading `lines` lines spread over L1 rows; success ratio. */
@@ -110,14 +121,20 @@ maxCommittableBlocks(unsigned store_cache_entries)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport report("ablation", argc, argv);
+    report.setMachineConfig(ztx::bench::benchMachine());
+    report.meta()["iterations"] = ztx::bench::benchIterations();
+
     std::printf("# Ablation 1: stiff-arming (XI rejection) under "
                 "high contention\n");
     SeriesTable stiff("CPUs", {"StiffArm", "NoStiffArm", "Ratio"});
     for (const unsigned cpus : {8u, 24u, 48u, 100u}) {
-        const double with_sa = contendedThroughput(cpus, true);
-        const double without_sa = contendedThroughput(cpus, false);
+        const double with_sa =
+            contendedThroughput(report, cpus, true);
+        const double without_sa =
+            contendedThroughput(report, cpus, false);
         stiff.addRow(cpus, {1000.0 * with_sa, 1000.0 * without_sa,
                             with_sa / without_sa});
     }
@@ -125,20 +142,37 @@ main()
 
     std::printf("\n# Ablation 2: LRU extension for a 12-line "
                 "single-row read footprint\n");
-    std::printf("with extension    : %s\n",
-                footprintSuccessRate(12, true, 64) > 0.5
-                    ? "commits"
-                    : "aborts");
-    std::printf("without extension : %s\n",
-                footprintSuccessRate(12, false, 64) > 0.5
-                    ? "commits"
-                    : "aborts");
+    for (const bool lru_ext : {true, false}) {
+        const bool commits =
+            footprintSuccessRate(12, lru_ext, 64) > 0.5;
+        std::printf("%s extension %s: %s\n",
+                    lru_ext ? "with" : "without",
+                    lru_ext ? "   " : "", commits ? "commits"
+                                                  : "aborts");
+        if (report.enabled()) {
+            Json rec = Json::object();
+            rec["section"] = "lru-extension";
+            rec["variant"] = lru_ext ? "lru-ext" : "no-lru-ext";
+            rec["lines"] = 12u;
+            rec["commits"] = commits;
+            report.addRecord(std::move(rec));
+        }
+    }
 
     std::printf("\n# Ablation 3: store-cache size vs maximum store "
                 "footprint (128-byte blocks)\n");
     SeriesTable sc("Entries", {"MaxBlocks"});
-    for (const unsigned entries : {16u, 32u, 64u, 128u})
-        sc.addRow(entries, {double(maxCommittableBlocks(entries))});
+    for (const unsigned entries : {16u, 32u, 64u, 128u}) {
+        const unsigned max_blocks = maxCommittableBlocks(entries);
+        sc.addRow(entries, {double(max_blocks)});
+        if (report.enabled()) {
+            Json rec = Json::object();
+            rec["section"] = "store-cache";
+            rec["store_cache_entries"] = entries;
+            rec["max_blocks"] = max_blocks;
+            report.addRecord(std::move(rec));
+        }
+    }
     sc.print(std::cout);
     std::printf("# zEC12 ships 64 entries; the footprint tracks the "
                 "store-cache capacity\n");
@@ -161,7 +195,7 @@ main()
         sim::Machine machine(mcfg);
         const isa::Program prog = buildUpdateProgram(cfg);
         machine.setProgramAll(&prog);
-        machine.run();
+        const Cycles elapsed = machine.run();
         double region_sum = 0;
         std::uint64_t region_count = 0, reduced = 0;
         for (unsigned i = 0; i < machine.numCpus(); ++i) {
@@ -172,13 +206,24 @@ main()
                            .counter("millicode.speculation_reduced")
                            .value();
         }
+        report.addSimWork(elapsed,
+                          collectTxStats(machine).instructions);
         const double thr =
             double(cfg.cpus) / (region_sum / double(region_count));
         om.addRow(prob, {1000.0 * thr, double(reduced)});
+        if (report.enabled()) {
+            Json rec = Json::object();
+            rec["section"] = "overmark";
+            rec["overmark_prob"] = prob;
+            rec["cpus"] = cfg.cpus;
+            rec["throughput"] = thr;
+            rec["speculation_reduced"] = reduced;
+            report.addRecord(std::move(rec));
+        }
     }
     om.print(std::cout);
     std::printf("# wrong-path read-set pollution costs throughput; "
                 "millicode's speculation\n# reduction keeps "
                 "constrained retries converging\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -12,6 +12,8 @@
 #ifndef ZTX_BENCH_BENCH_UTIL_HH
 #define ZTX_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -30,13 +32,36 @@ cpuPoints()
     return {2, 3, 4, 5, 6, 8, 10, 20, 40, 60, 80, 100};
 }
 
-/** Operations per CPU for the sweep benchmarks. */
+/**
+ * Operations per CPU for the sweep benchmarks. ZTX_BENCH_ITERS must
+ * be a positive decimal count; anything else (garbage, zero,
+ * negative values that strtoul would silently wrap) falls back to
+ * the default with a warning (once per process).
+ */
 inline unsigned
 benchIterations()
 {
-    if (const char *s = std::getenv("ZTX_BENCH_ITERS"))
-        return unsigned(std::atoi(s));
-    return 150;
+    static const unsigned iters = [] {
+        constexpr unsigned default_iters = 150;
+        constexpr unsigned long max_iters = 1'000'000'000UL;
+        const char *s = std::getenv("ZTX_BENCH_ITERS");
+        if (!s || !*s)
+            return default_iters;
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long v = std::strtoul(s, &end, 10);
+        if (errno != 0 || end == s || *end != '\0' ||
+            s[0] == '-' || v == 0 || v > max_iters) {
+            std::fprintf(stderr,
+                         "ztx-bench: invalid ZTX_BENCH_ITERS="
+                         "\"%s\" (want 1..%lu); using default "
+                         "%u\n",
+                         s, max_iters, default_iters);
+            return default_iters;
+        }
+        return unsigned(v);
+    }();
+    return iters;
 }
 
 /**

@@ -6,9 +6,14 @@
  * whole simulated transaction round trip.
  */
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hh"
+#include "json_report.hh"
 #include "core/store_cache.hh"
 #include "isa/assembler.hh"
 #include "mem/cache_array.hh"
@@ -112,4 +117,44 @@ BENCHMARK(BM_SimulatedTransactionRoundTrip);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but honours the zTX JSON conventions:
+ * `--json <path>` / `ZTX_BENCH_JSON=<dir>` are translated into
+ * google-benchmark's own --benchmark_out/--benchmark_out_format
+ * flags, so BENCH_components.json lands next to the other reports
+ * (in google-benchmark's schema rather than ztx.bench).
+ */
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        ztx::bench::jsonReportPath("components", argc, argv);
+
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            ++i; // skip the path operand too
+            continue;
+        }
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            continue;
+        args.emplace_back(argv[i]);
+    }
+    if (!json_path.empty()) {
+        args.push_back("--benchmark_out=" + json_path);
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char *> argp;
+    argp.reserve(args.size());
+    for (std::string &arg : args)
+        argp.push_back(arg.data());
+    int bench_argc = int(argp.size());
+
+    benchmark::Initialize(&bench_argc, argp.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               argp.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

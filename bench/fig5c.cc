@@ -13,15 +13,21 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "json_report.hh"
 #include "workload/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ztx;
     using namespace ztx::workload;
 
+    bench::JsonReport report("fig5c", argc, argv);
     const double ref = bench::normalizationReference();
+    report.setMachineConfig(bench::benchMachine());
+    report.meta()["iterations"] = bench::benchIterations();
+    report.meta()["normalization_reference"] = ref;
+
     std::printf("# Figure 5(c): TX vs locks, four variables, "
                 "poolsize 10\n");
     std::printf("# normalized throughput (100 = 2 CPUs, 1 var, "
@@ -42,9 +48,22 @@ main()
             cfg.machine = bench::benchMachine();
             const auto res = runUpdateBench(cfg);
             row.push_back(100.0 * res.throughput / ref);
+            report.addSimWork(res.elapsedCycles, res.instructions);
+            if (report.enabled()) {
+                Json rec = bench::resultJson(res);
+                rec["cpus"] = cpus;
+                rec["pool"] = 10u;
+                rec["vars_per_op"] = 4u;
+                rec["variant"] = syncMethodName(method);
+                rec["method"] = syncMethodName(method);
+                rec["normalized_throughput"] =
+                    100.0 * res.throughput / ref;
+                rec["xi_rejects"] = res.xiRejects;
+                report.addRecord(std::move(rec));
+            }
         }
         table.addRow(cpus, row);
     }
     table.print(std::cout);
-    return 0;
+    return report.write() ? 0 : 1;
 }

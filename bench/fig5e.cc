@@ -10,14 +10,19 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "json_report.hh"
 #include "workload/hashtable.hh"
 #include "workload/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ztx;
     using namespace ztx::workload;
+
+    bench::JsonReport report("fig5e", argc, argv);
+    report.setMachineConfig(bench::benchMachine());
+    report.meta()["iterations"] = 2 * bench::benchIterations();
 
     std::printf("# Figure 5(e): lock-elided hash table\n");
     std::printf("# throughput normalized to 2 threads with locks\n");
@@ -36,10 +41,18 @@ main()
             if (!elide && threads == 2)
                 lock2 = res.throughput;
             row.push_back(res.throughput);
+            report.addSimWork(res.elapsedCycles, res.instructions);
+            if (report.enabled()) {
+                Json rec = bench::resultJson(res);
+                rec["cpus"] = threads;
+                rec["variant"] = elide ? "tbegin" : "lock";
+                rec["occupied_buckets"] = res.occupiedBuckets;
+                report.addRecord(std::move(rec));
+            }
         }
         table.addRow(threads,
                      {100.0 * row[0] / lock2, 100.0 * row[1] / lock2});
     }
     table.print(std::cout);
-    return 0;
+    return report.write() ? 0 : 1;
 }

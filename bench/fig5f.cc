@@ -12,14 +12,39 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "json_report.hh"
 #include "workload/footprint.hh"
 #include "workload/report.hh"
 
+namespace {
+
+/** One Monte-Carlo point as a JSON record. */
+ztx::Json
+footprintRecord(unsigned lines, bool lru_ext,
+                const ztx::workload::FootprintResult &res)
+{
+    ztx::Json rec = ztx::Json::object();
+    rec["lines"] = lines;
+    rec["variant"] = lru_ext ? "lru-ext" : "no-lru-ext";
+    rec["abort_rate"] = res.abortRate;
+    rec["trials"] = res.trials;
+    rec["aborted_trials"] = res.abortedTrials;
+    rec["aborts_by_reason"] =
+        ztx::bench::abortBreakdownJson(res.abortsByReason);
+    rec["sim_cycles"] = std::uint64_t(res.simCycles);
+    rec["instructions"] = res.instructions;
+    return rec;
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ztx;
     using namespace ztx::workload;
+
+    bench::JsonReport report("fig5f", argc, argv);
 
     std::printf("# Figure 5(f): effect of LRU extension on the "
                 "fetch footprint\n");
@@ -28,6 +53,7 @@ main()
 
     const bool fast = std::getenv("ZTX_BENCH_FAST") != nullptr;
     const unsigned trials = fast ? 40 : 120;
+    report.meta()["trials"] = trials;
 
     SeriesTable table("Lines", {"NoLruExt-64x6", "LruExt-512x8"});
     for (unsigned lines = 100; lines <= 800; lines += 50) {
@@ -37,11 +63,19 @@ main()
         FootprintConfig with;
         with.lruExtension = true;
         with.trials = trials;
-        const double r_without =
-            measureFootprintAbortRate(lines, without);
-        const double r_with = measureFootprintAbortRate(lines, with);
-        table.addRow(lines, {100.0 * r_without, 100.0 * r_with});
+        const auto r_without = measureFootprint(lines, without);
+        const auto r_with = measureFootprint(lines, with);
+        table.addRow(lines, {100.0 * r_without.abortRate,
+                             100.0 * r_with.abortRate});
+        report.addSimWork(r_without.simCycles,
+                          r_without.instructions);
+        report.addSimWork(r_with.simCycles, r_with.instructions);
+        if (report.enabled()) {
+            report.addRecord(
+                footprintRecord(lines, false, r_without));
+            report.addRecord(footprintRecord(lines, true, r_with));
+        }
     }
     table.print(std::cout);
-    return 0;
+    return report.write() ? 0 : 1;
 }

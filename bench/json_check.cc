@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Standalone validator for BENCH_<name>.json documents: parses the
+ * file with the in-tree JSON parser and checks the ztx.bench schema
+ * (kind, schema_version, bench, meta, non-empty records, sim_speed).
+ * Exit code 0 only for a well-formed report; used by the
+ * bench_json_smoke ctest target.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+
+namespace {
+
+int
+fail(const char *path, const char *what)
+{
+    std::fprintf(stderr, "json_check: %s: %s\n", path, what);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: json_check <BENCH_*.json>\n");
+        return 2;
+    }
+    const char *path = argv[1];
+    std::ifstream in(path);
+    if (!in)
+        return fail(path, "cannot open");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    const auto doc = ztx::Json::parse(text);
+    if (!doc)
+        return fail(path, "parse error");
+
+    const ztx::Json *kind = doc->find("kind");
+    if (!kind || kind->str() != "ztx.bench")
+        return fail(path, "kind != ztx.bench");
+    const ztx::Json *version = doc->find("schema_version");
+    if (!version || version->asUint() < 1)
+        return fail(path, "bad schema_version");
+    const ztx::Json *bench = doc->find("bench");
+    if (!bench || bench->str().empty())
+        return fail(path, "missing bench name");
+    if (!doc->contains("meta"))
+        return fail(path, "missing meta");
+    const ztx::Json *records = doc->find("records");
+    if (!records || records->size() == 0)
+        return fail(path, "missing or empty records");
+    const ztx::Json *speed = doc->find("sim_speed");
+    if (!speed)
+        return fail(path, "missing sim_speed");
+    for (const char *key :
+         {"host_seconds", "sim_cycles", "instructions",
+          "sim_cycles_per_host_second",
+          "instructions_per_host_second"}) {
+        if (!speed->contains(key))
+            return fail(path, "incomplete sim_speed");
+    }
+    std::printf("json_check: %s: OK (%zu records)\n", path,
+                records->size());
+    return 0;
+}

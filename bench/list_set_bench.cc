@@ -11,17 +11,35 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "json_report.hh"
 #include "workload/list_set.hh"
 #include "workload/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ztx;
     using namespace ztx::workload;
 
+    bench::JsonReport report("list_set_bench", argc, argv);
+    report.setMachineConfig(bench::benchMachine());
+    report.meta()["iterations"] = bench::benchIterations();
+
     std::printf("# Sorted list set: global lock vs lock elision\n");
     std::printf("# throughput x1000 = 1000 * CPUs / cycles per op\n");
+
+    const auto record = [&](const ListSetBenchResult &res,
+                            unsigned cpus, unsigned key_space,
+                            bool elision) {
+        report.addSimWork(res.elapsedCycles, res.instructions);
+        if (report.enabled()) {
+            Json rec = bench::resultJson(res);
+            rec["cpus"] = cpus;
+            rec["key_space"] = key_space;
+            rec["variant"] = elision ? "elision" : "lock";
+            report.addRecord(std::move(rec));
+        }
+    };
 
     for (const unsigned key_space : {32u, 256u}) {
         std::printf("\n## key space %u (mean list length ~%u)\n",
@@ -43,6 +61,8 @@ main()
                 std::printf("VALIDATION FAILED\n");
                 return 1;
             }
+            record(lock_res, cpus, key_space, false);
+            record(tx_res, cpus, key_space, true);
             table.addRow(cpus,
                          {1000.0 * lock_res.throughput,
                           1000.0 * tx_res.throughput,
@@ -50,5 +70,5 @@ main()
         }
         table.print(std::cout);
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -13,17 +13,22 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "json_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ztx;
     using namespace ztx::workload;
 
+    bench::JsonReport report("overhead", argc, argv);
     const unsigned iters = 4 * bench::benchIterations();
+    report.setMachineConfig(bench::benchMachine());
+    report.meta()["iterations"] = iters;
 
-    const auto run = [&](SyncMethod method, unsigned cpus,
-                         unsigned pool, unsigned vars) {
+    const auto run = [&](const char *label, SyncMethod method,
+                         unsigned cpus, unsigned pool,
+                         unsigned vars) {
         UpdateBenchConfig cfg;
         cfg.method = method;
         cfg.cpus = cpus;
@@ -31,14 +36,27 @@ main()
         cfg.varsPerOp = vars;
         cfg.iterations = iters;
         cfg.machine = bench::benchMachine();
-        return runUpdateBench(cfg);
+        const auto res = runUpdateBench(cfg);
+        report.addSimWork(res.elapsedCycles, res.instructions);
+        if (report.enabled()) {
+            Json rec = bench::resultJson(res);
+            rec["variant"] = label;
+            rec["method"] = syncMethodName(method);
+            rec["cpus"] = cpus;
+            rec["pool"] = pool;
+            rec["vars_per_op"] = vars;
+            report.addRecord(std::move(rec));
+        }
+        return res;
     };
 
     std::printf("# Single-CPU overhead (pool 1, 1 variable, "
                 "L1-resident)\n");
-    const auto lock = run(SyncMethod::CoarseLock, 1, 1, 1);
-    const auto tb = run(SyncMethod::TBegin, 1, 1, 1);
-    const auto tbc = run(SyncMethod::TBeginc, 1, 1, 1);
+    const auto lock = run("lock-1cpu", SyncMethod::CoarseLock,
+                          1, 1, 1);
+    const auto tb = run("tbegin-1cpu", SyncMethod::TBegin, 1, 1, 1);
+    const auto tbc = run("tbeginc-1cpu", SyncMethod::TBeginc,
+                         1, 1, 1);
     std::printf("lock/unlock   : %7.2f cycles/op\n",
                 lock.meanRegionCycles);
     std::printf("TBEGIN..TEND  : %7.2f cycles/op\n",
@@ -54,8 +72,10 @@ main()
 
     std::printf("\n# TBEGINC vs no locking, 100 CPUs, 4 variables, "
                 "pool 10k\n");
-    const auto none = run(SyncMethod::None, 100, 10000, 4);
-    const auto tbc100 = run(SyncMethod::TBeginc, 100, 10000, 4);
+    const auto none = run("none-100cpu", SyncMethod::None,
+                          100, 10000, 4);
+    const auto tbc100 = run("tbeginc-100cpu", SyncMethod::TBeginc,
+                            100, 10000, 4);
     std::printf("no locking : %9.2f cycles/op\n",
                 none.meanRegionCycles);
     std::printf("TBEGINC    : %9.2f cycles/op\n",
@@ -63,5 +83,5 @@ main()
     std::printf("TBEGINC at %.1f%% of unsynchronized throughput "
                 "(paper: 99.8%%)\n",
                 100.0 * tbc100.throughput / none.throughput);
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -9,17 +9,33 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "json_report.hh"
 #include "workload/queue.hh"
 #include "workload/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ztx;
     using namespace ztx::workload;
 
+    bench::JsonReport report("queue_bench", argc, argv);
+    report.setMachineConfig(bench::benchMachine());
+    report.meta()["iterations"] = 2 * bench::benchIterations();
+
     std::printf("# ConcurrentLinkedQueue: constrained TX vs lock\n");
     std::printf("# throughput = CPUs / mean cycles per queue op\n");
+
+    const auto record = [&](const QueueBenchResult &res,
+                            unsigned cpus, bool constrained) {
+        report.addSimWork(res.elapsedCycles, res.instructions);
+        if (report.enabled()) {
+            Json rec = bench::resultJson(res);
+            rec["cpus"] = cpus;
+            rec["variant"] = constrained ? "tbeginc" : "lock";
+            report.addRecord(std::move(rec));
+        }
+    };
 
     SeriesTable table("CPUs", {"Lock", "TBEGINC", "Ratio"});
     for (const unsigned cpus : {2u, 4u, 6u, 8u}) {
@@ -33,6 +49,8 @@ main()
 
         const auto lock_res = runQueueBench(lock_cfg);
         const auto tx_res = runQueueBench(tx_cfg);
+        record(lock_res, cpus, false);
+        record(tx_res, cpus, true);
         table.addRow(cpus, {1000.0 * lock_res.throughput,
                             1000.0 * tx_res.throughput,
                             tx_res.throughput / lock_res.throughput});
@@ -40,5 +58,5 @@ main()
     table.print(std::cout);
     std::printf("# paper reports a factor of about 2 in favor of "
                 "constrained transactions\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

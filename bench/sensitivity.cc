@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "json_report.hh"
 #include "workload/report.hh"
 
 namespace {
@@ -35,7 +36,8 @@ scaledMachine(double scale)
 }
 
 double
-throughputAt(SyncMethod method, const sim::MachineConfig &machine)
+throughputAt(bench::JsonReport &report, double scale,
+             SyncMethod method, const sim::MachineConfig &machine)
 {
     UpdateBenchConfig cfg;
     cfg.method = method;
@@ -44,26 +46,41 @@ throughputAt(SyncMethod method, const sim::MachineConfig &machine)
     cfg.varsPerOp = 1;
     cfg.iterations = bench::benchIterations();
     cfg.machine = machine;
-    return runUpdateBench(cfg).throughput;
+    const auto res = runUpdateBench(cfg);
+    report.addSimWork(res.elapsedCycles, res.instructions);
+    if (report.enabled()) {
+        Json rec = bench::resultJson(res);
+        rec["section"] = "latency-scale";
+        rec["latency_scale"] = scale;
+        rec["cpus"] = cfg.cpus;
+        rec["variant"] = syncMethodName(method);
+        rec["method"] = syncMethodName(method);
+        report.addRecord(std::move(rec));
+    }
+    return res.throughput;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport report("sensitivity", argc, argv);
+    report.setMachineConfig(bench::benchMachine());
+    report.meta()["iterations"] = bench::benchIterations();
+
     std::printf("# Sensitivity 1: remote-latency scale, figure 5(b) "
                 "point at 24 CPUs\n");
     SeriesTable lat("Scale", {"CoarseLock", "FineLock", "TBEGINC",
                               "TxBeatsLocks"});
     for (const double scale : {0.5, 1.0, 2.0}) {
         const auto machine = scaledMachine(scale);
-        const double coarse =
-            throughputAt(SyncMethod::CoarseLock, machine);
-        const double fine =
-            throughputAt(SyncMethod::FineLock, machine);
-        const double tbc =
-            throughputAt(SyncMethod::TBeginc, machine);
+        const double coarse = throughputAt(
+            report, scale, SyncMethod::CoarseLock, machine);
+        const double fine = throughputAt(
+            report, scale, SyncMethod::FineLock, machine);
+        const double tbc = throughputAt(
+            report, scale, SyncMethod::TBeginc, machine);
         lat.addRow(scale,
                    {1000.0 * coarse, 1000.0 * fine, 1000.0 * tbc,
                     (tbc > coarse && tbc > fine) ? 1.0 : 0.0});
@@ -82,14 +99,31 @@ main()
         cfg.varsPerOp = 4;
         cfg.iterations = bench::benchIterations();
         cfg.machine = bench::benchMachine();
-        const double with_backoff = runUpdateBench(cfg).throughput;
+        const auto backoff_res = runUpdateBench(cfg);
         cfg.machine.tm.ppaBaseDelay = 1;
         cfg.machine.tm.ppaMaxShift = 0;
-        const double without = runUpdateBench(cfg).throughput;
+        const auto nobackoff_res = runUpdateBench(cfg);
+        const double with_backoff = backoff_res.throughput;
+        const double without = nobackoff_res.throughput;
         ppa.addRow(cpus, {1000.0 * with_backoff, 1000.0 * without});
+        report.addSimWork(backoff_res.elapsedCycles,
+                          backoff_res.instructions);
+        report.addSimWork(nobackoff_res.elapsedCycles,
+                          nobackoff_res.instructions);
+        if (report.enabled()) {
+            for (const bool has_backoff : {true, false}) {
+                Json rec = bench::resultJson(
+                    has_backoff ? backoff_res : nobackoff_res);
+                rec["section"] = "ppa-backoff";
+                rec["cpus"] = cpus;
+                rec["variant"] =
+                    has_backoff ? "backoff" : "no-backoff";
+                report.addRecord(std::move(rec));
+            }
+        }
     }
     ppa.print(std::cout);
     std::printf("# random exponential backoff prevents harmonic "
                 "repeating aborts (paper SSII.A)\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

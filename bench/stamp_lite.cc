@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "json_report.hh"
 #include "workload/report.hh"
 
 namespace {
@@ -33,7 +34,8 @@ struct Profile
 };
 
 double
-runProfile(const Profile &profile, SyncMethod method)
+runProfile(bench::JsonReport &report, const Profile &profile,
+           SyncMethod method)
 {
     UpdateBenchConfig cfg;
     cfg.method = method;
@@ -42,14 +44,30 @@ runProfile(const Profile &profile, SyncMethod method)
     cfg.varsPerOp = profile.varsPerOp;
     cfg.iterations = ztx::bench::benchIterations();
     cfg.machine = ztx::bench::benchMachine();
-    return runUpdateBench(cfg).throughput;
+    const auto res = runUpdateBench(cfg);
+    report.addSimWork(res.elapsedCycles, res.instructions);
+    if (report.enabled()) {
+        Json rec = bench::resultJson(res);
+        rec["profile"] = profile.name;
+        rec["cpus"] = profile.cpus;
+        rec["pool"] = profile.poolSize;
+        rec["vars_per_op"] = profile.varsPerOp;
+        rec["variant"] = syncMethodName(method);
+        rec["method"] = syncMethodName(method);
+        report.addRecord(std::move(rec));
+    }
+    return res.throughput;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport report("stamp_lite", argc, argv);
+    report.setMachineConfig(ztx::bench::benchMachine());
+    report.meta()["iterations"] = ztx::bench::benchIterations();
+
     std::printf("# STAMP-like profiles: transactional speedup over "
                 "a pthread-style lock\n");
     const Profile profiles[] = {
@@ -61,12 +79,13 @@ main()
                 "tbegin", "speedup");
     for (const Profile &profile : profiles) {
         const double lock =
-            runProfile(profile, SyncMethod::CoarseLock);
-        const double tx = runProfile(profile, SyncMethod::TBegin);
+            runProfile(report, profile, SyncMethod::CoarseLock);
+        const double tx =
+            runProfile(report, profile, SyncMethod::TBegin);
         std::printf("%16s %12.5f %12.5f %9.2fx\n", profile.name,
                     lock, tx, tx / lock);
     }
     std::printf("# [23] reports factors between 1.2 and 7 depending "
                 "on the application\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -1,0 +1,469 @@
+#include "json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "log.hh"
+
+namespace ztx {
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        ztx_panic("Json::operator[] on a non-object");
+    return obj_[key];
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        ztx_panic("Json::find on a non-object");
+    const auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+const Json::Object &
+Json::items() const
+{
+    if (type_ != Type::Object)
+        ztx_panic("Json::items on a non-object");
+    return obj_;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        ztx_panic("Json::push on a non-array");
+    arr_.push_back(std::move(v));
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (type_ != Type::Array)
+        ztx_panic("Json::at on a non-array");
+    if (i >= arr_.size())
+        ztx_panic("Json::at index out of range");
+    return arr_[i];
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    return 0;
+}
+
+double
+Json::number() const
+{
+    if (type_ != Type::Number)
+        ztx_panic("Json::number on a non-number");
+    return num_;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    if (type_ != Type::Number)
+        ztx_panic("Json::asUint on a non-number");
+    if (isUint_)
+        return uint_;
+    if (num_ < 0.0 || num_ != std::floor(num_))
+        ztx_panic("Json::asUint on a non-integral number ", num_);
+    return std::uint64_t(num_);
+}
+
+const std::string &
+Json::str() const
+{
+    if (type_ != Type::String)
+        ztx_panic("Json::str on a non-string");
+    return str_;
+}
+
+bool
+Json::boolean() const
+{
+    if (type_ != Type::Bool)
+        ztx_panic("Json::boolean on a non-bool");
+    return bool_;
+}
+
+namespace {
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeNumber(std::ostream &os, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; degrade to null rather than emit an
+        // unparsable token.
+        os << "null";
+        return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    os.write(buf, res.ptr - buf);
+}
+
+void
+newlineIndent(std::ostream &os, int indent, int depth)
+{
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        os << ' ';
+}
+
+} // namespace
+
+void
+Json::writeIndented(std::ostream &os, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::Number:
+        if (isUint_)
+            os << uint_;
+        else
+            writeNumber(os, num_);
+        break;
+      case Type::String:
+        writeEscaped(os, str_);
+        break;
+      case Type::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, value] : obj_) {
+            if (!first)
+                os << ',';
+            first = false;
+            if (pretty)
+                newlineIndent(os, indent, depth + 1);
+            writeEscaped(os, key);
+            os << (pretty ? ": " : ":");
+            value.writeIndented(os, indent, depth + 1);
+        }
+        if (pretty && !obj_.empty())
+            newlineIndent(os, indent, depth);
+        os << '}';
+        break;
+      }
+      case Type::Array: {
+        os << '[';
+        bool first = true;
+        for (const auto &value : arr_) {
+            if (!first)
+                os << ',';
+            first = false;
+            if (pretty)
+                newlineIndent(os, indent, depth + 1);
+            value.writeIndented(os, indent, depth + 1);
+        }
+        if (pretty && !arr_.empty())
+            newlineIndent(os, indent, depth);
+        os << ']';
+        break;
+      }
+    }
+}
+
+void
+Json::write(std::ostream &os, int indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+namespace {
+
+/** Recursive-descent parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<Json>
+    parseDocument()
+    {
+        auto v = parseValue();
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size())
+            return std::nullopt; // trailing garbage
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    std::optional<std::string>
+    parseString()
+    {
+        if (!consume('"'))
+            return std::nullopt;
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return std::nullopt;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return std::nullopt;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return std::nullopt;
+                }
+                // Only the BMP subset we ever emit; anything else
+                // degrades to '?' rather than failing the parse.
+                out += code < 0x80 ? char(code) : '?';
+                break;
+              }
+              default:
+                return std::nullopt;
+            }
+        }
+        return std::nullopt; // unterminated
+    }
+
+    std::optional<Json>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty())
+            return std::nullopt;
+        const bool integral =
+            tok.find_first_of(".eE") == std::string_view::npos;
+        if (integral && tok[0] != '-') {
+            std::uint64_t u = 0;
+            const auto res = std::from_chars(
+                tok.data(), tok.data() + tok.size(), u);
+            if (res.ec == std::errc() &&
+                res.ptr == tok.data() + tok.size())
+                return Json(u);
+        }
+        double d = 0.0;
+        const auto res =
+            std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (res.ec != std::errc() ||
+            res.ptr != tok.data() + tok.size())
+            return std::nullopt;
+        return Json(d);
+    }
+
+    std::optional<Json>
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return std::nullopt;
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            Json obj = Json::object();
+            skipWs();
+            if (consume('}'))
+                return obj;
+            while (true) {
+                skipWs();
+                auto key = parseString();
+                if (!key)
+                    return std::nullopt;
+                skipWs();
+                if (!consume(':'))
+                    return std::nullopt;
+                auto value = parseValue();
+                if (!value)
+                    return std::nullopt;
+                obj[*key] = std::move(*value);
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return obj;
+                return std::nullopt;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            Json arr = Json::array();
+            skipWs();
+            if (consume(']'))
+                return arr;
+            while (true) {
+                auto value = parseValue();
+                if (!value)
+                    return std::nullopt;
+                arr.push(std::move(*value));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return arr;
+                return std::nullopt;
+            }
+        }
+        if (c == '"') {
+            auto s = parseString();
+            if (!s)
+                return std::nullopt;
+            return Json(std::move(*s));
+        }
+        if (consumeLiteral("true"))
+            return Json(true);
+        if (consumeLiteral("false"))
+            return Json(false);
+        if (consumeLiteral("null"))
+            return Json(nullptr);
+        return parseNumber();
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace ztx

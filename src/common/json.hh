@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Minimal JSON value: build, serialize, and parse. Backs the
+ * machine-readable stats dumps and the bench JSON reports, so it
+ * favors determinism (sorted object keys, shortest round-trip
+ * number formatting) over speed or completeness.
+ */
+
+#ifndef ZTX_COMMON_JSON_HH
+#define ZTX_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ztx {
+
+/** A JSON document node (null, bool, number, string, object, array). */
+class Json
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array
+    };
+
+    /** Objects keep sorted keys, so serialization is deterministic. */
+    using Object = std::map<std::string, Json>;
+    using Array = std::vector<Json>;
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double d) : type_(Type::Number), num_(d) {}
+    Json(std::uint64_t u)
+        : type_(Type::Number), num_(double(u)), uint_(u),
+          isUint_(true)
+    {
+    }
+    Json(std::int64_t i) : type_(Type::Number), num_(double(i))
+    {
+        if (i >= 0) {
+            uint_ = std::uint64_t(i);
+            isUint_ = true;
+        }
+    }
+    Json(int i) : Json(std::int64_t(i)) {}
+    Json(unsigned u) : Json(std::uint64_t(u)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** An empty object (distinct from null). */
+    static Json object();
+
+    /** An empty array (distinct from null). */
+    static Json array();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+
+    /** @name Object access (fatal on other types) @{ */
+    /** Fetch-or-create a member; a null node becomes an object. */
+    Json &operator[](const std::string &key);
+    /** Member lookup; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+    bool contains(const std::string &key) const;
+    const Object &items() const;
+    /** @} */
+
+    /** @name Array access (fatal on other types) @{ */
+    /** Append an element; a null node becomes an array. */
+    void push(Json v);
+    const Json &at(std::size_t i) const;
+    /** @} */
+
+    /** Elements of an array / members of an object; 0 otherwise. */
+    std::size_t size() const;
+
+    /** @name Scalar access (fatal on type mismatch) @{ */
+    double number() const;
+    /** The number as an unsigned integer (fatal if not exact). */
+    std::uint64_t asUint() const;
+    const std::string &str() const;
+    bool boolean() const;
+    /** @} */
+
+    /**
+     * Serialize.
+     * @param indent Spaces per nesting level; negative for compact
+     *        single-line output.
+     */
+    void write(std::ostream &os, int indent = -1) const;
+
+    /** write() into a string. */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse a complete JSON document (trailing garbage rejected).
+     * @return The value, or nullopt on malformed input.
+     */
+    static std::optional<Json> parse(std::string_view text);
+
+  private:
+    void writeIndented(std::ostream &os, int indent,
+                       int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::uint64_t uint_ = 0;
+    /** True when the number was set from an (exact) integer. */
+    bool isUint_ = false;
+    std::string str_;
+    Object obj_;
+    Array arr_;
+};
+
+} // namespace ztx
+
+#endif // ZTX_COMMON_JSON_HH

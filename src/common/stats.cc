@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "json.hh"
 #include "log.hh"
 
 namespace ztx {
@@ -89,6 +90,15 @@ StatGroup::distribution(const std::string &stat_name)
     return distributions_[stat_name];
 }
 
+Histogram &
+StatGroup::histogram(const std::string &stat_name,
+                     std::size_t buckets, double bucket_width)
+{
+    return histograms_
+        .try_emplace(stat_name, buckets, bucket_width)
+        .first->second;
+}
+
 void
 StatGroup::resetAll()
 {
@@ -96,6 +106,8 @@ StatGroup::resetAll()
         c.reset();
     for (auto &[unused_name, d] : distributions_)
         d.reset();
+    for (auto &[unused_name, h] : histograms_)
+        h.reset();
 }
 
 void
@@ -106,7 +118,66 @@ StatGroup::dump(std::ostream &os) const
     for (const auto &[stat, d] : distributions_) {
         os << name_ << '.' << stat << ".mean " << d.mean() << '\n';
         os << name_ << '.' << stat << ".count " << d.count() << '\n';
+        os << name_ << '.' << stat << ".min " << d.min() << '\n';
+        os << name_ << '.' << stat << ".max " << d.max() << '\n';
+        os << name_ << '.' << stat << ".sum " << d.sum() << '\n';
     }
+    for (const auto &[stat, h] : histograms_) {
+        for (std::size_t i = 0; i < h.buckets(); ++i) {
+            os << name_ << '.' << stat << ".bucket" << i << ' '
+               << h.bucketCount(i) << '\n';
+        }
+        os << name_ << '.' << stat << ".overflow "
+           << h.bucketCount(h.buckets()) << '\n';
+        os << name_ << '.' << stat << ".total " << h.total()
+           << '\n';
+    }
+}
+
+Json
+StatGroup::toJson() const
+{
+    Json group = Json::object();
+    group["name"] = name_;
+
+    Json counters = Json::object();
+    for (const auto &[stat, c] : counters_)
+        counters[stat] = c.value();
+    group["counters"] = std::move(counters);
+
+    Json dists = Json::object();
+    for (const auto &[stat, d] : distributions_) {
+        Json entry = Json::object();
+        entry["count"] = d.count();
+        entry["mean"] = d.mean();
+        entry["min"] = d.min();
+        entry["max"] = d.max();
+        entry["sum"] = d.sum();
+        dists[stat] = std::move(entry);
+    }
+    group["distributions"] = std::move(dists);
+
+    Json hists = Json::object();
+    for (const auto &[stat, h] : histograms_) {
+        Json entry = Json::object();
+        entry["bucket_width"] = h.bucketWidth();
+        Json buckets = Json::array();
+        for (std::size_t i = 0; i < h.buckets(); ++i)
+            buckets.push(h.bucketCount(i));
+        entry["buckets"] = std::move(buckets);
+        entry["overflow"] = h.bucketCount(h.buckets());
+        entry["total"] = h.total();
+        hists[stat] = std::move(entry);
+    }
+    group["histograms"] = std::move(hists);
+    return group;
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent) const
+{
+    toJson().write(os, indent);
+    os << '\n';
 }
 
 } // namespace ztx

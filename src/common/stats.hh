@@ -16,6 +16,8 @@
 
 namespace ztx {
 
+class Json;
+
 /** A named monotonically increasing event counter. */
 class Counter
 {
@@ -93,6 +95,9 @@ class Histogram
     /** Number of regular buckets. */
     std::size_t buckets() const { return counts_.size() - 1; }
 
+    /** Width of each regular bucket. */
+    double bucketWidth() const { return bucketWidth_; }
+
     /** Total samples recorded. */
     std::uint64_t total() const { return total_; }
 
@@ -121,11 +126,44 @@ class StatGroup
     /** Create (or fetch) a distribution under this group. */
     Distribution &distribution(const std::string &stat_name);
 
+    /**
+     * Create (or fetch) a histogram under this group. The shape
+     * parameters apply on first registration only; later fetches
+     * return the existing histogram unchanged.
+     */
+    Histogram &histogram(const std::string &stat_name,
+                         std::size_t buckets, double bucket_width);
+
+    /** @name Read-only views over the registered stats @{ */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return distributions_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+    /** @} */
+
     /** Reset every stat in the group. */
     void resetAll();
 
     /** Write "name.stat value" lines, sorted by name. */
     void dump(std::ostream &os) const;
+
+    /**
+     * The group as a JSON object: counters plus full distribution
+     * (count/mean/min/max/sum) and histogram (widths/buckets/
+     * overflow) detail.
+     */
+    Json toJson() const;
+
+    /** toJson(), serialized. */
+    void dumpJson(std::ostream &os, int indent = -1) const;
 
     /** Group name. */
     const std::string &name() const { return name_; }
@@ -134,6 +172,7 @@ class StatGroup
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Distribution> distributions_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace ztx

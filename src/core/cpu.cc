@@ -24,6 +24,7 @@ Cpu::Cpu(CpuId id, mem::Hierarchy &hier, mem::MainMemory &memory,
 {
     hier_.setClient(id_, this);
     hier_.setLruExtensionEnabled(cfg_.lruExtensionEnabled);
+    regionHist_ = &stats_.histogram("region.cycles", 32, 64.0);
 }
 
 Cpu::~Cpu() = default;
@@ -795,7 +796,10 @@ Cpu::execute(const isa::Program::Slot &slot)
         break;
       case Opcode::MARKE:
         if (regionOpen_) {
-            regionCycles_.sample(double(env_.now() - regionStart_));
+            const double cycles =
+                double(env_.now() - regionStart_);
+            regionCycles_.sample(cycles);
+            regionHist_->sample(cycles);
             regionOpen_ = false;
         }
         res.cost = 0;

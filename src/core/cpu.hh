@@ -296,6 +296,8 @@ class Cpu : public mem::CacheClient
     bool regionOpen_ = false;
     Cycles regionStart_ = 0;
     Distribution regionCycles_;
+    /** Latency tail of the measured regions (64-cycle buckets). */
+    Histogram *regionHist_ = nullptr;
     /** @} */
 
     /** @name Pending after-completion PER event @{ */

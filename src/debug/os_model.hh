@@ -78,6 +78,7 @@ class OsModel
 
     /** Stats group ("os.*"). */
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
 
   private:
     PageTable &pageTable_;

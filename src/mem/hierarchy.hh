@@ -119,6 +119,7 @@ class Hierarchy
     const LatencyModel &latencyModel() const { return lat_; }
     const HierarchyGeometry &geometry() const { return geo_; }
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
     /** @} */
 
     /**

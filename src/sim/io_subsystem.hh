@@ -75,6 +75,7 @@ class IoSubsystem : public mem::CacheClient
 
     /** Stats ("io.*"): transfers, lines, rejects. */
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
 
     /** @name mem::CacheClient (never rejects, never aborts) @{ */
     mem::XiResponse incomingXi(const mem::XiContext &ctx) override;

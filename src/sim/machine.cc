@@ -93,6 +93,7 @@ Machine::requestSolo(CpuId cpu_id)
             return;
     soloQueue_.push_back(cpu_id);
     soloCpu_ = soloQueue_.front();
+    soloRequestCounter_.inc();
 }
 
 void
@@ -157,9 +158,23 @@ Machine::run(Cycles max_cycles)
         if (cfg_.externalInterruptPeriod &&
             now_ >= nextInterrupt_[id]) {
             cpus_[id]->deliverExternalInterrupt();
-            nextInterrupt_[id] += cfg_.externalInterruptPeriod;
+            extDeliveredCounter_.inc();
+            // A CPU parked for many periods (e.g. behind solo mode,
+            // or stalled on a long interrupt-service penalty) must
+            // not receive the missed ticks as a back-to-back burst:
+            // skip past every period boundary already behind us so
+            // at most one interrupt is delivered per period.
+            const Cycles period = cfg_.externalInterruptPeriod;
+            nextInterrupt_[id] += period;
+            if (nextInterrupt_[id] <= now_) {
+                const Cycles missed =
+                    (now_ - nextInterrupt_[id]) / period + 1;
+                extSkippedCounter_.inc(missed);
+                nextInterrupt_[id] += missed * period;
+            }
         }
 
+        stepCounter_.inc();
         Cycles cost = cpus_[id]->step();
         cost += cpus_[id]->consumePendingStall();
         // Zero-cost steps model superscalar grouping; the CPU's
@@ -194,10 +209,77 @@ Machine::drainIo()
 void
 Machine::dumpStats(std::ostream &out)
 {
+    stats_.dump(out);
     hierarchy_.stats().dump(out);
     os_.stats().dump(out);
+    if (io_)
+        io_->stats().dump(out);
     for (const auto &c : cpus_)
         c->stats().dump(out);
+}
+
+Json
+Machine::statsJson() const
+{
+    Json doc = Json::object();
+    doc["kind"] = "ztx.machine.stats";
+
+    Json meta = machineConfigJson(cfg_);
+    meta["instantiated_cpus"] = numCpus();
+    meta["elapsed_cycles"] = std::uint64_t(now_);
+    doc["meta"] = std::move(meta);
+
+    doc["machine"] = stats_.toJson();
+    doc["hierarchy"] = hierarchy_.stats().toJson();
+    doc["os"] = os_.stats().toJson();
+    if (io_)
+        doc["io"] = io_->stats().toJson();
+
+    Json cpu_groups = Json::array();
+    for (const auto &c : cpus_)
+        cpu_groups.push(c->stats().toJson());
+    doc["cpus"] = std::move(cpu_groups);
+    return doc;
+}
+
+void
+Machine::dumpStatsJson(std::ostream &out, int indent) const
+{
+    statsJson().write(out, indent);
+    out << '\n';
+}
+
+Json
+machineConfigJson(const MachineConfig &config)
+{
+    Json meta = Json::object();
+    meta["seed"] = config.seed;
+    meta["active_cpus"] = config.activeCpus;
+    meta["external_interrupt_period"] =
+        std::uint64_t(config.externalInterruptPeriod);
+    meta["io_enabled"] = config.enableIo;
+
+    Json topo = Json::object();
+    topo["cores_per_chip"] = config.topology.coresPerChip();
+    topo["chips_per_mcm"] = config.topology.chipsPerMcm();
+    topo["mcms"] = config.topology.numMcms();
+    topo["total_cpus"] = config.topology.numCpus();
+    meta["topology"] = std::move(topo);
+
+    Json tm = Json::object();
+    tm["max_nesting_depth"] = config.tm.maxNestingDepth;
+    tm["store_cache_entries"] = config.tm.storeCacheEntries;
+    tm["xi_reject_abort_threshold"] =
+        config.tm.xiRejectAbortThreshold;
+    tm["dispatch_width"] = config.tm.dispatchWidth;
+    tm["ppa_base_delay"] = std::uint64_t(config.tm.ppaBaseDelay);
+    tm["ppa_max_shift"] = config.tm.ppaMaxShift;
+    tm["speculative_overmark_prob"] =
+        config.tm.speculativeOvermarkProb;
+    tm["lru_extension_enabled"] = config.tm.lruExtensionEnabled;
+    tm["stiff_arm_enabled"] = config.tm.stiffArmEnabled;
+    meta["tm"] = std::move(tm);
+    return meta;
 }
 
 } // namespace ztx::sim

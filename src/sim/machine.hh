@@ -26,6 +26,8 @@
 #include <queue>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "core/config.hh"
 #include "core/cpu.hh"
@@ -83,6 +85,7 @@ class Machine : public core::CpuEnv
 
     /** CPU @p id. */
     core::Cpu &cpu(CpuId id) { return *cpus_.at(id); }
+    const core::Cpu &cpu(CpuId id) const { return *cpus_.at(id); }
 
     /** @name Shared components @{ */
     mem::MainMemory &memory() { return memory_; }
@@ -120,6 +123,24 @@ class Machine : public core::CpuEnv
     /** Write all stats (machine, hierarchy, OS, CPUs) to @p os. */
     void dumpStats(std::ostream &out);
 
+    /**
+     * The complete machine state as one JSON document: run metadata
+     * (seed, topology, active CPUs, TM configuration, elapsed
+     * cycles) plus the machine, hierarchy, OS, I/O, and per-CPU
+     * stat groups.
+     */
+    Json statsJson() const;
+
+    /** Serialize statsJson(). @param indent as Json::write. */
+    void dumpStatsJson(std::ostream &out, int indent = 2) const;
+
+    /** The configuration this machine was built from. */
+    const MachineConfig &config() const { return cfg_; }
+
+    /** Machine-level stats: scheduler steps, interrupts, solo. */
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
     /** @name core::CpuEnv @{ */
     Cycles now() const override { return now_; }
     void requestSolo(CpuId cpu) override;
@@ -138,6 +159,15 @@ class Machine : public core::CpuEnv
     Cycles now_ = 0;
     std::vector<Cycles> readyAt_;
     std::vector<Cycles> nextInterrupt_;
+    StatGroup stats_{"machine"};
+    /** @name Hot-path counters, resolved once @{ */
+    Counter &stepCounter_ = stats_.counter("scheduler.steps");
+    Counter &extDeliveredCounter_ =
+        stats_.counter("external.delivered");
+    Counter &extSkippedCounter_ =
+        stats_.counter("external.periods_skipped");
+    Counter &soloRequestCounter_ = stats_.counter("solo.requests");
+    /** @} */
     std::unique_ptr<IoSubsystem> io_;
     Cycles ioReadyAt_ = 0;
     /**
@@ -148,6 +178,12 @@ class Machine : public core::CpuEnv
     std::deque<CpuId> soloQueue_;
     CpuId soloCpu_ = invalidCpu;
 };
+
+/**
+ * @p config as a JSON object (topology, TM parameters, seed, ...),
+ * the run-metadata block of statsJson() and the bench reports.
+ */
+Json machineConfigJson(const MachineConfig &config);
 
 } // namespace ztx::sim
 

@@ -2,11 +2,12 @@
 
 #include "common/rng.hh"
 #include "isa/assembler.hh"
+#include "workload/report.hh"
 
 namespace ztx::workload {
 
-double
-measureFootprintAbortRate(unsigned lines, const FootprintConfig &cfg)
+FootprintResult
+measureFootprint(unsigned lines, const FootprintConfig &cfg)
 {
     sim::MachineConfig mcfg = cfg.machine;
     mcfg.topology = mem::Topology(1, 1, 1);
@@ -19,7 +20,8 @@ measureFootprintAbortRate(unsigned lines, const FootprintConfig &cfg)
     sim::Machine machine(mcfg);
 
     Rng rng(cfg.seed ^ 0xF00DULL);
-    unsigned aborted = 0;
+    FootprintResult res;
+    res.trials = cfg.trials;
     for (unsigned trial = 0; trial < cfg.trials; ++trial) {
         // n loads of random congruence classes: random lines from a
         // large region (collisions in a class are the statistic
@@ -42,11 +44,21 @@ measureFootprintAbortRate(unsigned lines, const FootprintConfig &cfg)
         const isa::Program program = as.finish();
         machine.hierarchy().flushCpuCaches(0); // cold caches
         machine.setProgram(0, &program);
-        machine.run();
+        res.simCycles += machine.run();
         if (machine.cpu(0).gr(3) == 2)
-            ++aborted;
+            ++res.abortedTrials;
     }
-    return double(aborted) / double(cfg.trials);
+    res.abortRate = double(res.abortedTrials) / double(cfg.trials);
+    const TxStatsSummary tx = collectTxStats(machine);
+    res.instructions = tx.instructions;
+    res.abortsByReason = tx.abortsByReason;
+    return res;
+}
+
+double
+measureFootprintAbortRate(unsigned lines, const FootprintConfig &cfg)
+{
+    return measureFootprint(lines, cfg).abortRate;
 }
 
 } // namespace ztx::workload

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "sim/machine.hh"
+#include "workload/report.hh"
 
 namespace ztx::workload {
 
@@ -23,6 +24,28 @@ struct FootprintConfig
     std::uint64_t seed = 1;
     sim::MachineConfig machine{};
 };
+
+/** Detailed outcome of one footprint Monte-Carlo point. */
+struct FootprintResult
+{
+    /** Fraction of trials whose transaction aborted, in [0, 1]. */
+    double abortRate = 0.0;
+    unsigned trials = 0;
+    unsigned abortedTrials = 0;
+    /** Simulated cycles summed over the trials. */
+    Cycles simCycles = 0;
+    /** Instructions executed, summed over the trials. */
+    std::uint64_t instructions = 0;
+    /** Abort counts keyed by tx::abortReasonName(). */
+    std::map<std::string, std::uint64_t> abortsByReason;
+};
+
+/**
+ * Measure single-attempt transactions that load @p lines random
+ * cache lines, with full abort accounting.
+ */
+FootprintResult measureFootprint(unsigned lines,
+                                 const FootprintConfig &cfg);
 
 /**
  * Measure the abort rate of single-attempt transactions that load

@@ -141,9 +141,12 @@ runHashTableBench(const HashTableBenchConfig &cfg)
         auto &cpu = machine.cpu(i);
         region_sum += cpu.regionCycles().sum();
         region_count += cpu.regionCycles().count();
-        res.txCommits += cpu.stats().counter("tx.commits").value();
-        res.txAborts += cpu.stats().counter("tx.aborts").value();
     }
+    const TxStatsSummary tx = collectTxStats(machine);
+    res.txCommits = tx.commits;
+    res.txAborts = tx.aborts;
+    res.instructions = tx.instructions;
+    res.abortsByReason = tx.abortsByReason;
     res.meanRegionCycles = region_sum / double(region_count);
     res.throughput = double(cfg.cpus) / res.meanRegionCycles;
 

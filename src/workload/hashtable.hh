@@ -19,6 +19,7 @@
 
 #include "isa/program.hh"
 #include "sim/machine.hh"
+#include "workload/report.hh"
 
 namespace ztx::workload {
 
@@ -44,6 +45,10 @@ struct HashTableBenchResult
     std::uint64_t txCommits = 0;
     std::uint64_t txAborts = 0;
     Cycles elapsedCycles = 0;
+    /** Instructions executed, summed over CPUs. */
+    std::uint64_t instructions = 0;
+    /** Abort counts keyed by tx::abortReasonName(). */
+    std::map<std::string, std::uint64_t> abortsByReason;
     /** Occupied buckets at the end (sanity). */
     unsigned occupiedBuckets = 0;
 };

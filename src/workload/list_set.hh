@@ -18,6 +18,7 @@
 
 #include "isa/program.hh"
 #include "sim/machine.hh"
+#include "workload/report.hh"
 
 namespace ztx::workload {
 
@@ -46,6 +47,10 @@ struct ListSetBenchResult
     std::uint64_t txCommits = 0;
     std::uint64_t txAborts = 0;
     Cycles elapsedCycles = 0;
+    /** Instructions executed, summed over CPUs. */
+    std::uint64_t instructions = 0;
+    /** Abort counts keyed by tx::abortReasonName(). */
+    std::map<std::string, std::uint64_t> abortsByReason;
 
     /** Final list length (walked host-side). */
     unsigned finalLength = 0;

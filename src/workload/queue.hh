@@ -17,6 +17,7 @@
 
 #include "isa/program.hh"
 #include "sim/machine.hh"
+#include "workload/report.hh"
 
 namespace ztx::workload {
 
@@ -39,6 +40,10 @@ struct QueueBenchResult
     double throughput = 0;
     std::uint64_t txCommits = 0;
     std::uint64_t txAborts = 0;
+    /** Instructions executed, summed over CPUs. */
+    std::uint64_t instructions = 0;
+    /** Abort counts keyed by tx::abortReasonName(). */
+    std::map<std::string, std::uint64_t> abortsByReason;
     std::uint64_t dequeuedNonEmpty = 0;
     /** Nodes remaining in the queue at the end (consistency). */
     std::uint64_t finalLength = 0;

@@ -4,8 +4,34 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "sim/machine.hh"
 
 namespace ztx::workload {
+
+TxStatsSummary
+collectTxStats(const sim::Machine &machine)
+{
+    static const std::string abort_prefix = "tx.abort.";
+    TxStatsSummary sum;
+    for (unsigned i = 0; i < machine.numCpus(); ++i) {
+        for (const auto &[stat, c] :
+             machine.cpu(i).stats().counters()) {
+            if (stat == "tx.commits")
+                sum.commits += c.value();
+            else if (stat == "tx.aborts")
+                sum.aborts += c.value();
+            else if (stat == "xi.rejects_sent")
+                sum.xiRejects += c.value();
+            else if (stat == "instructions")
+                sum.instructions += c.value();
+            else if (stat.compare(0, abort_prefix.size(),
+                                  abort_prefix) == 0)
+                sum.abortsByReason[stat.substr(
+                    abort_prefix.size())] += c.value();
+        }
+    }
+    return sum;
+}
 
 SeriesTable::SeriesTable(std::string x_label,
                          std::vector<std::string> series)

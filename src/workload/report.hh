@@ -8,9 +8,15 @@
 #ifndef ZTX_WORKLOAD_REPORT_HH
 #define ZTX_WORKLOAD_REPORT_HH
 
+#include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
+
+namespace ztx::sim {
+class Machine;
+} // namespace ztx::sim
 
 namespace ztx::workload {
 
@@ -47,6 +53,23 @@ class SeriesTable
     };
     std::vector<Row> rows_;
 };
+
+/**
+ * Transactional activity summed over every CPU of a machine — the
+ * common tail every benchmark runner reports.
+ */
+struct TxStatsSummary
+{
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t xiRejects = 0;
+    std::uint64_t instructions = 0;
+    /** Abort counts keyed by tx::abortReasonName(). */
+    std::map<std::string, std::uint64_t> abortsByReason;
+};
+
+/** Collect the per-CPU "tx.*" / "instructions" counters. */
+TxStatsSummary collectTxStats(const sim::Machine &machine);
 
 } // namespace ztx::workload
 

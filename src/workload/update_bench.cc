@@ -154,11 +154,13 @@ runUpdateBench(const UpdateBenchConfig &cfg)
         auto &cpu = machine.cpu(i);
         region_sum = region_sum + cpu.regionCycles().sum();
         region_count += cpu.regionCycles().count();
-        res.txCommits += cpu.stats().counter("tx.commits").value();
-        res.txAborts += cpu.stats().counter("tx.aborts").value();
-        res.xiRejects +=
-            cpu.stats().counter("xi.rejects_sent").value();
     }
+    const TxStatsSummary tx = collectTxStats(machine);
+    res.txCommits = tx.commits;
+    res.txAborts = tx.aborts;
+    res.xiRejects = tx.xiRejects;
+    res.instructions = tx.instructions;
+    res.abortsByReason = tx.abortsByReason;
     if (region_count == 0)
         ztx_fatal("no measured regions recorded");
     res.meanRegionCycles = region_sum / double(region_count);

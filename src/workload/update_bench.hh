@@ -16,6 +16,7 @@
 
 #include "isa/program.hh"
 #include "sim/machine.hh"
+#include "workload/report.hh"
 
 namespace ztx::workload {
 
@@ -59,6 +60,12 @@ struct UpdateBenchResult
     std::uint64_t txAborts = 0;
     std::uint64_t xiRejects = 0;
     Cycles elapsedCycles = 0;
+
+    /** Instructions executed, summed over CPUs. */
+    std::uint64_t instructions = 0;
+
+    /** Abort counts keyed by tx::abortReasonName(). */
+    std::map<std::string, std::uint64_t> abortsByReason;
 
     /** Sum of all pool variables after the run (correctness). */
     std::uint64_t poolSum = 0;

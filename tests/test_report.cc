@@ -1,10 +1,11 @@
-/** @file Unit tests for the bench report table. */
+/** @file Unit tests for the bench report table and stat collection. */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
 
 #include "workload/report.hh"
+#include "ztx_test_util.hh"
 
 namespace {
 
@@ -43,6 +44,38 @@ TEST(SeriesTable, EmptyTablePrintsHeaderOnly)
     t.print(os);
     const std::string out = os.str();
     EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(CollectTxStats, SumsPerCpuCounters)
+{
+    using namespace ztx;
+    using namespace ztx::test;
+
+    isa::Assembler as;
+    as.lhi(8, 20);
+    as.label("loop");
+    as.tbegin(0x00);
+    as.jnz("skip");
+    as.ahi(5, 1);
+    as.tend();
+    as.label("skip");
+    as.brct(8, "loop");
+    as.halt();
+    const isa::Program p = as.finish();
+
+    sim::Machine m(smallConfig(2));
+    m.setProgramAll(&p);
+    m.run();
+
+    const auto tx = workload::collectTxStats(m);
+    EXPECT_GE(tx.commits, 40u); // 20 committed regions per CPU
+    EXPECT_GT(tx.instructions, 0u);
+    std::uint64_t by_reason = 0;
+    for (const auto &[reason, n] : tx.abortsByReason) {
+        EXPECT_FALSE(reason.empty());
+        by_reason += n;
+    }
+    EXPECT_EQ(by_reason, tx.aborts);
 }
 
 } // namespace

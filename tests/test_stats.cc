@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 
 namespace {
@@ -11,6 +12,7 @@ namespace {
 using ztx::Counter;
 using ztx::Distribution;
 using ztx::Histogram;
+using ztx::Json;
 using ztx::StatGroup;
 
 TEST(Counter, StartsAtZeroAndIncrements)
@@ -99,9 +101,127 @@ TEST(StatGroup, ResetAllClearsEverything)
     StatGroup g("x");
     g.counter("a").inc(2);
     g.distribution("d").sample(1.0);
+    g.histogram("h", 4, 10.0).sample(5.0);
     g.resetAll();
     EXPECT_EQ(g.counter("a").value(), 0u);
     EXPECT_EQ(g.distribution("d").count(), 0u);
+    EXPECT_EQ(g.histogram("h", 4, 10.0).total(), 0u);
+}
+
+TEST(StatGroup, DumpDistributionEmitsFullSummary)
+{
+    StatGroup g("cpu");
+    g.distribution("lat").sample(2.0);
+    g.distribution("lat").sample(6.0);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "cpu.lat.mean 4\n"
+                        "cpu.lat.count 2\n"
+                        "cpu.lat.min 2\n"
+                        "cpu.lat.max 6\n"
+                        "cpu.lat.sum 8\n");
+}
+
+TEST(StatGroup, DumpHistogramEmitsBuckets)
+{
+    StatGroup g("cpu");
+    Histogram &h = g.histogram("reg", 2, 10.0);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(99.0);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "cpu.reg.bucket0 1\n"
+                        "cpu.reg.bucket1 1\n"
+                        "cpu.reg.overflow 1\n"
+                        "cpu.reg.total 3\n");
+}
+
+TEST(StatGroup, HistogramFirstRegistrationWins)
+{
+    StatGroup g("x");
+    Histogram &a = g.histogram("h", 4, 10.0);
+    Histogram &b = g.histogram("h", 99, 1.0);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.buckets(), 4u);
+    EXPECT_DOUBLE_EQ(b.bucketWidth(), 10.0);
+}
+
+TEST(StatGroup, JsonRoundTrip)
+{
+    StatGroup g("cpu0");
+    g.counter("tx.commits").inc(41);
+    g.distribution("region").sample(10.0);
+    g.distribution("region").sample(30.0);
+    g.histogram("hist", 2, 16.0).sample(3.0);
+    g.histogram("hist", 2, 16.0).sample(100.0);
+
+    std::ostringstream os;
+    g.dumpJson(os, 2);
+    const auto parsed = Json::parse(os.str());
+    ASSERT_TRUE(parsed.has_value());
+
+    EXPECT_EQ(parsed->find("name")->str(), "cpu0");
+    const Json *counters = parsed->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("tx.commits")->asUint(), 41u);
+
+    const Json *dist =
+        parsed->find("distributions")->find("region");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->find("count")->asUint(), 2u);
+    EXPECT_DOUBLE_EQ(dist->find("mean")->number(), 20.0);
+    EXPECT_DOUBLE_EQ(dist->find("min")->number(), 10.0);
+    EXPECT_DOUBLE_EQ(dist->find("max")->number(), 30.0);
+    EXPECT_DOUBLE_EQ(dist->find("sum")->number(), 40.0);
+
+    const Json *hist = parsed->find("histograms")->find("hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->find("bucket_width")->number(), 16.0);
+    ASSERT_EQ(hist->find("buckets")->size(), 2u);
+    EXPECT_EQ(hist->find("buckets")->at(0).asUint(), 1u);
+    EXPECT_EQ(hist->find("buckets")->at(1).asUint(), 0u);
+    EXPECT_EQ(hist->find("overflow")->asUint(), 1u);
+    EXPECT_EQ(hist->find("total")->asUint(), 2u);
+}
+
+TEST(Json, ScalarsRoundTrip)
+{
+    Json j = Json::object();
+    j["u"] = std::uint64_t(18446744073709551615ull);
+    j["neg"] = -42;
+    j["pi"] = 3.25;
+    j["s"] = "quote \" backslash \\ newline \n";
+    j["t"] = true;
+    j["n"] = nullptr;
+    Json arr = Json::array();
+    arr.push(1u);
+    arr.push("two");
+    j["arr"] = std::move(arr);
+
+    const auto parsed = Json::parse(j.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("u")->asUint(),
+              18446744073709551615ull);
+    EXPECT_DOUBLE_EQ(parsed->find("neg")->number(), -42.0);
+    EXPECT_DOUBLE_EQ(parsed->find("pi")->number(), 3.25);
+    EXPECT_EQ(parsed->find("s")->str(),
+              "quote \" backslash \\ newline \n");
+    EXPECT_TRUE(parsed->find("t")->boolean());
+    EXPECT_TRUE(parsed->find("n")->isNull());
+    EXPECT_EQ(parsed->find("arr")->size(), 2u);
+    EXPECT_EQ(parsed->find("arr")->at(1).str(), "two");
+}
+
+TEST(Json, ParseRejectsMalformed)
+{
+    EXPECT_FALSE(Json::parse("").has_value());
+    EXPECT_FALSE(Json::parse("{").has_value());
+    EXPECT_FALSE(Json::parse("{\"a\":1,}").has_value());
+    EXPECT_FALSE(Json::parse("[1, 2").has_value());
+    EXPECT_FALSE(Json::parse("true false").has_value());
+    EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+    EXPECT_TRUE(Json::parse("{\"a\": [1, 2.5, null]}").has_value());
 }
 
 } // namespace
