@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Chaos sweep: run the three validated workloads (sorted list set,
+ * hash table, linked queue) under increasingly hostile fault
+ * injection — spurious aborts, XI storms against the transactional
+ * footprint, capacity squeezes, interrupt storms, delayed XI
+ * responses, and everything at once — with the forward-progress
+ * watchdog armed. For every (workload, mix, scale) point the
+ * consistency oracle verifies structure invariants and linearizable
+ * effect counts after the run.
+ *
+ * The paper's claim under test: transactions may abort for any
+ * environmental reason, but committed state is never corrupted, and
+ * constrained transactions still complete (eventual success via the
+ * millicode escalation ladder up to broadcast-stop, §II.A/§III.E).
+ *
+ * Exit status is non-zero if any oracle fails or any watchdog
+ * fires, so the binary doubles as a stress gate (chaos_smoke).
+ * Everything derives from the machine seed: the same invocation
+ * replays bit-identically.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "inject/fault_plan.hh"
+#include "json_report.hh"
+#include "workload/hashtable.hh"
+#include "workload/list_set.hh"
+#include "workload/queue.hh"
+#include "workload/report.hh"
+
+namespace {
+
+using namespace ztx;
+
+/** One injection mix of the sweep. */
+struct Mix
+{
+    const char *name;
+    double scale; ///< multiplies every rate of the mix
+};
+
+/**
+ * Build the plan for @p mix at @p scale. Base rates are per
+ * scheduler step and deliberately harsh at scale 1: a few-thousand
+ * step run sees every fault kind many times.
+ */
+inject::FaultPlan
+mixPlan(const std::string &mix, double scale)
+{
+    inject::FaultPlan plan;
+    const bool all = mix == "all";
+    if (all || mix == "spurious")
+        plan.spuriousAbortRate = 0.002 * scale;
+    if (all || mix == "xi_storm")
+        plan.xiStormRate = 0.003 * scale;
+    if (all || mix == "squeeze") {
+        plan.capacitySqueezeRate = 0.0005 * scale;
+        plan.squeezeDuration = 3000;
+    }
+    if (all || mix == "interrupts")
+        plan.interruptStormRate = 0.0004 * scale;
+    if (all || mix == "delayed_xi") {
+        plan.delayedXiRate = 0.2 * scale;
+        plan.xiDelayMax = 300;
+    }
+    return plan;
+}
+
+/** Watchdog window: generous against backoff, tiny against hangs. */
+constexpr Cycles watchdogWindow = 2'000'000;
+
+struct Outcome
+{
+    double throughput = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    bool oracleOk = false;
+    bool watchdogFired = false;
+    std::string oracleSummary;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ztx::workload;
+
+    bench::JsonReport report("chaos", argc, argv);
+    report.setMachineConfig(bench::benchMachine());
+    const unsigned iters = bench::benchIterations();
+    report.meta()["iterations"] = iters;
+    report.meta()["watchdog_cycles"] =
+        std::uint64_t(watchdogWindow);
+
+    std::printf("# Chaos sweep: oracle-checked workloads under "
+                "fault injection\n");
+    std::printf("# %-10s %-10s %-5s %10s %8s %8s  %s\n", "workload",
+                "mix", "scale", "thrpt", "commits", "aborts",
+                "verdict");
+
+    const std::vector<Mix> mixes = {
+        {"none", 0.0},       {"spurious", 1.0},
+        {"xi_storm", 1.0},   {"squeeze", 1.0},
+        {"interrupts", 1.0}, {"delayed_xi", 1.0},
+        {"all", 0.5},        {"all", 1.0},
+        {"all", 2.0},
+    };
+    const std::vector<std::string> workloads = {"list_set",
+                                                "hashtable",
+                                                "queue"};
+
+    bool all_ok = true;
+    for (const auto &wl : workloads) {
+        for (const auto &mix : mixes) {
+            const inject::FaultPlan plan =
+                mixPlan(mix.name, mix.scale);
+
+            sim::MachineConfig mcfg = bench::benchMachine();
+            mcfg.faults = plan;
+            mcfg.watchdogCycles = watchdogWindow;
+
+            Outcome out;
+            Json rec = Json::object();
+            if (wl == "list_set") {
+                ListSetBenchConfig cfg;
+                cfg.cpus = 4;
+                cfg.useElision = true;
+                cfg.iterations = iters;
+                cfg.machine = mcfg;
+                const auto res = runListSetBench(cfg);
+                out = {res.throughput, res.txCommits, res.txAborts,
+                       res.oracle.ok && res.sorted &&
+                           res.lengthConsistent,
+                       res.watchdogFired, res.oracle.summary()};
+                report.addSimWork(res.elapsedCycles,
+                                  res.instructions);
+                rec = bench::resultJson(res);
+            } else if (wl == "hashtable") {
+                HashTableBenchConfig cfg;
+                cfg.cpus = 4;
+                cfg.useElision = true;
+                cfg.iterations = iters;
+                cfg.machine = mcfg;
+                const auto res = runHashTableBench(cfg);
+                out = {res.throughput, res.txCommits, res.txAborts,
+                       res.oracle.ok, res.watchdogFired,
+                       res.oracle.summary()};
+                report.addSimWork(res.elapsedCycles,
+                                  res.instructions);
+                rec = bench::resultJson(res);
+            } else {
+                QueueBenchConfig cfg;
+                cfg.cpus = 4;
+                cfg.useConstrainedTx = true;
+                cfg.iterations = iters;
+                cfg.machine = mcfg;
+                const auto res = runQueueBench(cfg);
+                out = {res.throughput, res.txCommits, res.txAborts,
+                       res.oracle.ok, res.watchdogFired,
+                       res.oracle.summary()};
+                report.addSimWork(res.elapsedCycles,
+                                  res.instructions);
+                rec = bench::resultJson(res);
+            }
+
+            const bool point_ok = out.oracleOk && !out.watchdogFired;
+            all_ok = all_ok && point_ok;
+            std::printf("  %-10s %-10s %-5.2g %10.5f %8llu %8llu  "
+                        "%s%s\n",
+                        wl.c_str(), mix.name, mix.scale,
+                        out.throughput,
+                        (unsigned long long)out.commits,
+                        (unsigned long long)out.aborts,
+                        out.watchdogFired ? "WATCHDOG " : "",
+                        out.oracleSummary.c_str());
+
+            if (report.enabled()) {
+                rec["workload"] = wl;
+                rec["mix"] = mix.name;
+                rec["rate_scale"] = mix.scale;
+                rec["oracle_ok"] = out.oracleOk;
+                rec["watchdog_fired"] = out.watchdogFired;
+                rec["oracle_summary"] = out.oracleSummary;
+                rec["fault_plan"] = inject::faultPlanJson(plan);
+                report.addRecord(std::move(rec));
+            }
+        }
+    }
+
+    if (!report.write())
+        return 1;
+    if (!all_ok) {
+        std::fprintf(stderr,
+                     "chaos: oracle violation or watchdog firing "
+                     "detected (see table above)\n");
+        return 2;
+    }
+    std::printf("# all points consistent; no watchdog firings\n");
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "isa/disasm.hh"
@@ -314,6 +315,56 @@ Cpu::deliverExternalInterrupt()
     addStall(cfg_.osInterruptCost);
 }
 
+void
+Cpu::injectSpuriousAbort()
+{
+    if (!inTx())
+        return;
+    stats_.counter("inject.spurious_aborts").inc();
+    // Transient (CC2) like the random environmental aborts zEC12
+    // millicode tolerates; DiagnosticAbort matches the architected
+    // "forced abort with no architectural cause" bucket.
+    abortTransaction({.reason = tx::AbortReason::DiagnosticAbort});
+}
+
+Json
+Cpu::diagnosticJson() const
+{
+    Json d = Json::object();
+    d["id"] = id_;
+    d["halted"] = halted_;
+    d["psw_ia"] = std::uint64_t(psw_.ia);
+    d["psw_cc"] = unsigned(psw_.cc);
+    d["in_tx"] = inTx();
+    d["nesting_depth"] = txDepth_;
+    d["constrained"] = constrained_;
+    d["last_abort_code"] = lastAbortCode_;
+    d["tdb_addr"] = tdbValid_ ? std::uint64_t(tdbAddr_) : 0;
+
+    // Escalation-ladder position (paper §III.E).
+    Json ladder = Json::object();
+    ladder["constrained_abort_count"] = constrainedAbortCount_;
+    ladder["speculation_reduced"] = speculationReduced_;
+    ladder["solo_held"] = soloHeld_;
+    d["ladder"] = std::move(ladder);
+
+    d["progress_events"] = progressEvents_;
+    Json aborts = Json::object();
+    for (const auto &[name, counter] : stats_.counters()) {
+        if (name.rfind("tx.abort.", 0) == 0)
+            aborts[name.substr(9)] = counter.value();
+    }
+    d["aborts_by_reason"] = std::move(aborts);
+    d["commits"] = stats_.counters().count("tx.commits")
+                       ? stats_.counters().at("tx.commits").value()
+                       : 0;
+    d["rejects_sent"] =
+        stats_.counters().count("xi.rejects_sent")
+            ? stats_.counters().at("xi.rejects_sent").value()
+            : 0;
+    return d;
+}
+
 mem::XiResponse
 Cpu::incomingXi(const mem::XiContext &ctx)
 {
@@ -493,6 +544,7 @@ Cpu::endTransaction()
     stats_.counter("tx.commits").inc();
     if (was_constrained)
         stats_.counter("tx.commits_constrained").inc();
+    ++progressEvents_;
     psw_.cc = 0;
     ztx_trace(trace::Category::Tx, "cpu", id_, " TEND commit",
               was_constrained ? " (constrained)" : "");
@@ -801,6 +853,7 @@ Cpu::execute(const isa::Program::Slot &slot)
             regionCycles_.sample(cycles);
             regionHist_->sample(cycles);
             regionOpen_ = false;
+            ++progressEvents_;
         }
         res.cost = 0;
         break;
@@ -812,6 +865,7 @@ Cpu::execute(const isa::Program::Slot &slot)
       case Opcode::HALT:
         drainStores();
         halted_ = true;
+        ++progressEvents_;
         advance = false;
         break;
     }

@@ -114,6 +114,40 @@ class Cpu : public mem::CacheClient
     bool inConstrainedTx() const { return inTx() && constrained_; }
     /** @} */
 
+    /** @name Millicode escalation state (tests, diagnostics) @{ */
+    unsigned constrainedAbortCount() const
+    {
+        return constrainedAbortCount_;
+    }
+    bool soloHeld() const { return soloHeld_; }
+    bool speculationReduced() const { return speculationReduced_; }
+    std::uint64_t lastAbortCode() const { return lastAbortCode_; }
+    /** @} */
+
+    /**
+     * Forward-progress events retired so far: outermost transaction
+     * commits, measured-region closes (MARKE), and the final HALT.
+     * The machine watchdog declares livelock when the machine-wide
+     * sum of these stops moving (see MachineConfig::watchdogCycles).
+     */
+    std::uint64_t progressEvents() const { return progressEvents_; }
+
+    /**
+     * Fault injection: abort the current transaction for no
+     * architectural reason (millicode must tolerate random aborts).
+     * Processed as a transient diagnostic abort — CC2, normal
+     * escalation-ladder accounting. No-op outside a transaction.
+     * Call between steps, like deliverExternalInterrupt().
+     */
+    void injectSpuriousAbort();
+
+    /**
+     * Livelock-diagnosis snapshot (watchdog bundle): architected
+     * position, transactional mode, escalation-ladder state, last
+     * abort code, TDB address, and commit/abort totals by reason.
+     */
+    Json diagnosticJson() const;
+
     /** CPU id. */
     CpuId id() const { return id_; }
 
@@ -278,6 +312,9 @@ class Cpu : public mem::CacheClient
 
     /** Set by any abort that happens inside this CPU's own step. */
     bool abortedDuringStep_ = false;
+
+    /** Commits + region closes + halt; see progressEvents(). */
+    std::uint64_t progressEvents_ = 0;
 
     /** @name Millicode state @{ */
     unsigned constrainedAbortCount_ = 0;

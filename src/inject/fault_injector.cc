@@ -1,0 +1,189 @@
+#include "fault_injector.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/config.hh"
+#include "core/cpu.hh"
+#include "mem/hierarchy.hh"
+
+namespace ztx::inject {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SpuriousAbort: return "spurious_abort";
+      case FaultKind::XiStorm: return "xi_storm";
+      case FaultKind::CapacitySqueeze: return "capacity_squeeze";
+      case FaultKind::InterruptStorm: return "interrupt_storm";
+      case FaultKind::DelayedXi: return "delayed_xi";
+    }
+    return "?";
+}
+
+Json
+faultPlanJson(const FaultPlan &plan)
+{
+    Json p = Json::object();
+    p["spurious_abort_rate"] = plan.spuriousAbortRate;
+    p["xi_storm_rate"] = plan.xiStormRate;
+    p["capacity_squeeze_rate"] = plan.capacitySqueezeRate;
+    p["interrupt_storm_rate"] = plan.interruptStormRate;
+    p["delayed_xi_rate"] = plan.delayedXiRate;
+    p["xi_storm_burst"] = plan.xiStormBurst;
+    p["squeeze_l1_ways"] = plan.squeezeL1Ways;
+    p["squeeze_l2_ways"] = plan.squeezeL2Ways;
+    p["squeeze_duration"] = std::uint64_t(plan.squeezeDuration);
+    p["interrupt_burst"] = plan.interruptBurst;
+    p["xi_delay_max"] = std::uint64_t(plan.xiDelayMax);
+    p["seed"] = plan.seed;
+    Json sched = Json::array();
+    for (const auto &f : plan.schedule) {
+        Json s = Json::object();
+        s["at"] = std::uint64_t(f.at);
+        s["kind"] = faultKindName(f.kind);
+        s["target"] = f.target == invalidCpu ? std::int64_t(-1)
+                                             : std::int64_t(f.target);
+        sched.push(std::move(s));
+    }
+    p["schedule"] = std::move(sched);
+    return p;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan,
+                             std::uint64_t machine_seed,
+                             mem::Hierarchy &hier,
+                             const core::CpuEnv &env)
+    : plan_(plan), hier_(hier), env_(env),
+      rng_(plan.seed ? plan.seed
+                     : machine_seed * 0xD1B54A32D192ED03ULL + 0x5C)
+{
+    if (plan_.xiDelayMax == 0)
+        plan_.xiDelayMax = 1;
+    // Scheduled faults are consumed front to back; demand order so
+    // a mis-written plan fails loudly instead of silently skipping.
+    for (std::size_t i = 1; i < plan_.schedule.size(); ++i)
+        if (plan_.schedule[i].at < plan_.schedule[i - 1].at)
+            ztx_fatal("FaultPlan schedule not sorted by cycle");
+}
+
+void
+FaultInjector::attachCpu(core::Cpu &cpu)
+{
+    if (cpu.id() != cpus_.size())
+        ztx_fatal("FaultInjector: CPUs must attach in id order");
+    cpus_.push_back(&cpu);
+    squeezeUntil_.push_back(0);
+}
+
+void
+FaultInjector::beforeStep(CpuId id, Cycles now)
+{
+    // Expire this CPU's capacity squeeze.
+    if (squeezeUntil_[id] != 0 && now >= squeezeUntil_[id]) {
+        hier_.squeezeCapacity(id, 0, 0);
+        squeezeUntil_[id] = 0;
+        stats_.counter("squeeze.restored").inc();
+    }
+
+    // Scheduled faults that came due. A fault without an explicit
+    // target hits the CPU about to step.
+    while (nextScheduled_ < plan_.schedule.size() &&
+           plan_.schedule[nextScheduled_].at <= now) {
+        const ScheduledFault &f = plan_.schedule[nextScheduled_++];
+        const CpuId target =
+            f.target == invalidCpu ? id : f.target;
+        if (target >= cpus_.size())
+            ztx_fatal("scheduled fault targets CPU ", target,
+                      " but only ", cpus_.size(), " attached");
+        stats_.counter("scheduled.fired").inc();
+        apply(f.kind, target, now);
+    }
+
+    // Probabilistic faults against the CPU about to step: one RNG
+    // draw per *enabled* kind, so a disabled kind costs nothing and
+    // a given (plan, seed) pair replays bit-identically.
+    if (plan_.spuriousAbortRate > 0 &&
+        rng_.nextBool(plan_.spuriousAbortRate))
+        apply(FaultKind::SpuriousAbort, id, now);
+    if (plan_.xiStormRate > 0 && rng_.nextBool(plan_.xiStormRate))
+        apply(FaultKind::XiStorm, id, now);
+    if (plan_.capacitySqueezeRate > 0 &&
+        rng_.nextBool(plan_.capacitySqueezeRate))
+        apply(FaultKind::CapacitySqueeze, id, now);
+    if (plan_.interruptStormRate > 0 &&
+        rng_.nextBool(plan_.interruptStormRate))
+        apply(FaultKind::InterruptStorm, id, now);
+}
+
+void
+FaultInjector::apply(FaultKind kind, CpuId target, Cycles now)
+{
+    core::Cpu &cpu = *cpus_.at(target);
+    switch (kind) {
+      case FaultKind::SpuriousAbort:
+        if (!cpu.inTx())
+            return; // nothing to abort
+        stats_.counter("spurious_abort.fired").inc();
+        cpu.injectSpuriousAbort();
+        return;
+
+      case FaultKind::XiStorm: {
+        if (target == env_.soloHolder()) {
+            // Broadcast-stop stopped "all conflicting work"; an
+            // adversary is conflicting work too.
+            stats_.counter("xi_storm.suppressed_solo").inc();
+            return;
+        }
+        const std::vector<Addr> lines =
+            hier_.txFootprintLines(target);
+        if (lines.empty())
+            return; // no transactional footprint to attack
+        stats_.counter("xi_storm.fired").inc();
+        for (unsigned i = 0; i < plan_.xiStormBurst; ++i) {
+            const Addr line =
+                lines[rng_.nextBounded(lines.size())];
+            if (hier_.injectAdversarialXi(target, line))
+                stats_.counter("xi_storm.lines_taken").inc();
+            else
+                stats_.counter("xi_storm.lines_defended").inc();
+        }
+        return;
+      }
+
+      case FaultKind::CapacitySqueeze:
+        stats_.counter("squeeze.fired").inc();
+        hier_.squeezeCapacity(target, plan_.squeezeL1Ways,
+                              plan_.squeezeL2Ways);
+        squeezeUntil_[target] = now + plan_.squeezeDuration;
+        return;
+
+      case FaultKind::InterruptStorm:
+        stats_.counter("interrupt_storm.fired").inc();
+        for (unsigned i = 0; i < plan_.interruptBurst; ++i)
+            cpu.deliverExternalInterrupt();
+        return;
+
+      case FaultKind::DelayedXi:
+        // Delay is drawn per XI in xiDelay(); a scheduled entry of
+        // this kind is a plan-documentation no-op.
+        return;
+    }
+}
+
+Cycles
+FaultInjector::xiDelay(mem::XiKind kind, CpuId target,
+                       CpuId requester)
+{
+    (void)kind;
+    (void)target;
+    (void)requester;
+    if (plan_.delayedXiRate <= 0 ||
+        !rng_.nextBool(plan_.delayedXiRate))
+        return 0;
+    stats_.counter("xi_delay.fired").inc();
+    return rng_.nextBounded(plan_.xiDelayMax) + 1;
+}
+
+} // namespace ztx::inject

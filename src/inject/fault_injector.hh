@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Turns a FaultPlan into concrete adversarial events against a live
+ * machine. The Machine scheduler calls beforeStep() for the CPU
+ * about to execute; the injector draws its per-kind Bernoulli rates
+ * and fires any scheduled faults that came due, then the step runs
+ * into whatever hostile state was created. All randomness comes
+ * from one private ztx::Rng seeded from the plan/machine seed, so a
+ * chaotic run is a pure function of (program, config, seed) just
+ * like a benign one.
+ *
+ * The injector also implements mem::XiDelayProbe: when registered
+ * with the hierarchy it can stretch individual XI response times,
+ * modelling slow remote snoop responses without violating coherence
+ * (the delay is pure latency, the protocol outcome is unchanged).
+ *
+ * Fairness rule: XI storms never target the CPU holding solo mode.
+ * Broadcast-stop means *all conflicting work* stops (paper §III.E)
+ * — an adversary that could still snipe the solo holder's footprint
+ * would break the eventual-success guarantee by construction rather
+ * than by finding a real bug.
+ */
+
+#ifndef ZTX_INJECT_FAULT_INJECTOR_HH
+#define ZTX_INJECT_FAULT_INJECTOR_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "inject/fault_plan.hh"
+#include "mem/xi.hh"
+
+namespace ztx::core {
+class Cpu;
+class CpuEnv;
+} // namespace ztx::core
+
+namespace ztx::mem {
+class Hierarchy;
+} // namespace ztx::mem
+
+namespace ztx::inject {
+
+/** Drives a FaultPlan against one machine. */
+class FaultInjector : public mem::XiDelayProbe
+{
+  public:
+    /**
+     * @param plan The campaign to run (copied).
+     * @param machine_seed Used to derive the RNG seed when the plan
+     *        leaves its own seed at 0.
+     * @param hier The machine's hierarchy (XI/capacity faults).
+     * @param env Machine services (solo-holder queries).
+     */
+    FaultInjector(const FaultPlan &plan, std::uint64_t machine_seed,
+                  mem::Hierarchy &hier, const core::CpuEnv &env);
+
+    /** Register a CPU; its id indexes the injector's tables. */
+    void attachCpu(core::Cpu &cpu);
+
+    /**
+     * Called by the scheduler right before CPU @p id steps at
+     * global cycle @p now: expires due capacity squeezes, fires due
+     * scheduled faults, and draws the probabilistic ones.
+     */
+    void beforeStep(CpuId id, Cycles now);
+
+    /** mem::XiDelayProbe: extra cycles for one XI response. */
+    Cycles xiDelay(mem::XiKind kind, CpuId target,
+                   CpuId requester) override;
+
+    /** The plan being executed. */
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Injection activity ("inject.*" counters). */
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    void apply(FaultKind kind, CpuId target, Cycles now);
+
+    FaultPlan plan_;
+    mem::Hierarchy &hier_;
+    const core::CpuEnv &env_;
+    std::vector<core::Cpu *> cpus_;
+    /** Per-CPU cycle at which a squeeze expires; 0 = not squeezed. */
+    std::vector<Cycles> squeezeUntil_;
+    std::size_t nextScheduled_ = 0;
+    Rng rng_;
+    StatGroup stats_{"inject"};
+};
+
+} // namespace ztx::inject
+
+#endif // ZTX_INJECT_FAULT_INJECTOR_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Declarative description of a fault-injection campaign.
+ *
+ * A FaultPlan names *what* chaos to create and *how much* of it;
+ * the FaultInjector (fault_injector.hh) turns the plan into concrete
+ * adversarial events against a running machine. Plans are plain data
+ * so a MachineConfig can embed one, a bench sweep can scale one, and
+ * a JSON report can archive one. All randomness is drawn from one
+ * ztx::Rng derived from the plan/machine seed, so a chaotic run
+ * replays bit-identically.
+ *
+ * The fault kinds mirror the paper's environmental abort groups
+ * (tx/abort.hh): spurious millicode-visible aborts, conflict XIs,
+ * cache-capacity loss, and asynchronous interruptions — plus XI
+ * response delay, which perturbs timing without aborting anything
+ * (see DESIGN.md "Fault injection & chaos testing").
+ */
+
+#ifndef ZTX_INJECT_FAULT_PLAN_HH
+#define ZTX_INJECT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace ztx::inject {
+
+/** What kind of adversity to apply. */
+enum class FaultKind : std::uint8_t
+{
+    /** Abort the target's transaction for no architectural reason. */
+    SpuriousAbort,
+    /** Burst of conflict XIs aimed at the target's tx footprint. */
+    XiStorm,
+    /** Temporarily shrink the target's effective L1/L2 ways. */
+    CapacitySqueeze,
+    /** Burst of asynchronous (external) interruptions. */
+    InterruptStorm,
+    /** One-shot marker for delayed-XI campaigns (rate-driven). */
+    DelayedXi,
+};
+
+/** Stable name for stats keys and reports. */
+const char *faultKindName(FaultKind kind);
+
+/** A fault pinned to a cycle point (deterministic scenarios). */
+struct ScheduledFault
+{
+    /** Global cycle at (or after) which the fault fires. */
+    Cycles at = 0;
+    FaultKind kind = FaultKind::SpuriousAbort;
+    /** Victim CPU; invalidCpu targets the next CPU to step. */
+    CpuId target = invalidCpu;
+};
+
+/** A complete injection campaign: per-step rates plus a schedule. */
+struct FaultPlan
+{
+    /**
+     * @name Per-step Bernoulli rates
+     * Probability that the named fault hits the CPU about to step,
+     * evaluated once per scheduler step. 0 disables the kind.
+     * @{
+     */
+    double spuriousAbortRate = 0.0;
+    double xiStormRate = 0.0;
+    double capacitySqueezeRate = 0.0;
+    double interruptStormRate = 0.0;
+    /** Probability that any one XI response is delayed. */
+    double delayedXiRate = 0.0;
+    /** @} */
+
+    /** @name Fault shape parameters @{ */
+    /** XIs per storm (sampled from the victim's tx footprint). */
+    unsigned xiStormBurst = 4;
+    /** Effective L1 ways while squeezed (0 keeps the geometry). */
+    unsigned squeezeL1Ways = 1;
+    /** Effective L2 ways while squeezed (0 keeps the geometry). */
+    unsigned squeezeL2Ways = 2;
+    /** Cycles a capacity squeeze lasts before ways are restored. */
+    Cycles squeezeDuration = 4000;
+    /** External interruptions per storm. */
+    unsigned interruptBurst = 2;
+    /** Maximum extra cycles added to a delayed XI response. */
+    Cycles xiDelayMax = 256;
+    /** @} */
+
+    /** Cycle-pinned faults, applied in order of appearance. */
+    std::vector<ScheduledFault> schedule;
+
+    /**
+     * Seed of the injector's private RNG; 0 derives one from the
+     * machine seed (the common case — one seed reproduces the whole
+     * chaotic run).
+     */
+    std::uint64_t seed = 0;
+
+    /** True when the plan can produce any fault at all. */
+    bool
+    enabled() const
+    {
+        return spuriousAbortRate > 0 || xiStormRate > 0 ||
+               capacitySqueezeRate > 0 || interruptStormRate > 0 ||
+               delayedXiRate > 0 || !schedule.empty();
+    }
+};
+
+/** @p plan as a JSON object (report/stats metadata). */
+Json faultPlanJson(const FaultPlan &plan);
+
+} // namespace ztx::inject
+
+#endif // ZTX_INJECT_FAULT_PLAN_HH

@@ -8,7 +8,7 @@ namespace ztx::mem {
 
 CacheArray::CacheArray(const CacheGeometry &geometry, std::string name)
     : rows_(geometry.rows()), assoc_(geometry.assoc),
-      name_(std::move(name))
+      effAssoc_(geometry.assoc), name_(std::move(name))
 {
     if (rows_ == 0 || assoc_ == 0)
         ztx_fatal("cache '", name_, "' has zero rows or ways");
@@ -94,20 +94,31 @@ CacheArray::insert(Addr line, std::uint8_t flags)
 
     Entry *base = setBase(line);
     Entry *slot = nullptr;
-    for (unsigned w = 0; w < assoc_; ++w) {
-        if (!base[w].valid) {
-            slot = &base[w];
-            break;
+    unsigned valid_ways = 0;
+    for (unsigned w = 0; w < assoc_; ++w)
+        valid_ways += base[w].valid ? 1 : 0;
+    // A capacity squeeze (effAssoc_ < assoc_) forces replacement as
+    // soon as the effective ways are occupied, even while physical
+    // ways remain free.
+    if (valid_ways < effAssoc_) {
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (!base[w].valid) {
+                slot = &base[w];
+                break;
+            }
         }
     }
 
     Victim victim;
     if (!slot) {
-        // True LRU within the congruence class.
-        slot = &base[0];
-        for (unsigned w = 1; w < assoc_; ++w)
-            if (base[w].lastUse < slot->lastUse)
+        // True LRU among the valid entries of the congruence class
+        // (under a squeeze, invalid ways must stay unused).
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (!base[w].valid)
+                continue;
+            if (!slot || base[w].lastUse < slot->lastUse)
                 slot = &base[w];
+        }
         victim.valid = true;
         victim.line = slot->line;
         victim.flags = slot->flags;
@@ -118,6 +129,12 @@ CacheArray::insert(Addr line, std::uint8_t flags)
     slot->flags = flags;
     slot->lastUse = ++useTick_;
     return victim;
+}
+
+void
+CacheArray::setEffectiveAssoc(unsigned ways)
+{
+    effAssoc_ = (ways == 0 || ways >= assoc_) ? assoc_ : ways;
 }
 
 bool

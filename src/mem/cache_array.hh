@@ -99,6 +99,19 @@ class CacheArray
     /** Ways per congruence class. */
     unsigned assoc() const { return assoc_; }
 
+    /**
+     * Limit replacement to @p ways effective ways per congruence
+     * class (fault injection: capacity squeeze). While a row holds
+     * at least this many valid lines, insert() evicts the LRU line
+     * even when unused ways remain, so fills behave as if the array
+     * were @p ways -way associative. 0 (or >= assoc()) restores the
+     * configured geometry. Resident lines are never flushed eagerly.
+     */
+    void setEffectiveAssoc(unsigned ways);
+
+    /** Current effective ways (== assoc() when not squeezed). */
+    unsigned effectiveAssoc() const { return effAssoc_; }
+
     /** Count of valid entries (for tests/stats). */
     std::size_t validCount() const;
 
@@ -122,6 +135,7 @@ class CacheArray
 
     std::uint64_t rows_;
     unsigned assoc_;
+    unsigned effAssoc_;
     std::string name_;
     std::vector<Entry> entries_;
     std::uint64_t useTick_ = 0;

@@ -143,6 +143,17 @@ Hierarchy::sendXi(XiKind kind, Addr line, CpuId target, CpuId requester)
     return resp;
 }
 
+Cycles
+Hierarchy::probeDelay(XiKind kind, CpuId target, CpuId requester)
+{
+    if (!xiProbe_)
+        return 0;
+    const Cycles delay = xiProbe_->xiDelay(kind, target, requester);
+    if (delay)
+        stats_.counter("xi.delayed").inc();
+    return delay;
+}
+
 void
 Hierarchy::removeFromCpu(CpuId cpu, Addr line)
 {
@@ -175,13 +186,14 @@ Hierarchy::fetch(CpuId cpu, Addr line, bool exclusive)
         const XiKind kind =
             exclusive ? XiKind::Exclusive : XiKind::Demote;
         const Distance d = topo_.distance(cpu, owner);
+        const Cycles delay = probeDelay(kind, owner, cpu);
         if (sendXi(kind, line, owner, cpu) == XiResponse::Reject) {
             res.rejected = true;
             res.rejecter = owner;
-            res.latency = lat_.rejectRetry(d);
+            res.latency = lat_.rejectRetry(d) + delay;
             return res;
         }
-        xi_cost = std::max(xi_cost, lat_.intervention(d));
+        xi_cost = std::max(xi_cost, lat_.intervention(d) + delay);
         if (exclusive)
             removeFromCpu(owner, line);
         else
@@ -189,10 +201,13 @@ Hierarchy::fetch(CpuId cpu, Addr line, bool exclusive)
     } else if (exclusive) {
         // Invalidate all other read-only copies.
         for (const CpuId s : dir_.sharersExcept(line, cpu)) {
+            const Cycles delay =
+                probeDelay(XiKind::ReadOnly, s, cpu);
             sendXi(XiKind::ReadOnly, line, s, cpu);
             removeFromCpu(s, line);
             xi_cost = std::max(
-                xi_cost, lat_.intervention(topo_.distance(cpu, s)));
+                xi_cost,
+                lat_.intervention(topo_.distance(cpu, s)) + delay);
         }
     }
 
@@ -407,6 +422,47 @@ Hierarchy::flushCpuCaches(CpuId cpu)
         dir_.remove(line, cpu);
     }
     std::fill(lruExt_[cpu].begin(), lruExt_[cpu].end(), false);
+}
+
+std::vector<Addr>
+Hierarchy::txFootprintLines(CpuId cpu) const
+{
+    std::vector<Addr> lines;
+    l1_[cpu].forEachValid([&](const CacheArray::Entry &e) {
+        if (e.flags &
+            (line_flag::txRead | line_flag::txDirty))
+            lines.push_back(e.line);
+    });
+    return lines;
+}
+
+bool
+Hierarchy::injectAdversarialXi(CpuId target, Addr line)
+{
+    const DirectoryEntry e = dir_.lookup(line);
+    if (e.owner == target) {
+        // Rejectable: an owner defending its footprint stiff-arms
+        // exactly as it would against a real remote claimant.
+        if (sendXi(XiKind::Exclusive, line, target, invalidCpu) ==
+            XiResponse::Reject)
+            return false;
+    } else if (dir_.holds(target, line)) {
+        // A shared copy cannot be defended (ReadOnly XIs are not
+        // rejectable): a tx-read hit aborts the transaction.
+        sendXi(XiKind::ReadOnly, line, target, invalidCpu);
+    } else {
+        return false; // raced away (e.g. aborted out) — no-op
+    }
+    removeFromCpu(target, line);
+    return true;
+}
+
+void
+Hierarchy::squeezeCapacity(CpuId cpu, unsigned l1_ways,
+                           unsigned l2_ways)
+{
+    l1_[cpu].setEffectiveAssoc(l1_ways);
+    l2_[cpu].setEffectiveAssoc(l2_ways);
 }
 
 void

@@ -129,6 +129,45 @@ class Hierarchy
     void checkInvariants() const;
 
     /**
+     * @name Fault-injection hooks (src/inject)
+     * @{
+     */
+    /** Register (or clear, with nullptr) the XI delay probe. */
+    void setXiDelayProbe(XiDelayProbe *probe) { xiProbe_ = probe; }
+
+    /**
+     * Lines currently marked transactional (tx-read or tx-dirty) in
+     * @p cpu's L1 — the precise part of its footprint an adversary
+     * can aim conflict XIs at. Lines only covered by the imprecise
+     * LRU-extension rows are not enumerable and are excluded.
+     */
+    std::vector<Addr> txFootprintLines(CpuId cpu) const;
+
+    /**
+     * Send a hostile conflict XI for @p line to @p target on behalf
+     * of no real requester: an Exclusive XI when the target owns the
+     * line (rejectable — stiff-arming defends) or a ReadOnly XI when
+     * it merely shares it (not rejectable). On Accept the line is
+     * removed from the target, keeping the directory consistent, as
+     * if a remote CPU had claimed it.
+     * @return True if the line was taken (XI accepted), false if the
+     *         target stiff-armed or does not hold the line.
+     */
+    bool injectAdversarialXi(CpuId target, Addr line);
+
+    /**
+     * Shrink @p cpu's effective L1/L2 associativity to @p l1_ways /
+     * @p l2_ways (0 restores the configured geometry). Subsequent
+     * fills behave as if the extra ways did not exist, forcing
+     * capacity evictions — and through inclusivity, LRU-XI aborts —
+     * long before the nominal cache size. Resident lines are not
+     * flushed eagerly; they fall out through replacement.
+     */
+    void squeezeCapacity(CpuId cpu, unsigned l1_ways,
+                         unsigned l2_ways);
+    /** @} */
+
+    /**
      * Invalidate every line of @p cpu's L1 and L2 (and its
      * directory holdings) — a cold-cache reset used by Monte-Carlo
      * harnesses that reuse one machine across trials. Must not be
@@ -141,6 +180,7 @@ class Hierarchy
     DataSource findSource(CpuId cpu, Addr line) const;
     XiResponse sendXi(XiKind kind, Addr line, CpuId target,
                       CpuId requester);
+    Cycles probeDelay(XiKind kind, CpuId target, CpuId requester);
     void removeFromCpu(CpuId cpu, Addr line);
     void installLocal(CpuId cpu, Addr line);
     void insertL1(CpuId cpu, Addr line);
@@ -161,6 +201,7 @@ class Hierarchy
     /** Per-CPU LRU-extension vector, one bit per L1 row. */
     std::vector<std::vector<bool>> lruExt_;
     bool lruExtEnabled_ = true;
+    XiDelayProbe *xiProbe_ = nullptr;
     StatGroup stats_;
 };
 

@@ -56,6 +56,23 @@ struct XiContext
 };
 
 /**
+ * Optional hook consulted whenever the hierarchy sends an XI: the
+ * returned cycles are added to the requester's latency for that XI
+ * round trip (the response arrives late; the protocol outcome is
+ * unchanged). Used by the fault injector to model slow or congested
+ * snoop responses; a null probe means no delay.
+ */
+class XiDelayProbe
+{
+  public:
+    virtual ~XiDelayProbe() = default;
+
+    /** Extra response latency for one @p kind XI to @p target. */
+    virtual Cycles xiDelay(XiKind kind, CpuId target,
+                           CpuId requester) = 0;
+};
+
+/**
  * Interface the hierarchy uses to consult a CPU about incoming XIs.
  * Implemented by the CPU core's LSU model.
  */

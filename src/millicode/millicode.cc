@@ -1,6 +1,7 @@
 #include "millicode.hh"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 #include "common/log.hh"
@@ -9,6 +10,27 @@
 #include "tx/tdb.hh"
 
 namespace ztx::millicode {
+
+namespace {
+
+/**
+ * base << shift with the shift clamped so the product can neither
+ * wrap 64-bit Cycles (adversarial abort counts, misconfigured max
+ * shifts) nor exceed a sane backoff ceiling: 2^32 times the base is
+ * already beyond any delay the escalation ladder should produce.
+ */
+Cycles
+boundedShiftWindow(Cycles base, unsigned shift)
+{
+    if (base == 0)
+        return 0;
+    constexpr unsigned ceiling = 32;
+    const unsigned headroom =
+        unsigned(std::countl_zero(std::uint64_t(base)));
+    return base << std::min({shift, headroom, ceiling});
+}
+
+} // namespace
 
 void
 MillicodeEngine::transactionAbort(core::Cpu &cpu,
@@ -105,11 +127,14 @@ MillicodeEngine::transactionAbort(core::Cpu &cpu,
                 const unsigned shift = std::min(
                     count - cfg.constrainedDelayThreshold,
                     cfg.constrainedDelayMaxShift);
-                const Cycles window = cfg.constrainedDelayBase
-                                      << shift;
-                cost += cpu.rng_.nextBounded(window) + 1;
-                cpu.stats_.counter("millicode.constrained_delays")
-                    .inc();
+                const Cycles window = boundedShiftWindow(
+                    cfg.constrainedDelayBase, shift);
+                if (window != 0) {
+                    cost += cpu.rng_.nextBounded(window) + 1;
+                    cpu.stats_
+                        .counter("millicode.constrained_delays")
+                        .inc();
+                }
             }
             if (count >= cfg.constrainedSpeculationThreshold &&
                 !cpu.speculationReduced_) {
@@ -141,8 +166,11 @@ MillicodeEngine::ppaDelay(core::Cpu &cpu, std::uint64_t abort_count)
     const auto &cfg = cpu.cfg_;
     const unsigned shift = unsigned(std::min<std::uint64_t>(
         abort_count, cfg.ppaMaxShift));
-    const Cycles window = cfg.ppaBaseDelay << shift;
+    const Cycles window =
+        boundedShiftWindow(cfg.ppaBaseDelay, shift);
     cpu.stats_.counter("millicode.ppa").inc();
+    if (window == 0)
+        return 0; // assist configured away (ppaBaseDelay == 0)
     return cpu.rng_.nextBounded(window) + cfg.ppaBaseDelay;
 }
 
@@ -154,6 +182,7 @@ MillicodeEngine::constrainedSuccess(core::Cpu &cpu)
     if (cpu.soloHeld_) {
         cpu.env_.releaseSolo(cpu.id_);
         cpu.soloHeld_ = false;
+        cpu.stats_.counter("millicode.solo_releases").inc();
     }
 }
 

@@ -33,6 +33,13 @@ Machine::Machine(const MachineConfig &config)
         io_ = std::make_unique<IoSubsystem>(hierarchy_, memory_,
                                             agent);
     }
+    if (cfg_.faults.enabled()) {
+        injector_ = std::make_unique<inject::FaultInjector>(
+            cfg_.faults, cfg_.seed, hierarchy_, *this);
+        for (auto &c : cpus_)
+            injector_->attachCpu(*c);
+        hierarchy_.setXiDelayProbe(injector_.get());
+    }
     readyAt_.assign(n, 0);
     nextInterrupt_.assign(n, 0);
     if (cfg_.externalInterruptPeriod) {
@@ -119,6 +126,14 @@ Machine::run(Cycles max_cycles)
         if (!cpus_[i]->halted())
             heap.push({readyAt_[i], i});
 
+    // (Re-)arm the forward-progress watchdog for this run call.
+    if (cfg_.watchdogCycles != 0) {
+        lastProgressAt_ = now_;
+        lastProgressSum_ = 0;
+        for (const auto &c : cpus_)
+            lastProgressSum_ += c->progressEvents();
+    }
+
     while (!heap.empty()) {
         const auto [t, id] = heap.top();
         heap.pop();
@@ -174,6 +189,9 @@ Machine::run(Cycles max_cycles)
             }
         }
 
+        if (injector_)
+            injector_->beforeStep(id, now_);
+
         stepCounter_.inc();
         Cycles cost = cpus_[id]->step();
         cost += cpus_[id]->consumePendingStall();
@@ -182,8 +200,55 @@ Machine::run(Cycles max_cycles)
         readyAt_[id] = now_ + cost;
         if (!cpus_[id]->halted())
             heap.push({readyAt_[id], id});
+
+        if (cfg_.watchdogCycles != 0) {
+            std::uint64_t sum = 0;
+            for (const auto &c : cpus_)
+                sum += c->progressEvents();
+            if (sum != lastProgressSum_) {
+                lastProgressSum_ = sum;
+                lastProgressAt_ = now_;
+            } else if (now_ - lastProgressAt_ >=
+                       cfg_.watchdogCycles) {
+                fireWatchdog();
+                break;
+            }
+        }
     }
     return now_ - start;
+}
+
+void
+Machine::fireWatchdog()
+{
+    watchdogFired_ = true;
+    stats_.counter("watchdog.fired").inc();
+
+    Json doc = Json::object();
+    doc["kind"] = "ztx.watchdog";
+    doc["fired_at_cycle"] = std::uint64_t(now_);
+    doc["window_cycles"] = std::uint64_t(cfg_.watchdogCycles);
+    doc["solo_holder"] = soloCpu_ == invalidCpu
+                             ? std::int64_t(-1)
+                             : std::int64_t(soloCpu_);
+    Json queue = Json::array();
+    for (const CpuId c : soloQueue_)
+        queue.push(c);
+    doc["solo_queue"] = std::move(queue);
+
+    Json cpu_diags = Json::array();
+    for (const auto &c : cpus_)
+        cpu_diags.push(c->diagnosticJson());
+    doc["cpus"] = std::move(cpu_diags);
+    if (injector_) {
+        doc["inject"] = injector_->stats().toJson();
+        doc["fault_plan"] = inject::faultPlanJson(cfg_.faults);
+    }
+    watchdogReport_ = std::move(doc);
+
+    ztx_warn("forward-progress watchdog fired at cycle ", now_,
+             ": no commit/region/halt for ", cfg_.watchdogCycles,
+             " cycles (livelock); see Machine::watchdogReport()");
 }
 
 IoSubsystem &
@@ -214,6 +279,8 @@ Machine::dumpStats(std::ostream &out)
     os_.stats().dump(out);
     if (io_)
         io_->stats().dump(out);
+    if (injector_)
+        injector_->stats().dump(out);
     for (const auto &c : cpus_)
         c->stats().dump(out);
 }
@@ -234,6 +301,10 @@ Machine::statsJson() const
     doc["os"] = os_.stats().toJson();
     if (io_)
         doc["io"] = io_->stats().toJson();
+    if (injector_)
+        doc["inject"] = injector_->stats().toJson();
+    if (watchdogFired_)
+        doc["watchdog"] = watchdogReport_;
 
     Json cpu_groups = Json::array();
     for (const auto &c : cpus_)
@@ -258,6 +329,9 @@ machineConfigJson(const MachineConfig &config)
     meta["external_interrupt_period"] =
         std::uint64_t(config.externalInterruptPeriod);
     meta["io_enabled"] = config.enableIo;
+    meta["watchdog_cycles"] = std::uint64_t(config.watchdogCycles);
+    if (config.faults.enabled())
+        meta["faults"] = inject::faultPlanJson(config.faults);
 
     Json topo = Json::object();
     topo["cores_per_chip"] = config.topology.coresPerChip();

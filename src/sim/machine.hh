@@ -31,6 +31,8 @@
 #include "common/types.hh"
 #include "core/config.hh"
 #include "core/cpu.hh"
+#include "inject/fault_injector.hh"
+#include "inject/fault_plan.hh"
 #include "debug/os_model.hh"
 #include "sim/io_subsystem.hh"
 #include "debug/page_table.hh"
@@ -68,6 +70,22 @@ struct MachineConfig
      * activeCpus must leave that slot free.
      */
     bool enableIo = false;
+
+    /**
+     * Fault-injection campaign (chaos testing, src/inject). The
+     * default plan is inert: no injector is instantiated and the
+     * machine behaves exactly as without the subsystem.
+     */
+    inject::FaultPlan faults{};
+
+    /**
+     * Forward-progress watchdog: if no CPU retires a progress event
+     * (transaction commit, measured-region close, halt) for this
+     * many cycles, run() stops deterministically, records a
+     * diagnosis bundle (watchdogReport()), and returns instead of
+     * spinning forever. 0 disables the watchdog.
+     */
+    Cycles watchdogCycles = 0;
 };
 
 /** A complete simulated SMP machine. */
@@ -141,6 +159,21 @@ class Machine : public core::CpuEnv
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** @name Fault injection & watchdog @{ */
+    /** The fault injector (nullptr when the plan is inert). */
+    inject::FaultInjector *injector() { return injector_.get(); }
+
+    /** True once the forward-progress watchdog stopped a run. */
+    bool watchdogFired() const { return watchdogFired_; }
+
+    /**
+     * Diagnosis bundle captured when the watchdog fired: solo-mode
+     * state, per-CPU abort histories / TDB addresses / ladder
+     * positions, and injection stats. Null before any firing.
+     */
+    const Json &watchdogReport() const { return watchdogReport_; }
+    /** @} */
+
     /** @name core::CpuEnv @{ */
     Cycles now() const override { return now_; }
     void requestSolo(CpuId cpu) override;
@@ -177,6 +210,16 @@ class Machine : public core::CpuEnv
      */
     std::deque<CpuId> soloQueue_;
     CpuId soloCpu_ = invalidCpu;
+
+    void fireWatchdog();
+
+    std::unique_ptr<inject::FaultInjector> injector_;
+    /** @name Watchdog state @{ */
+    std::uint64_t lastProgressSum_ = 0;
+    Cycles lastProgressAt_ = 0;
+    bool watchdogFired_ = false;
+    Json watchdogReport_;
+    /** @} */
 };
 
 /**

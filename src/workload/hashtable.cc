@@ -57,13 +57,16 @@ buildHashTableProgram(const HashTableBenchConfig &cfg)
     as.srlg(6, 6, hashShift);
     as.ngr(6, 15);
     as.sllg(6, 6, 8); // bucket index -> byte offset (256-B buckets)
-    as.la(4, 9, 0, 6);
 
     // Emitted up to twice (TX path and lock fallback): unique label
-    // suffixes per emission.
+    // suffixes per emission. R4 and R13 must be (re)computed inside
+    // the body: the elision TBEGIN saves no registers, so an abort
+    // mid-probe leaves them advanced, and a retry or the fallback
+    // continuing from there could store past the probe window.
     int emission = 0;
     const auto body = [&] {
         const std::string n = std::to_string(emission++);
+        as.la(4, 9, 0, 6);
         as.lhi(13, std::int64_t(cfg.maxProbes));
         as.label("probe" + n);
         as.lg(3, 4, 0);
@@ -127,13 +130,22 @@ runHashTableBench(const HashTableBenchConfig &cfg)
         }
     }
 
+    // Slots occupied by the prefill: puts only ever add keys, so
+    // the oracle's occupancy floor after any chaotic run.
+    std::int64_t prefill_occupied = 0;
+    for (unsigned b = 0; b < cfg.buckets + cfg.maxProbes; ++b) {
+        if (machine.memory().read(hashTableBase + Addr(b) * 256, 8))
+            ++prefill_occupied;
+    }
+
     const Program program = buildHashTableProgram(cfg);
     machine.setProgramAll(&program);
     const Cycles elapsed = machine.run();
-    if (!machine.allHalted())
+    HashTableBenchResult res;
+    res.watchdogFired = machine.watchdogFired();
+    if (!machine.allHalted() && !res.watchdogFired)
         ztx_fatal("hash-table benchmark did not run to completion");
 
-    HashTableBenchResult res;
     res.elapsedCycles = elapsed;
     double region_sum = 0;
     std::uint64_t region_count = 0;
@@ -147,14 +159,29 @@ runHashTableBench(const HashTableBenchConfig &cfg)
     res.txAborts = tx.aborts;
     res.instructions = tx.instructions;
     res.abortsByReason = tx.abortsByReason;
-    res.meanRegionCycles = region_sum / double(region_count);
-    res.throughput = double(cfg.cpus) / res.meanRegionCycles;
+    res.meanRegionCycles =
+        region_count ? region_sum / double(region_count) : 0.0;
+    res.throughput = res.meanRegionCycles > 0
+                         ? double(cfg.cpus) / res.meanRegionCycles
+                         : 0.0;
+
+    if (res.watchdogFired) {
+        res.oracle.fail("forward-progress watchdog fired; "
+                        "structures unchecked");
+        return res;
+    }
 
     machine.drainAllStores();
     for (unsigned b = 0; b < cfg.buckets + cfg.maxProbes; ++b) {
         if (machine.memory().read(hashTableBase + Addr(b) * 256, 8))
             ++res.occupiedBuckets;
     }
+    res.oracle = inject::checkHashTable(
+        machine.memory(), hashTableBase, cfg.buckets, cfg.maxProbes,
+        [&](std::uint64_t key) {
+            return bucketOf(key, cfg.buckets);
+        },
+        prefill_occupied, std::int64_t(cfg.keySpace));
     return res;
 }
 

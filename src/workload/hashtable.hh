@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "inject/oracle.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
 #include "workload/report.hh"
@@ -51,6 +52,11 @@ struct HashTableBenchResult
     std::map<std::string, std::uint64_t> abortsByReason;
     /** Occupied buckets at the end (sanity). */
     unsigned occupiedBuckets = 0;
+
+    /** The forward-progress watchdog stopped the run (chaos). */
+    bool watchdogFired = false;
+    /** Structural verdict (inject::checkHashTable). */
+    inject::OracleReport oracle;
 };
 
 /** Build the generated program for @p cfg. */

@@ -176,10 +176,11 @@ runListSetBench(const ListSetBenchConfig &cfg)
             15, arenaBase + Addr(i) * arenaStride);
     }
     const Cycles elapsed = machine.run();
-    if (!machine.allHalted())
+    ListSetBenchResult res;
+    res.watchdogFired = machine.watchdogFired();
+    if (!machine.allHalted() && !res.watchdogFired)
         ztx_fatal("list-set benchmark did not run to completion");
 
-    ListSetBenchResult res;
     res.elapsedCycles = elapsed;
     double region_sum = 0;
     std::uint64_t region_count = 0;
@@ -195,8 +196,19 @@ runListSetBench(const ListSetBenchConfig &cfg)
     res.txAborts = tx.aborts;
     res.instructions = tx.instructions;
     res.abortsByReason = tx.abortsByReason;
-    res.meanRegionCycles = region_sum / double(region_count);
-    res.throughput = double(cfg.cpus) / res.meanRegionCycles;
+    res.meanRegionCycles =
+        region_count ? region_sum / double(region_count) : 0.0;
+    res.throughput = res.meanRegionCycles > 0
+                         ? double(cfg.cpus) / res.meanRegionCycles
+                         : 0.0;
+
+    if (res.watchdogFired) {
+        // Mid-flight transactions hold buffered state; the
+        // structure cannot be judged. The run itself is the failure.
+        res.oracle.fail("forward-progress watchdog fired; "
+                        "structures unchecked");
+        return res;
+    }
 
     // Validate the structure.
     machine.drainAllStores();
@@ -215,6 +227,9 @@ runListSetBench(const ListSetBenchConfig &cfg)
     res.lengthConsistent =
         std::int64_t(keys.size()) + net_inserts ==
         std::int64_t(res.finalLength);
+    res.oracle = inject::checkListSet(
+        machine.memory(), listBase,
+        std::int64_t(keys.size()) + net_inserts);
     return res;
 }
 

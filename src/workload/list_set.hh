@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "inject/oracle.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
 #include "workload/report.hh"
@@ -58,6 +59,11 @@ struct ListSetBenchResult
     bool sorted = false;
     /** finalLength matches prefill + the CPUs' net insert counts. */
     bool lengthConsistent = false;
+
+    /** The forward-progress watchdog stopped the run (chaos). */
+    bool watchdogFired = false;
+    /** Structural/linearizability verdict (inject::checkListSet). */
+    inject::OracleReport oracle;
 };
 
 /** Build the generated program for @p cfg. */

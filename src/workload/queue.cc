@@ -115,10 +115,11 @@ runQueueBench(const QueueBenchConfig &cfg)
             15, arenaBase + Addr(i) * arenaStride);
     }
     const Cycles elapsed = machine.run();
-    if (!machine.allHalted())
+    QueueBenchResult res;
+    res.watchdogFired = machine.watchdogFired();
+    if (!machine.allHalted() && !res.watchdogFired)
         ztx_fatal("queue benchmark did not run to completion");
 
-    QueueBenchResult res;
     res.elapsedCycles = elapsed;
     double region_sum = 0;
     std::uint64_t region_count = 0;
@@ -133,15 +134,32 @@ runQueueBench(const QueueBenchConfig &cfg)
     res.txAborts = tx.aborts;
     res.instructions = tx.instructions;
     res.abortsByReason = tx.abortsByReason;
-    res.meanRegionCycles = region_sum / double(region_count);
-    res.throughput = double(cfg.cpus) / res.meanRegionCycles;
+    res.meanRegionCycles =
+        region_count ? region_sum / double(region_count) : 0.0;
+    res.throughput = res.meanRegionCycles > 0
+                         ? double(cfg.cpus) / res.meanRegionCycles
+                         : 0.0;
 
-    // Walk the queue for the final length; enqueues - successful
+    if (res.watchdogFired) {
+        res.oracle.fail("forward-progress watchdog fired; "
+                        "structures unchecked");
+        return res;
+    }
+
+    // Walk the queue for the final length (bounded: a corrupted
+    // next chain must not hang the harness); enqueues - successful
     // dequeues must match it.
     machine.drainAllStores();
     Addr node = machine.memory().read(queueBase + headDisp, 8);
-    while ((node = machine.memory().read(node + 8, 8)) != 0)
+    while ((node = machine.memory().read(node + 8, 8)) != 0 &&
+           res.finalLength <= 1000000)
         ++res.finalLength;
+    const std::int64_t expected =
+        std::int64_t(cfg.cpus) * cfg.iterations -
+        std::int64_t(res.dequeuedNonEmpty);
+    res.oracle = inject::checkQueue(machine.memory(),
+                                    queueBase + headDisp,
+                                    queueBase + tailDisp, expected);
     return res;
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "inject/oracle.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
 #include "workload/report.hh"
@@ -48,6 +49,11 @@ struct QueueBenchResult
     /** Nodes remaining in the queue at the end (consistency). */
     std::uint64_t finalLength = 0;
     Cycles elapsedCycles = 0;
+
+    /** The forward-progress watchdog stopped the run (chaos). */
+    bool watchdogFired = false;
+    /** Structural/linearizability verdict (inject::checkQueue). */
+    inject::OracleReport oracle;
 };
 
 /** Build the generated program for @p cfg. */

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Chaos stress gates: the paper's robustness claims under hostile
+ * injection mixes. Constrained transactions must complete (eventual
+ * success, §II.D/§III.E) and committed state must stay consistent
+ * under every mix — including the harshest one combining XI storms,
+ * capacity squeezes, and interrupt storms — with the forward-
+ * progress watchdog armed the whole time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inject/fault_plan.hh"
+#include "workload/hashtable.hh"
+#include "workload/list_set.hh"
+#include "workload/queue.hh"
+#include "ztx_test_util.hh"
+
+namespace {
+
+using namespace ztx;
+using namespace ztx::test;
+using namespace ztx::workload;
+
+/** Every fault kind at once, deliberately harsh. */
+inject::FaultPlan
+harshestMix()
+{
+    inject::FaultPlan plan;
+    plan.xiStormRate = 0.005;
+    plan.capacitySqueezeRate = 0.001;
+    plan.squeezeDuration = 2'000;
+    plan.interruptStormRate = 0.001;
+    return plan;
+}
+
+/** Watchdog window for the stress runs. */
+constexpr Cycles watchdogWindow = 2'000'000;
+
+sim::MachineConfig
+chaosMachine(const inject::FaultPlan &plan)
+{
+    sim::MachineConfig cfg = smallConfig(4);
+    cfg.faults = plan;
+    cfg.watchdogCycles = watchdogWindow;
+    return cfg;
+}
+
+TEST(ChaosStress, ConstrainedQueueSurvivesHarshestMix)
+{
+    // The acceptance gate: constrained transactions complete under
+    // XI storms + capacity squeezes + interrupt storms combined,
+    // and the queue stays linearizable.
+    QueueBenchConfig cfg;
+    cfg.cpus = 4;
+    cfg.useConstrainedTx = true;
+    cfg.iterations = 40;
+    cfg.machine = chaosMachine(harshestMix());
+    const auto res = runQueueBench(cfg);
+
+    EXPECT_FALSE(res.watchdogFired);
+    EXPECT_TRUE(res.oracle.ok) << res.oracle.summary();
+    EXPECT_GT(res.txCommits, 0u);
+    EXPECT_EQ(res.finalLength,
+              4u * cfg.iterations - res.dequeuedNonEmpty);
+}
+
+TEST(ChaosStress, ConstrainedQueueSurvivesSpuriousAbortMix)
+{
+    inject::FaultPlan plan;
+    plan.spuriousAbortRate = 0.01;
+    QueueBenchConfig cfg;
+    cfg.cpus = 4;
+    cfg.useConstrainedTx = true;
+    cfg.iterations = 40;
+    cfg.machine = chaosMachine(plan);
+    const auto res = runQueueBench(cfg);
+
+    EXPECT_FALSE(res.watchdogFired);
+    EXPECT_TRUE(res.oracle.ok) << res.oracle.summary();
+}
+
+TEST(ChaosStress, ElidedListSetStaysConsistentUnderAllFaults)
+{
+    inject::FaultPlan plan = harshestMix();
+    plan.spuriousAbortRate = 0.002;
+    plan.delayedXiRate = 0.1;
+    plan.xiDelayMax = 200;
+
+    ListSetBenchConfig cfg;
+    cfg.cpus = 4;
+    cfg.useElision = true;
+    cfg.iterations = 40;
+    cfg.machine = chaosMachine(plan);
+    const auto res = runListSetBench(cfg);
+
+    EXPECT_FALSE(res.watchdogFired);
+    EXPECT_TRUE(res.sorted);
+    EXPECT_TRUE(res.lengthConsistent);
+    EXPECT_TRUE(res.oracle.ok) << res.oracle.summary();
+}
+
+TEST(ChaosStress, ElidedHashTableStaysConsistentUnderAllFaults)
+{
+    inject::FaultPlan plan = harshestMix();
+    plan.spuriousAbortRate = 0.002;
+    plan.delayedXiRate = 0.1;
+    plan.xiDelayMax = 200;
+
+    HashTableBenchConfig cfg;
+    cfg.cpus = 4;
+    cfg.useElision = true;
+    cfg.iterations = 40;
+    cfg.machine = chaosMachine(plan);
+    const auto res = runHashTableBench(cfg);
+
+    EXPECT_FALSE(res.watchdogFired);
+    EXPECT_TRUE(res.oracle.ok) << res.oracle.summary();
+}
+
+} // namespace
