@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Host-side scaling of the sharded parallel scheduler: the same
+ * simulated machine and workload driven with 1, 2, and 4 host
+ * threads, on a single-chip topology (one shard — no parallelism to
+ * harvest) and a multi-chip one (one shard per chip). Reports
+ * wall-clock seconds, host MIPS, and speedup versus the 1-thread
+ * sharded run; the determinism contract makes every row the same
+ * simulation, so the comparison is pure host-side.
+ *
+ * Results are honest for the machine they ran on: meta.host_cpus
+ * records how many host CPUs were available — on a 1-core host no
+ * speedup is achievable and the numbers will show that.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "isa/assembler.hh"
+#include "json_report.hh"
+
+namespace {
+
+using namespace ztx;
+
+/**
+ * Per-CPU private-region transactions: each CPU commits
+ * @p iterations transactions of 4 read-modify-writes against its
+ * own lines — no cross-chip conflicts, so the parallel phase
+ * dominates and host threads can actually help.
+ */
+isa::Program
+privateTxProgram(Addr base, unsigned iterations)
+{
+    isa::Assembler as;
+    as.la(9, 0, std::int64_t(base));
+    as.lhi(8, std::int64_t(iterations));
+    as.label("loop");
+    as.tbegin(0xFF);
+    as.jnz("skip"); // private lines: aborts are incidental
+    for (int i = 0; i < 4; ++i) {
+        as.lg(1, 9, std::int64_t(i * 256));
+        as.ahi(1, 1);
+        as.lr(2, 9);
+        if (i != 0)
+            as.ahi(2, std::int64_t(i * 256));
+        as.stg(1, 2);
+    }
+    as.tend();
+    as.label("skip");
+    as.brct(8, "loop");
+    as.halt();
+    return as.finish();
+}
+
+struct RunResult
+{
+    double hostSeconds = 0.0;
+    Cycles simCycles = 0;
+    std::uint64_t instructions = 0;
+};
+
+RunResult
+runOnce(const mem::Topology &topo, unsigned host_threads,
+        unsigned iterations,
+        std::vector<isa::Program> &programs /* keep-alive */)
+{
+    sim::MachineConfig cfg;
+    cfg.topology = topo;
+    cfg.seed = 17;
+    cfg.hostThreads = host_threads;
+    sim::Machine m(cfg);
+
+    programs.clear();
+    programs.reserve(m.numCpus());
+    for (unsigned i = 0; i < m.numCpus(); ++i)
+        programs.push_back(privateTxProgram(
+            Addr(0x40'0000) + Addr(i) * 0x1'0000, iterations));
+    for (unsigned i = 0; i < m.numCpus(); ++i)
+        m.setProgram(i, &programs[i]);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const Cycles elapsed = m.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunResult res;
+    res.hostSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    res.simCycles = elapsed;
+    for (unsigned i = 0; i < m.numCpus(); ++i)
+        res.instructions +=
+            m.cpu(i).stats().counter("instructions").value();
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ztx;
+
+    bench::JsonReport report("scale", argc, argv);
+    report.setMachineConfig(sim::MachineConfig{});
+    report.meta()["iterations"] = bench::benchIterations();
+    report.meta()["host_cpus"] =
+        unsigned(std::thread::hardware_concurrency());
+
+    const unsigned iterations =
+        std::getenv("ZTX_BENCH_FAST") ? bench::benchIterations()
+                                      : 4 * bench::benchIterations();
+
+    struct TopoPoint
+    {
+        const char *name;
+        mem::Topology topo;
+    };
+    const std::vector<TopoPoint> topos = {
+        {"1chip", mem::Topology(4, 1, 1)},   // one shard
+        {"4chips", mem::Topology(4, 4, 1)},  // four shards
+    };
+
+    std::printf("# Sharded-scheduler host scaling "
+                "(host_cpus=%u)\n",
+                unsigned(std::thread::hardware_concurrency()));
+    std::printf("# %-8s %8s %12s %10s %10s\n", "topology",
+                "threads", "host_sec", "mips", "speedup");
+
+    std::vector<isa::Program> keep_alive;
+    for (const TopoPoint &tp : topos) {
+        double base_seconds = 0.0;
+        for (const unsigned threads : {1u, 2u, 4u}) {
+            const RunResult res = runOnce(tp.topo, threads,
+                                          iterations, keep_alive);
+            if (threads == 1)
+                base_seconds = res.hostSeconds;
+            const double mips =
+                res.hostSeconds > 0.0
+                    ? double(res.instructions) / res.hostSeconds /
+                          1e6
+                    : 0.0;
+            const double speedup =
+                res.hostSeconds > 0.0
+                    ? base_seconds / res.hostSeconds
+                    : 0.0;
+            std::printf("  %-8s %8u %12.4f %10.2f %10.2f\n",
+                        tp.name, threads, res.hostSeconds, mips,
+                        speedup);
+            report.addSimWork(res.simCycles, res.instructions);
+            if (report.enabled()) {
+                Json rec = Json::object();
+                rec["topology"] = tp.name;
+                rec["host_threads"] = threads;
+                rec["host_seconds"] = res.hostSeconds;
+                rec["sim_cycles"] = std::uint64_t(res.simCycles);
+                rec["instructions"] = res.instructions;
+                rec["mips"] = mips;
+                rec["speedup_vs_1t"] = speedup;
+                report.addRecord(std::move(rec));
+            }
+        }
+    }
+    return report.write() ? 0 : 1;
+}

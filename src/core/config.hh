@@ -119,6 +119,15 @@ class CpuEnv
 
     /** CPU currently holding solo mode, or invalidCpu. */
     virtual CpuId soloHolder() const = 0;
+
+    /**
+     * Forward-progress tick: the CPU reports one unit of progress
+     * (transaction commit, non-TX region close, halt). Environments
+     * with a watchdog accumulate these into a monotonic counter so
+     * the per-step O(numCpus) progress sum is unnecessary. Default
+     * is a no-op for environments without a watchdog.
+     */
+    virtual void noteProgress(CpuId cpu) { (void)cpu; }
 };
 
 } // namespace ztx::core

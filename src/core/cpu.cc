@@ -131,7 +131,16 @@ Cpu::accessLines(Addr addr, unsigned size, bool exclusive,
     const Addr first = lineAlign(addr);
     const Addr last = lineAlign(addr + size - 1);
     for (Addr line = first; line <= last; line += lineSizeBytes) {
-        const mem::AccessResult res = hier_.fetch(id_, line, exclusive);
+        const mem::AccessResult res =
+            hier_.fetch(id_, line, exclusive, localOnly_);
+        if (res.deferred) {
+            // Parallel phase: the access leaves the private L1/L2.
+            // Nothing moved or was charged; the scheduler discards
+            // this step's cost and re-runs it at the barrier. Any
+            // partial L1 touches/marks above are idempotent.
+            deferredStep_ = true;
+            return false;
+        }
         // Pipelining hides most of an L1 hit's use latency.
         cost += (!res.rejected && res.source == mem::DataSource::L1)
                     ? cfg_.l1HitCharge
@@ -158,8 +167,13 @@ Cpu::accessLines(Addr addr, unsigned size, bool exclusive,
         rng_.nextBool(cfg_.speculativeOvermarkProb)) {
         const Addr spec_line = lineAlign(addr) + lineSizeBytes;
         const mem::AccessResult res =
-            hier_.fetch(id_, spec_line, false);
-        if (!res.rejected && !abortedDuringStep_ && inTx()) {
+            hier_.fetch(id_, spec_line, false, localOnly_);
+        // A deferred speculative fetch is skipped silently (not
+        // retried): whether it defers depends only on cache state,
+        // which is identical across host-thread counts, and the RNG
+        // draw above is consumed either way.
+        if (!res.deferred && !res.rejected && !abortedDuringStep_ &&
+            inTx()) {
             hier_.markTxRead(id_, spec_line);
             stats_.counter("tx.overmarks").inc();
         }
@@ -266,6 +280,12 @@ void
 Cpu::programException(tx::InterruptCode code, Addr addr,
                       bool instruction_fetch, Cycles &cost)
 {
+    if (localOnly_) {
+        // Interruptions reach the shared OS model; defer the step
+        // before any side effect (counter, abort, OS round trip).
+        deferredStep_ = true;
+        return;
+    }
     stats_.counter("program_exceptions").inc();
     if (inTx()) {
         const bool filtered =
@@ -291,6 +311,11 @@ void
 Cpu::constraintViolation(tx::ConstraintViolationKind kind,
                          Cycles &cost)
 {
+    if (localOnly_) {
+        // Ends in an OS round trip; defer before any side effect.
+        deferredStep_ = true;
+        return;
+    }
     stats_.counter(std::string("constraint_violation.") +
                    tx::constraintViolationName(kind)).inc();
     // Non-filterable program interruption after the abort (§II.D).
@@ -545,6 +570,7 @@ Cpu::endTransaction()
     if (was_constrained)
         stats_.counter("tx.commits_constrained").inc();
     ++progressEvents_;
+    env_.noteProgress(id_);
     psw_.cc = 0;
     ztx_trace(trace::Category::Tx, "cpu", id_, " TEND commit",
               was_constrained ? " (constrained)" : "");
@@ -854,6 +880,7 @@ Cpu::execute(const isa::Program::Slot &slot)
             regionHist_->sample(cycles);
             regionOpen_ = false;
             ++progressEvents_;
+            env_.noteProgress(id_);
         }
         res.cost = 0;
         break;
@@ -866,6 +893,7 @@ Cpu::execute(const isa::Program::Slot &slot)
         drainStores();
         halted_ = true;
         ++progressEvents_;
+        env_.noteProgress(id_);
         advance = false;
         break;
     }
@@ -890,6 +918,14 @@ Cpu::step()
 {
     if (halted_)
         return 0;
+    deferredStep_ = false;
+    // PER events end in OS round trips (shared OsModel); with any
+    // PER control armed, a local-only step cannot rule them out up
+    // front, so defer the whole step to the serial barrier phase.
+    if (localOnly_ && per_.anyEnabled()) {
+        deferredStep_ = true;
+        return 0;
+    }
     abortedDuringStep_ = false;
     Cycles cost = 0;
 

@@ -178,6 +178,21 @@ class Cpu : public mem::CacheClient
     void addStall(Cycles cycles) { pendingStall_ += cycles; }
     /** @} */
 
+    /** @name Sharded-scheduler interface @{ */
+    /**
+     * Restrict the next step()s to CPU-private work: any access
+     * that would touch the fabric, another CPU, or the OS defers
+     * (deferredStep() turns true, nothing is charged) instead of
+     * executing. The sharded scheduler runs CPUs in this mode
+     * during the parallel phase and re-steps deferred CPUs
+     * serially at the quantum barrier.
+     */
+    void setLocalOnly(bool on) { localOnly_ = on; }
+
+    /** True when the last step() deferred instead of executing. */
+    bool deferredStep() const { return deferredStep_; }
+    /** @} */
+
     /** @name Measurement (MARKB/MARKE pseudo-ops) @{ */
     const Distribution &regionCycles() const { return regionCycles_; }
     void resetMeasurement() { regionCycles_.reset(); }
@@ -312,6 +327,11 @@ class Cpu : public mem::CacheClient
 
     /** Set by any abort that happens inside this CPU's own step. */
     bool abortedDuringStep_ = false;
+
+    /** @name Sharded-scheduler state (see setLocalOnly) @{ */
+    bool localOnly_ = false;
+    bool deferredStep_ = false;
+    /** @} */
 
     /** Commits + region closes + halt; see progressEvents(). */
     std::uint64_t progressEvents_ = 0;

@@ -1,6 +1,7 @@
 #include "fault_injector.hh"
 
 #include <algorithm>
+#include <tuple>
 
 #include "common/log.hh"
 #include "core/config.hh"
@@ -56,6 +57,9 @@ FaultInjector::FaultInjector(const FaultPlan &plan,
                              mem::Hierarchy &hier,
                              const core::CpuEnv &env)
     : plan_(plan), hier_(hier), env_(env),
+      baseSeed_(plan.seed
+                    ? plan.seed
+                    : machine_seed * 0xD1B54A32D192ED03ULL + 0x5C),
       rng_(plan.seed ? plan.seed
                      : machine_seed * 0xD1B54A32D192ED03ULL + 0x5C)
 {
@@ -73,23 +77,33 @@ FaultInjector::attachCpu(core::Cpu &cpu)
 {
     if (cpu.id() != cpus_.size())
         ztx_fatal("FaultInjector: CPUs must attach in id order");
+    const std::uint64_t id = cpu.id();
     cpus_.push_back(&cpu);
     squeezeUntil_.push_back(0);
+    // Disjoint per-CPU streams: draws on CPU i depend only on CPU
+    // i's own step/fault sequence, never on global interleaving.
+    cpuRng_.emplace_back(baseSeed_ ^
+                         ((id + 1) * 0x9E3779B97F4A7C15ULL));
+    stormRng_.emplace_back(baseSeed_ +
+                           (id + 1) * 0xBF58476D1CE4E5B9ULL);
+    pendingStorms_.emplace_back();
+    hot_.emplace_back();
 }
 
 void
 FaultInjector::beforeStep(CpuId id, Cycles now)
 {
-    // Expire this CPU's capacity squeeze.
+    // Expire this CPU's capacity squeeze (per-CPU cache state only).
     if (squeezeUntil_[id] != 0 && now >= squeezeUntil_[id]) {
         hier_.squeezeCapacity(id, 0, 0);
         squeezeUntil_[id] = 0;
-        stats_.counter("squeeze.restored").inc();
+        ++hot_[id].squeezeRestored;
     }
 
-    // Scheduled faults that came due. A fault without an explicit
-    // target hits the CPU about to step.
-    while (nextScheduled_ < plan_.schedule.size() &&
+    // Scheduled faults that came due. The cursor is global, so in
+    // sharded mode the flush consumes it at the barrier instead. A
+    // fault without an explicit target hits the CPU about to step.
+    while (!sharded_ && nextScheduled_ < plan_.schedule.size() &&
            plan_.schedule[nextScheduled_].at <= now) {
         const ScheduledFault &f = plan_.schedule[nextScheduled_++];
         const CpuId target =
@@ -101,20 +115,91 @@ FaultInjector::beforeStep(CpuId id, Cycles now)
         apply(f.kind, target, now);
     }
 
-    // Probabilistic faults against the CPU about to step: one RNG
-    // draw per *enabled* kind, so a disabled kind costs nothing and
-    // a given (plan, seed) pair replays bit-identically.
+    // Probabilistic faults against the CPU about to step: one draw
+    // per *enabled* kind from the CPU's own stream, so a disabled
+    // kind costs nothing and a given (plan, seed) pair replays
+    // bit-identically. Spurious aborts, squeezes, and interrupt
+    // bursts act on the target CPU alone and apply immediately; XI
+    // storms attack the shared directory and are deferred to the
+    // barrier in sharded mode.
+    Rng &r = cpuRng_[id];
     if (plan_.spuriousAbortRate > 0 &&
-        rng_.nextBool(plan_.spuriousAbortRate))
+        r.nextBool(plan_.spuriousAbortRate))
         apply(FaultKind::SpuriousAbort, id, now);
-    if (plan_.xiStormRate > 0 && rng_.nextBool(plan_.xiStormRate))
-        apply(FaultKind::XiStorm, id, now);
+    if (plan_.xiStormRate > 0 && r.nextBool(plan_.xiStormRate)) {
+        if (sharded_)
+            pendingStorms_[id].push_back(now);
+        else
+            apply(FaultKind::XiStorm, id, now);
+    }
     if (plan_.capacitySqueezeRate > 0 &&
-        rng_.nextBool(plan_.capacitySqueezeRate))
+        r.nextBool(plan_.capacitySqueezeRate))
         apply(FaultKind::CapacitySqueeze, id, now);
     if (plan_.interruptStormRate > 0 &&
-        rng_.nextBool(plan_.interruptStormRate))
+        r.nextBool(plan_.interruptStormRate))
         apply(FaultKind::InterruptStorm, id, now);
+}
+
+void
+FaultInjector::flushSharded(Cycles now)
+{
+    // Scheduled faults due in the elapsed quantum; untargeted
+    // entries hit CPU 0 (there is no "CPU about to step" at a
+    // barrier). Fired at their scheduled cycle.
+    while (nextScheduled_ < plan_.schedule.size() &&
+           plan_.schedule[nextScheduled_].at <= now) {
+        const ScheduledFault &f = plan_.schedule[nextScheduled_++];
+        const CpuId target = f.target == invalidCpu ? 0 : f.target;
+        if (target >= cpus_.size())
+            ztx_fatal("scheduled fault targets CPU ", target,
+                      " but only ", cpus_.size(), " attached");
+        stats_.counter("scheduled.fired").inc();
+        apply(f.kind, target, f.at);
+    }
+
+    // Buffered XI storms, merged across CPUs in (cycle, cpu) order.
+    struct PendingStorm
+    {
+        Cycles at;
+        CpuId cpu;
+    };
+    std::vector<PendingStorm> storms;
+    for (CpuId id = 0; id < CpuId(pendingStorms_.size()); ++id) {
+        for (const Cycles at : pendingStorms_[id])
+            storms.push_back({at, id});
+        pendingStorms_[id].clear();
+    }
+    std::sort(storms.begin(), storms.end(),
+              [](const PendingStorm &a, const PendingStorm &b) {
+                  return std::tie(a.at, a.cpu) <
+                         std::tie(b.at, b.cpu);
+              });
+    for (const PendingStorm &s : storms)
+        apply(FaultKind::XiStorm, s.cpu, s.at);
+}
+
+void
+FaultInjector::foldHotCounters() const
+{
+    HotCounters sum;
+    for (const HotCounters &h : hot_) {
+        sum.spuriousFired += h.spuriousFired;
+        sum.squeezeFired += h.squeezeFired;
+        sum.squeezeRestored += h.squeezeRestored;
+        sum.interruptStormFired += h.interruptStormFired;
+    }
+    // Touch every counter unconditionally: the stat-group shape must
+    // not depend on which faults happened to fire.
+    stats_.counter("spurious_abort.fired")
+        .inc(sum.spuriousFired - hotFolded_.spuriousFired);
+    stats_.counter("squeeze.fired")
+        .inc(sum.squeezeFired - hotFolded_.squeezeFired);
+    stats_.counter("squeeze.restored")
+        .inc(sum.squeezeRestored - hotFolded_.squeezeRestored);
+    stats_.counter("interrupt_storm.fired")
+        .inc(sum.interruptStormFired -
+             hotFolded_.interruptStormFired);
+    hotFolded_ = sum;
 }
 
 void
@@ -125,11 +210,13 @@ FaultInjector::apply(FaultKind kind, CpuId target, Cycles now)
       case FaultKind::SpuriousAbort:
         if (!cpu.inTx())
             return; // nothing to abort
-        stats_.counter("spurious_abort.fired").inc();
+        ++hot_[target].spuriousFired;
         cpu.injectSpuriousAbort();
         return;
 
       case FaultKind::XiStorm: {
+        // Serial-only (legacy beforeStep or the barrier flush): the
+        // storm walks the shared directory.
         if (target == env_.soloHolder()) {
             // Broadcast-stop stopped "all conflicting work"; an
             // adversary is conflicting work too.
@@ -142,8 +229,10 @@ FaultInjector::apply(FaultKind kind, CpuId target, Cycles now)
             return; // no transactional footprint to attack
         stats_.counter("xi_storm.fired").inc();
         for (unsigned i = 0; i < plan_.xiStormBurst; ++i) {
+            // Line picks come from the target's own stream so the
+            // sequence survives reordering of other CPUs' storms.
             const Addr line =
-                lines[rng_.nextBounded(lines.size())];
+                lines[stormRng_[target].nextBounded(lines.size())];
             if (hier_.injectAdversarialXi(target, line))
                 stats_.counter("xi_storm.lines_taken").inc();
             else
@@ -153,14 +242,14 @@ FaultInjector::apply(FaultKind kind, CpuId target, Cycles now)
       }
 
       case FaultKind::CapacitySqueeze:
-        stats_.counter("squeeze.fired").inc();
+        ++hot_[target].squeezeFired;
         hier_.squeezeCapacity(target, plan_.squeezeL1Ways,
                               plan_.squeezeL2Ways);
         squeezeUntil_[target] = now + plan_.squeezeDuration;
         return;
 
       case FaultKind::InterruptStorm:
-        stats_.counter("interrupt_storm.fired").inc();
+        ++hot_[target].interruptStormFired;
         for (unsigned i = 0; i < plan_.interruptBurst; ++i)
             cpu.deliverExternalInterrupt();
         return;

@@ -5,9 +5,18 @@
  * about to execute; the injector draws its per-kind Bernoulli rates
  * and fires any scheduled faults that came due, then the step runs
  * into whatever hostile state was created. All randomness comes
- * from one private ztx::Rng seeded from the plan/machine seed, so a
- * chaotic run is a pure function of (program, config, seed) just
- * like a benign one.
+ * from per-CPU ztx::Rng streams derived from the plan/machine seed,
+ * so a chaotic run is a pure function of (program, config, seed)
+ * just like a benign one — independent of how many host threads the
+ * sharded scheduler uses, since CPU i's draws depend only on CPU i's
+ * step sequence.
+ *
+ * Sharded mode (Machine with hostThreads >= 1): beforeStep() runs
+ * inside the parallel phase and touches only per-CPU state; faults
+ * whose application crosses CPUs (XI storms against the shared
+ * directory, scheduled faults consumed from one global cursor) are
+ * buffered and applied at the quantum barrier by flushSharded() in
+ * deterministic (cycle, cpu) order.
  *
  * The injector also implements mem::XiDelayProbe: when registered
  * with the hierarchy it can stretch individual XI response times,
@@ -63,9 +72,25 @@ class FaultInjector : public mem::XiDelayProbe
     /**
      * Called by the scheduler right before CPU @p id steps at
      * global cycle @p now: expires due capacity squeezes, fires due
-     * scheduled faults, and draws the probabilistic ones.
+     * scheduled faults (legacy mode), and draws the probabilistic
+     * ones. Thread-safe across distinct @p id in sharded mode:
+     * touches only per-CPU state; cross-CPU faults are buffered.
      */
     void beforeStep(CpuId id, Cycles now);
+
+    /**
+     * Select sharded-mode buffering (Machine sets this once at
+     * construction, from MachineConfig::hostThreads > 0).
+     */
+    void setShardedMode(bool on) { sharded_ = on; }
+
+    /**
+     * Quantum-barrier flush (sharded mode, serial): fire scheduled
+     * faults due at or before @p now (untargeted entries hit CPU 0),
+     * then apply buffered XI storms merged across CPUs in
+     * (cycle, cpu) order.
+     */
+    void flushSharded(Cycles now);
 
     /** mem::XiDelayProbe: extra cycles for one XI response. */
     Cycles xiDelay(mem::XiKind kind, CpuId target,
@@ -75,11 +100,35 @@ class FaultInjector : public mem::XiDelayProbe
     const FaultPlan &plan() const { return plan_; }
 
     /** Injection activity ("inject.*" counters). */
-    StatGroup &stats() { return stats_; }
-    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats()
+    {
+        foldHotCounters();
+        return stats_;
+    }
+    const StatGroup &stats() const
+    {
+        foldHotCounters();
+        return stats_;
+    }
 
   private:
     void apply(FaultKind kind, CpuId target, Cycles now);
+
+    /**
+     * Counters bumped from the parallel phase accumulate in per-CPU
+     * cache-line-sized deltas and are folded into stats_
+     * idempotently when stats() is read. The fold touches every
+     * counter unconditionally so the stat-group shape is identical
+     * across runs and host-thread counts.
+     */
+    struct alignas(64) HotCounters
+    {
+        std::uint64_t spuriousFired = 0;
+        std::uint64_t squeezeFired = 0;
+        std::uint64_t squeezeRestored = 0;
+        std::uint64_t interruptStormFired = 0;
+    };
+    void foldHotCounters() const;
 
     FaultPlan plan_;
     mem::Hierarchy &hier_;
@@ -88,8 +137,19 @@ class FaultInjector : public mem::XiDelayProbe
     /** Per-CPU cycle at which a squeeze expires; 0 = not squeezed. */
     std::vector<Cycles> squeezeUntil_;
     std::size_t nextScheduled_ = 0;
+    bool sharded_ = false;
+    std::uint64_t baseSeed_;
+    /** Per-CPU Bernoulli streams (rates), indexed by CpuId. */
+    std::vector<Rng> cpuRng_;
+    /** Per-CPU streams for XI-storm line picks, indexed by target. */
+    std::vector<Rng> stormRng_;
+    /** Sharded mode: per-CPU storm fire times awaiting the flush. */
+    std::vector<std::vector<Cycles>> pendingStorms_;
+    std::vector<HotCounters> hot_;
+    mutable HotCounters hotFolded_{};
+    /** Serial-only stream: XI response delays (xiDelay). */
     Rng rng_;
-    StatGroup stats_{"inject"};
+    mutable StatGroup stats_{"inject"};
 };
 
 } // namespace ztx::inject

@@ -37,6 +37,8 @@ Hierarchy::Hierarchy(const Topology &topo, const LatencyModel &lat,
         l2_.emplace_back(geo_.l2, "l2." + std::to_string(i));
         lruExt_.emplace_back(geo_.l1.rows(), false);
     }
+    lruExtTracked_.resize(n);
+    hot_.resize(n);
     for (unsigned c = 0; c < topo_.numChips(); ++c)
         l3_.emplace_back(geo_.l3, "l3." + std::to_string(c));
     for (unsigned m = 0; m < topo_.numMcms(); ++m)
@@ -66,7 +68,7 @@ Hierarchy::localHit(CpuId cpu, Addr line)
     if (l1_[cpu].touch(line)) {
         res.source = DataSource::L1;
         res.latency = lat_.l1Hit;
-        stats_.counter("fetch.l1_hit").inc();
+        ++hot_[cpu].l1Hit;
         return res;
     }
     // Inclusivity: a held line must be L2-resident.
@@ -75,7 +77,7 @@ Hierarchy::localHit(CpuId cpu, Addr line)
     insertL1(cpu, line);
     res.source = DataSource::L2;
     res.latency = lat_.l2Hit;
-    stats_.counter("fetch.l2_hit").inc();
+    ++hot_[cpu].l2Hit;
     return res;
 }
 
@@ -163,18 +165,30 @@ Hierarchy::removeFromCpu(CpuId cpu, Addr line)
 }
 
 AccessResult
-Hierarchy::fetch(CpuId cpu, Addr line, bool exclusive)
+Hierarchy::fetch(CpuId cpu, Addr line, bool exclusive,
+                 bool local_only)
 {
     if (lineOffset(line) != 0)
         ztx_panic("fetch of non-line-aligned address");
-    stats_.counter("fetch.total").inc();
 
     // Copy: the entry reference would dangle across directory
     // mutations below (the map may rehash or erase the node).
     const DirectoryEntry e = dir_.lookup(line);
     const bool holds_it = dir_.holds(cpu, line);
-    if (holds_it && (!exclusive || e.owner == cpu))
+    if (holds_it && (!exclusive || e.owner == cpu)) {
+        ++hot_[cpu].fetchTotal;
         return localHit(cpu, line);
+    }
+
+    if (local_only) {
+        // Parallel phase: this access needs the fabric or another
+        // CPU. Defer without charging anything — the step will be
+        // re-run serially at the quantum barrier.
+        AccessResult res;
+        res.deferred = true;
+        return res;
+    }
+    ++hot_[cpu].fetchTotal;
 
     AccessResult res;
     res.source = findSource(cpu, line);
@@ -258,7 +272,11 @@ Hierarchy::insertL1(CpuId cpu, Addr line)
     if (victim.flags & line_flag::txRead) {
         if (lruExtEnabled_) {
             lruExt_[cpu][l1_[cpu].row(victim.line)] = true;
-            stats_.counter("l1.lru_ext_set").inc();
+            ++hot_[cpu].lruExtSet;
+            auto &tracked = lruExtTracked_[cpu];
+            if (std::find(tracked.begin(), tracked.end(),
+                          victim.line) == tracked.end())
+                tracked.push_back(victim.line);
         } else {
             // Ablation: without the extension the footprint promise
             // is limited to the L1; losing a tx-read line aborts.
@@ -270,7 +288,7 @@ Hierarchy::insertL1(CpuId cpu, Addr line)
         }
     }
     client(cpu)->l1Evicted(victim.line, victim.flags);
-    stats_.counter("l1.evict").inc();
+    ++hot_[cpu].l1Evict;
 }
 
 void
@@ -331,6 +349,7 @@ Hierarchy::clearTxMarks(CpuId cpu)
 {
     l1_[cpu].clearFlagsAll(line_flag::txRead | line_flag::txDirty);
     std::fill(lruExt_[cpu].begin(), lruExt_[cpu].end(), false);
+    lruExtTracked_[cpu].clear();
 }
 
 void
@@ -343,7 +362,7 @@ Hierarchy::killTxDirtyLines(CpuId cpu)
     });
     for (const Addr line : doomed)
         l1_[cpu].invalidate(line);
-    stats_.counter("l1.tx_dirty_killed").inc(doomed.size());
+    hot_[cpu].txDirtyKilled += doomed.size();
 }
 
 bool
@@ -422,6 +441,7 @@ Hierarchy::flushCpuCaches(CpuId cpu)
         dir_.remove(line, cpu);
     }
     std::fill(lruExt_[cpu].begin(), lruExt_[cpu].end(), false);
+    lruExtTracked_[cpu].clear();
 }
 
 std::vector<Addr>
@@ -433,6 +453,14 @@ Hierarchy::txFootprintLines(CpuId cpu) const
             (line_flag::txRead | line_flag::txDirty))
             lines.push_back(e.line);
     });
+    // Evicted-but-tracked lines: displaced from the L1 while an
+    // LRU-extension row preserved their tx-read promise. A line may
+    // have been refetched (and remarked) since its eviction; skip
+    // those to avoid duplicates.
+    for (const Addr line : lruExtTracked_[cpu])
+        if (!(l1_[cpu].flagsOf(line) &
+              (line_flag::txRead | line_flag::txDirty)))
+            lines.push_back(line);
     return lines;
 }
 
@@ -463,6 +491,33 @@ Hierarchy::squeezeCapacity(CpuId cpu, unsigned l1_ways,
 {
     l1_[cpu].setEffectiveAssoc(l1_ways);
     l2_[cpu].setEffectiveAssoc(l2_ways);
+}
+
+void
+Hierarchy::foldHotCounters() const
+{
+    HotCounters sum;
+    for (const HotCounters &h : hot_) {
+        sum.fetchTotal += h.fetchTotal;
+        sum.l1Hit += h.l1Hit;
+        sum.l2Hit += h.l2Hit;
+        sum.l1Evict += h.l1Evict;
+        sum.lruExtSet += h.lruExtSet;
+        sum.txDirtyKilled += h.txDirtyKilled;
+    }
+    // Touch every counter unconditionally so the set of registered
+    // stats (and hence the JSON shape) never depends on which paths
+    // happened to run.
+    stats_.counter("fetch.total").inc(sum.fetchTotal -
+                                      hotFolded_.fetchTotal);
+    stats_.counter("fetch.l1_hit").inc(sum.l1Hit - hotFolded_.l1Hit);
+    stats_.counter("fetch.l2_hit").inc(sum.l2Hit - hotFolded_.l2Hit);
+    stats_.counter("l1.evict").inc(sum.l1Evict - hotFolded_.l1Evict);
+    stats_.counter("l1.lru_ext_set").inc(sum.lruExtSet -
+                                         hotFolded_.lruExtSet);
+    stats_.counter("l1.tx_dirty_killed")
+        .inc(sum.txDirtyKilled - hotFolded_.txDirtyKilled);
+    hotFolded_ = sum;
 }
 
 void

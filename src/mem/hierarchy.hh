@@ -40,6 +40,15 @@ struct AccessResult
     /** True if a Demote/Exclusive XI was stiff-armed; retry later. */
     bool rejected = false;
 
+    /**
+     * True when a local-only fetch (sharded parallel phase) would
+     * have had to leave the private L1/L2: no state moved, nothing
+     * was charged, and the step must be re-executed at the quantum
+     * barrier. Distinct from `rejected`, which is an architectural
+     * stiff-arm outcome that feeds the TM hang-avoidance ladder.
+     */
+    bool deferred = false;
+
     /** CPU that rejected the XI (valid when rejected). */
     CpuId rejecter = invalidCpu;
 
@@ -64,9 +73,14 @@ class Hierarchy
      * @param cpu Requesting CPU.
      * @param line Line-aligned address.
      * @param exclusive True for store access (needs ownership).
+     * @param local_only When true (sharded parallel phase), only
+     *        private L1/L2 hits are serviced; anything that would
+     *        touch the fabric or another CPU returns deferred with
+     *        no state moved and no counters charged.
      * @return latency/rejection outcome; on rejection no state moved.
      */
-    AccessResult fetch(CpuId cpu, Addr line, bool exclusive);
+    AccessResult fetch(CpuId cpu, Addr line, bool exclusive,
+                       bool local_only = false);
 
     /**
      * @name Transactional bit plane (paper §III.C)
@@ -118,8 +132,11 @@ class Hierarchy
     const Topology &topology() const { return topo_; }
     const LatencyModel &latencyModel() const { return lat_; }
     const HierarchyGeometry &geometry() const { return geo_; }
-    StatGroup &stats() { return stats_; }
-    const StatGroup &stats() const { return stats_; }
+    // Hot-path fetch counters accumulate in per-CPU padded deltas
+    // (no shared-counter contention in the parallel phase) and are
+    // folded into the StatGroup whenever stats are observed.
+    StatGroup &stats() { foldHotCounters(); return stats_; }
+    const StatGroup &stats() const { foldHotCounters(); return stats_; }
     /** @} */
 
     /**
@@ -136,12 +153,24 @@ class Hierarchy
     void setXiDelayProbe(XiDelayProbe *probe) { xiProbe_ = probe; }
 
     /**
-     * Lines currently marked transactional (tx-read or tx-dirty) in
-     * @p cpu's L1 — the precise part of its footprint an adversary
-     * can aim conflict XIs at. Lines only covered by the imprecise
-     * LRU-extension rows are not enumerable and are excluded.
+     * Lines currently part of @p cpu's transactional footprint an
+     * adversary can aim conflict XIs at: lines marked tx-read or
+     * tx-dirty in the L1, plus evicted-but-tracked lines whose
+     * tx-read promise lives on in an LRU-extension row. The latter
+     * come from a per-CPU shadow list the hierarchy keeps alongside
+     * the (imprecise, row-granular) extension vector.
      */
     std::vector<Addr> txFootprintLines(CpuId cpu) const;
+
+    /**
+     * The evicted-but-tracked lines of @p cpu: tx-read lines that
+     * were displaced from the L1 while their promise was preserved
+     * by an LRU-extension row. Cleared with the tx marks.
+     */
+    const std::vector<Addr> &lruTrackedLines(CpuId cpu) const
+    {
+        return lruExtTracked_[cpu];
+    }
 
     /**
      * Send a hostile conflict XI for @p line to @p target on behalf
@@ -176,6 +205,24 @@ class Hierarchy
     void flushCpuCaches(CpuId cpu);
 
   private:
+    /**
+     * Counters touched by CPU-local fetch paths that may run
+     * concurrently in the sharded scheduler's parallel phase. One
+     * cache-line-padded slot per CPU, written only by that CPU's
+     * host thread; folded idempotently into stats_ on observation.
+     */
+    struct alignas(64) HotCounters
+    {
+        std::uint64_t fetchTotal = 0;
+        std::uint64_t l1Hit = 0;
+        std::uint64_t l2Hit = 0;
+        std::uint64_t l1Evict = 0;
+        std::uint64_t lruExtSet = 0;
+        std::uint64_t txDirtyKilled = 0;
+    };
+
+    void foldHotCounters() const;
+
     AccessResult localHit(CpuId cpu, Addr line);
     DataSource findSource(CpuId cpu, Addr line) const;
     XiResponse sendXi(XiKind kind, Addr line, CpuId target,
@@ -200,9 +247,17 @@ class Hierarchy
     std::vector<CacheClient *> clients_;
     /** Per-CPU LRU-extension vector, one bit per L1 row. */
     std::vector<std::vector<bool>> lruExt_;
+    /**
+     * Per-CPU shadow of the extension vector at line granularity:
+     * the tx-read lines actually displaced while tracked, so the
+     * footprint stays enumerable for injection targeting.
+     */
+    std::vector<std::vector<Addr>> lruExtTracked_;
     bool lruExtEnabled_ = true;
     XiDelayProbe *xiProbe_ = nullptr;
-    StatGroup stats_;
+    std::vector<HotCounters> hot_;
+    mutable HotCounters hotFolded_{};
+    mutable StatGroup stats_;
 };
 
 } // namespace ztx::mem

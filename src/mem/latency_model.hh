@@ -13,6 +13,8 @@
 #ifndef ZTX_MEM_LATENCY_MODEL_HH
 #define ZTX_MEM_LATENCY_MODEL_HH
 
+#include <algorithm>
+
 #include "common/types.hh"
 #include "mem/topology.hh"
 
@@ -78,6 +80,30 @@ struct LatencyModel
     rejectRetry(Distance d) const
     {
         return intervention(d) / 2 + 8;
+    }
+
+    /**
+     * Minimum number of cycles any interaction that leaves a CPU's
+     * private L1/L2 can take: the cheapest fabric fetch (L3 and
+     * beyond), intervention, or reject-retry stall across all
+     * hierarchical distances. The sharded scheduler uses this as
+     * its synchronization quantum: a cross-chip effect initiated in
+     * one quantum cannot become visible to another chip before the
+     * next barrier, so per-chip event queues may run a full quantum
+     * without synchronizing. Clamped to >= 1 so degenerate
+     * configurations still make progress.
+     */
+    Cycles
+    minFabricLatency() const
+    {
+        Cycles m = std::min({l3Hit, l4Hit, remoteMcm, memory});
+        for (const Distance d :
+             {Distance::SameChip, Distance::SameMcm,
+              Distance::CrossMcm}) {
+            m = std::min(m, intervention(d));
+            m = std::min(m, rejectRetry(d));
+        }
+        return std::max<Cycles>(m, 1);
     }
 };
 

@@ -1,25 +1,49 @@
 #include "main_memory.hh"
 
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
 #include "common/log.hh"
 
 namespace ztx::mem {
 
+const MainMemory::Line *
+MainMemory::findLine(Addr line) const
+{
+    std::shared_lock lock(mu_);
+    const auto it = lines_.find(line);
+    // Nodes are never erased, so the pointer outlives the lock.
+    return it == lines_.end() ? nullptr : &it->second;
+}
+
+MainMemory::Line &
+MainMemory::ensureLine(Addr line)
+{
+    {
+        std::shared_lock lock(mu_);
+        const auto it = lines_.find(line);
+        if (it != lines_.end())
+            return it->second;
+    }
+    std::unique_lock lock(mu_);
+    auto [it, inserted] = lines_.try_emplace(line);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
 std::uint8_t
 MainMemory::readByte(Addr addr) const
 {
-    const auto it = lines_.find(lineAlign(addr));
-    if (it == lines_.end())
-        return 0;
-    return it->second[lineOffset(addr)];
+    const Line *line = findLine(lineAlign(addr));
+    return line ? (*line)[lineOffset(addr)] : 0;
 }
 
 void
 MainMemory::writeByte(Addr addr, std::uint8_t value)
 {
-    auto [it, inserted] = lines_.try_emplace(lineAlign(addr));
-    if (inserted)
-        it->second.fill(0);
-    it->second[lineOffset(addr)] = value;
+    ensureLine(lineAlign(addr))[lineOffset(addr)] = value;
 }
 
 std::uint64_t
@@ -27,9 +51,11 @@ MainMemory::read(Addr addr, unsigned size) const
 {
     if (size == 0 || size > 8)
         ztx_panic("MainMemory::read of unsupported size ", size);
+    std::uint8_t buf[8];
+    readBlock(addr, buf, size);
     std::uint64_t v = 0;
     for (unsigned i = 0; i < size; ++i)
-        v = (v << 8) | readByte(addr + i);
+        v = (v << 8) | buf[i];
     return v;
 }
 
@@ -38,24 +64,50 @@ MainMemory::write(Addr addr, std::uint64_t value, unsigned size)
 {
     if (size == 0 || size > 8)
         ztx_panic("MainMemory::write of unsupported size ", size);
-    for (unsigned i = 0; i < size; ++i) {
-        const unsigned shift = 8 * (size - 1 - i);
-        writeByte(addr + i, std::uint8_t(value >> shift));
-    }
+    std::uint8_t buf[8];
+    for (unsigned i = 0; i < size; ++i)
+        buf[i] = std::uint8_t(value >> (8 * (size - 1 - i)));
+    writeBlock(addr, buf, size);
 }
 
 void
 MainMemory::readBlock(Addr addr, std::uint8_t *out, std::size_t len) const
 {
-    for (std::size_t i = 0; i < len; ++i)
-        out[i] = readByte(addr + i);
+    while (len > 0) {
+        const Addr base = lineAlign(addr);
+        const std::size_t off = lineOffset(addr);
+        const std::size_t chunk =
+            std::min<std::size_t>(len, lineSizeBytes - off);
+        if (const Line *line = findLine(base))
+            std::memcpy(out, line->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
 }
 
 void
 MainMemory::writeBlock(Addr addr, const std::uint8_t *in, std::size_t len)
 {
-    for (std::size_t i = 0; i < len; ++i)
-        writeByte(addr + i, in[i]);
+    while (len > 0) {
+        const Addr base = lineAlign(addr);
+        const std::size_t off = lineOffset(addr);
+        const std::size_t chunk =
+            std::min<std::size_t>(len, lineSizeBytes - off);
+        std::memcpy(ensureLine(base).data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+std::size_t
+MainMemory::linesAllocated() const
+{
+    std::shared_lock lock(mu_);
+    return lines_.size();
 }
 
 } // namespace ztx::mem

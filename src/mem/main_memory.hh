@@ -8,6 +8,14 @@
  * stores live in the per-CPU gathering store cache until commit and
  * are merged into loads there, so nothing speculative ever reaches
  * this object.
+ *
+ * Thread safety: the line map is guarded by a shared mutex so the
+ * sharded scheduler's parallel phase may allocate lines from several
+ * host threads. Line *contents* are intentionally unguarded — the
+ * coherence model guarantees a byte has exactly one writer at a time
+ * (exclusive ownership), and lines are never erased, so a Line
+ * reference stays valid for the lifetime of the machine
+ * (unordered_map node stability).
  */
 
 #ifndef ZTX_MEM_MAIN_MEMORY_HH
@@ -15,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/types.hh"
@@ -49,11 +58,18 @@ class MainMemory
     void writeBlock(Addr addr, const std::uint8_t *in, std::size_t len);
 
     /** Number of distinct lines ever written. */
-    std::size_t linesAllocated() const { return lines_.size(); }
+    std::size_t linesAllocated() const;
 
   private:
     using Line = std::array<std::uint8_t, lineSizeBytes>;
 
+    /** Line lookup without allocation; nullptr when untouched. */
+    const Line *findLine(Addr line) const;
+
+    /** Line lookup, allocating a zero-filled line when absent. */
+    Line &ensureLine(Addr line);
+
+    mutable std::shared_mutex mu_;
     std::unordered_map<Addr, Line> lines_;
 };
 

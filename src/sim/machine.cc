@@ -1,10 +1,15 @@
 #include "machine.hh"
 
 #include <algorithm>
+#include <condition_variable>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <tuple>
 #include <utility>
 
 #include "common/log.hh"
+#include "sim/shard.hh"
 
 namespace ztx::sim {
 
@@ -18,10 +23,33 @@ Machine::Machine(const MachineConfig &config)
     if (n > cfg_.topology.numCpus())
         ztx_fatal("activeCpus ", n, " exceeds topology capacity ",
                   cfg_.topology.numCpus());
+
+    // Sharded mode: one event queue per chip, built before the CPUs
+    // so each CPU can bind its chip's shard as its environment.
+    if (cfg_.hostThreads > 0) {
+        shardOfCpu_.assign(n, nullptr);
+        const unsigned per_chip = cfg_.topology.coresPerChip();
+        for (unsigned c = 0; c * per_chip < n; ++c) {
+            std::vector<CpuId> members;
+            const unsigned first = c * per_chip;
+            const unsigned last = std::min(n, first + per_chip);
+            for (unsigned i = first; i < last; ++i)
+                members.push_back(i);
+            shards_.push_back(
+                std::make_unique<Shard>(*this, c, members));
+            for (const CpuId id : members)
+                shardOfCpu_[id] = shards_.back().get();
+        }
+    }
+
     cpus_.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
+        core::CpuEnv &env =
+            cfg_.hostThreads > 0
+                ? static_cast<core::CpuEnv &>(*shardOfCpu_[i])
+                : static_cast<core::CpuEnv &>(*this);
         cpus_.push_back(std::make_unique<core::Cpu>(
-            i, hierarchy_, memory_, pageTable_, os_, *this, cfg_.tm,
+            i, hierarchy_, memory_, pageTable_, os_, env, cfg_.tm,
             cfg_.seed * 0x9e3779b97f4a7c15ULL + i + 1));
     }
     if (cfg_.enableIo) {
@@ -38,6 +66,7 @@ Machine::Machine(const MachineConfig &config)
             cfg_.faults, cfg_.seed, hierarchy_, *this);
         for (auto &c : cpus_)
             injector_->attachCpu(*c);
+        injector_->setShardedMode(cfg_.hostThreads > 0);
         hierarchy_.setXiDelayProbe(injector_.get());
     }
     readyAt_.assign(n, 0);
@@ -113,6 +142,13 @@ Machine::releaseSolo(CpuId cpu_id)
 Cycles
 Machine::run(Cycles max_cycles)
 {
+    return cfg_.hostThreads == 0 ? runLegacy(max_cycles)
+                                 : runSharded(max_cycles);
+}
+
+Cycles
+Machine::runLegacy(Cycles max_cycles)
+{
     const Cycles start = now_;
     const bool bounded = max_cycles != ~Cycles(0);
     const Cycles end_cycle =
@@ -129,9 +165,7 @@ Machine::run(Cycles max_cycles)
     // (Re-)arm the forward-progress watchdog for this run call.
     if (cfg_.watchdogCycles != 0) {
         lastProgressAt_ = now_;
-        lastProgressSum_ = 0;
-        for (const auto &c : cpus_)
-            lastProgressSum_ += c->progressEvents();
+        lastProgressSum_ = progressSum();
     }
 
     while (!heap.empty()) {
@@ -202,9 +236,10 @@ Machine::run(Cycles max_cycles)
             heap.push({readyAt_[id], id});
 
         if (cfg_.watchdogCycles != 0) {
-            std::uint64_t sum = 0;
-            for (const auto &c : cpus_)
-                sum += c->progressEvents();
+            // O(1) per step: commits/region-closes/halts bump
+            // progressTicks_ via noteProgress(); channel transfers
+            // count through io_->completed().
+            const std::uint64_t sum = progressSum();
             if (sum != lastProgressSum_) {
                 lastProgressSum_ = sum;
                 lastProgressAt_ = now_;
@@ -216,6 +251,266 @@ Machine::run(Cycles max_cycles)
         }
     }
     return now_ - start;
+}
+
+Cycles
+Machine::runSharded(Cycles max_cycles)
+{
+    const Cycles start = now_;
+    const bool bounded = max_cycles != ~Cycles(0);
+    const Cycles end_cycle =
+        bounded ? start + max_cycles : ~Cycles(0);
+    const Cycles quantum = cfg_.latency.minFabricLatency();
+
+    for (auto &sh : shards_)
+        sh->beginRun();
+    lastIoAt_ = now_;
+
+    if (cfg_.watchdogCycles != 0) {
+        lastProgressAt_ = now_;
+        lastProgressSum_ = progressSum();
+    }
+
+    // Persistent worker pool for this run call. Only spun up when
+    // more than one host thread can actually be used; the 1-thread
+    // (and 1-shard) case runs the quanta inline, and is the
+    // bit-identical reference for every other thread count.
+    const unsigned workers =
+        std::min<unsigned>(cfg_.hostThreads,
+                           unsigned(shards_.size()));
+    struct Gate
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        unsigned count = 0;
+        std::uint64_t generation = 0;
+        const unsigned parties;
+        explicit Gate(unsigned p) : parties(p) {}
+        void arriveAndWait()
+        {
+            std::unique_lock lock(m);
+            const std::uint64_t gen = generation;
+            if (++count == parties) {
+                count = 0;
+                ++generation;
+                cv.notify_all();
+            } else {
+                cv.wait(lock,
+                        [&] { return generation != gen; });
+            }
+        }
+    };
+    Gate start_gate(workers + 1), end_gate(workers + 1);
+    Cycles pool_q_end = 0;
+    bool pool_stop = false;
+    std::vector<std::thread> pool;
+    if (workers > 1) {
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back([this, w, workers, &start_gate,
+                               &end_gate, &pool_q_end,
+                               &pool_stop] {
+                while (true) {
+                    start_gate.arriveAndWait();
+                    if (pool_stop)
+                        return;
+                    // Static strided shard assignment: which host
+                    // thread runs a shard never affects results.
+                    for (std::size_t s = w; s < shards_.size();
+                         s += workers)
+                        shards_[s]->runQuantum(pool_q_end);
+                    end_gate.arriveAndWait();
+                }
+            });
+        }
+    }
+
+    enum class Exit { Natural, Bounded, Watchdog };
+    Exit exit_kind = Exit::Natural;
+    Cycles q_start = now_;
+    while (true) {
+        // Earliest pending work across shards and the channel.
+        Cycles next_ev = ~Cycles(0);
+        for (const auto &sh : shards_)
+            next_ev = std::min(next_ev, sh->nextEventTime());
+        if (io_ && !io_->idle())
+            next_ev = std::min(next_ev,
+                               std::max(ioReadyAt_, q_start));
+        if (next_ev == ~Cycles(0))
+            break; // every CPU halted, channel idle
+        if (bounded && next_ev >= end_cycle) {
+            exit_kind = Exit::Bounded;
+            break;
+        }
+        // Skip empty quanta, staying on the quantum grid so the
+        // barrier schedule is a pure function of the event times.
+        if (next_ev > q_start)
+            q_start += ((next_ev - q_start) / quantum) * quantum;
+        const Cycles q_end =
+            std::min(q_start + quantum, end_cycle);
+
+        parallelPhase_ = true;
+        if (pool.empty()) {
+            runParallel(q_end);
+        } else {
+            pool_q_end = q_end;
+            start_gate.arriveAndWait();
+            end_gate.arriveAndWait();
+        }
+        parallelPhase_ = false;
+
+        now_ = q_end;
+        mergeQuantum(q_start, q_end);
+
+        if (cfg_.watchdogCycles != 0) {
+            const std::uint64_t sum = progressSum();
+            if (sum != lastProgressSum_) {
+                lastProgressSum_ = sum;
+                lastProgressAt_ = q_end;
+            } else if (q_end - lastProgressAt_ >=
+                       cfg_.watchdogCycles) {
+                fireWatchdog();
+                exit_kind = Exit::Watchdog;
+                break;
+            }
+        }
+        q_start = q_end;
+    }
+
+    if (!pool.empty()) {
+        pool_stop = true;
+        start_gate.arriveAndWait();
+        for (auto &t : pool)
+            t.join();
+    }
+
+    if (exit_kind == Exit::Bounded) {
+        now_ = end_cycle;
+    } else if (exit_kind == Exit::Natural) {
+        // Land the clock on the last event actually executed, not
+        // the quantum boundary, to match event-driven time.
+        Cycles final_t = start;
+        for (const auto &sh : shards_)
+            final_t = std::max(final_t, sh->lastEventAt_);
+        final_t = std::max(final_t, lastIoAt_);
+        now_ = std::min(final_t, end_cycle);
+    }
+    return now_ - start;
+}
+
+void
+Machine::runParallel(Cycles q_end)
+{
+    for (auto &sh : shards_)
+        sh->runQuantum(q_end);
+}
+
+void
+Machine::mergeQuantum(Cycles q_start, Cycles q_end)
+{
+    // 1. Solo-mode arbitration, ordered by (cycle, chip, issue
+    //    sequence). A halted holder releases automatically, as in
+    //    the legacy scheduler.
+    struct TaggedSolo
+    {
+        Cycles at;
+        unsigned chip;
+        std::size_t seq;
+        CpuId cpu;
+        bool request;
+    };
+    std::vector<TaggedSolo> solo;
+    for (auto &sh : shards_) {
+        for (std::size_t i = 0; i < sh->soloOps_.size(); ++i) {
+            const Shard::SoloOp &op = sh->soloOps_[i];
+            solo.push_back(
+                {op.at, sh->chip_, i, op.cpu, op.request});
+        }
+        sh->soloOps_.clear();
+    }
+    std::sort(solo.begin(), solo.end(),
+              [](const TaggedSolo &a, const TaggedSolo &b) {
+                  return std::tie(a.at, a.chip, a.seq) <
+                         std::tie(b.at, b.chip, b.seq);
+              });
+    for (const TaggedSolo &op : solo) {
+        if (op.request)
+            requestSolo(op.cpu);
+        else
+            releaseSolo(op.cpu);
+    }
+    while (soloCpu_ != invalidCpu && cpus_[soloCpu_]->halted())
+        releaseSolo(soloCpu_);
+
+    // 2. Buffered injector events (XI storms, scheduled faults),
+    //    merged in (cycle, cpu) order inside the injector.
+    if (injector_)
+        injector_->flushSharded(q_end);
+
+    // 3. Deferred steps, re-executed serially in (cycle, cpu)
+    //    order; cpu id refines chip id since chips own contiguous
+    //    id ranges. A CPU parked behind a freshly granted solo
+    //    holder retries next quantum instead.
+    struct TaggedStep
+    {
+        Cycles at;
+        CpuId cpu;
+    };
+    std::vector<TaggedStep> steps;
+    for (auto &sh : shards_) {
+        for (const Shard::DeferredStep &d : sh->deferred_)
+            steps.push_back({d.at, d.cpu});
+        sh->deferred_.clear();
+    }
+    std::sort(steps.begin(), steps.end(),
+              [](const TaggedStep &a, const TaggedStep &b) {
+                  return std::tie(a.at, a.cpu) <
+                         std::tie(b.at, b.cpu);
+              });
+    for (const TaggedStep &d : steps) {
+        core::Cpu &c = *cpus_[d.cpu];
+        if (c.halted())
+            continue;
+        Shard &sh = *shardOfCpu_[d.cpu];
+        if (soloCpu_ != invalidCpu && d.cpu != soloCpu_) {
+            readyAt_[d.cpu] = q_end;
+            sh.heap_.push({q_end, d.cpu});
+            continue;
+        }
+        sh.curTime_ = d.at;
+        sh.lastEventAt_ = std::max(sh.lastEventAt_, d.at);
+        stepCounter_.inc();
+        Cycles cost = c.step();
+        cost += c.consumePendingStall();
+        readyAt_[d.cpu] = d.at + cost;
+        if (!c.halted())
+            sh.heap_.push({readyAt_[d.cpu], d.cpu});
+    }
+    // Solo grants from re-steps: a halted holder still releases.
+    while (soloCpu_ != invalidCpu && cpus_[soloCpu_]->halted())
+        releaseSolo(soloCpu_);
+
+    // 4. Channel traffic for the window.
+    if (io_ && !io_->idle()) {
+        Cycles io_now = std::max(ioReadyAt_, q_start);
+        while (!io_->idle() && io_now < q_end) {
+            const Cycles cost = io_->pump();
+            io_now += std::max<Cycles>(cost, 1);
+            lastIoAt_ = io_now;
+        }
+        ioReadyAt_ = io_now;
+    }
+
+    // 5. Fold shard deltas into the machine counters.
+    for (auto &sh : shards_) {
+        stepCounter_.inc(sh->steps_);
+        extDeliveredCounter_.inc(sh->extDelivered_);
+        extSkippedCounter_.inc(sh->extSkipped_);
+        progressTicks_ += sh->progress_;
+        sh->steps_ = sh->extDelivered_ = sh->extSkipped_ = 0;
+        sh->progress_ = 0;
+    }
+    stats_.counter("scheduler.quanta").inc();
 }
 
 void
@@ -330,6 +625,9 @@ machineConfigJson(const MachineConfig &config)
         std::uint64_t(config.externalInterruptPeriod);
     meta["io_enabled"] = config.enableIo;
     meta["watchdog_cycles"] = std::uint64_t(config.watchdogCycles);
+    // hostThreads is deliberately NOT serialized: stat documents
+    // must stay byte-comparable across host-thread counts (the
+    // determinism contract of the sharded scheduler).
     if (config.faults.enabled())
         meta["faults"] = inject::faultPlanJson(config.faults);
 

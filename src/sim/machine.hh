@@ -44,6 +44,8 @@
 
 namespace ztx::sim {
 
+class Shard;
+
 /** Everything configurable about a machine. */
 struct MachineConfig
 {
@@ -80,12 +82,27 @@ struct MachineConfig
 
     /**
      * Forward-progress watchdog: if no CPU retires a progress event
-     * (transaction commit, measured-region close, halt) for this
-     * many cycles, run() stops deterministically, records a
-     * diagnosis bundle (watchdogReport()), and returns instead of
-     * spinning forever. 0 disables the watchdog.
+     * (transaction commit, measured-region close, halt) and the
+     * channel subsystem completes no transfer for this many cycles,
+     * run() stops deterministically, records a diagnosis bundle
+     * (watchdogReport()), and returns instead of spinning forever.
+     * 0 disables the watchdog.
      */
     Cycles watchdogCycles = 0;
+
+    /**
+     * Scheduler selection. 0 (default): the legacy exact
+     * single-threaded heap scheduler. >= 1: the sharded quantum
+     * scheduler — one event queue per chip, synchronized at fixed
+     * quanta of LatencyModel::minFabricLatency() cycles, run on up
+     * to this many host threads. Any hostThreads >= 1 produces
+     * bit-identical results for a given config and seed (1 is the
+     * determinism reference for 2, 4, ...); hostThreads = 0 may
+     * interleave differently and is compared architecturally, not
+     * statistically. Excluded from machineConfigJson() so stat
+     * documents stay byte-comparable across host-thread counts.
+     */
+    unsigned hostThreads = 0;
 };
 
 /** A complete simulated SMP machine. */
@@ -179,9 +196,15 @@ class Machine : public core::CpuEnv
     void requestSolo(CpuId cpu) override;
     void releaseSolo(CpuId cpu) override;
     CpuId soloHolder() const override { return soloCpu_; }
+    void noteProgress(CpuId cpu) override
+    {
+        (void)cpu;
+        ++progressTicks_;
+    }
     /** @} */
 
   private:
+    friend class Shard;
     MachineConfig cfg_;
     mem::MainMemory memory_;
     mem::Hierarchy hierarchy_;
@@ -213,12 +236,51 @@ class Machine : public core::CpuEnv
 
     void fireWatchdog();
 
+    /** The legacy exact single-threaded scheduler (hostThreads=0). */
+    Cycles runLegacy(Cycles max_cycles);
+
+    /** The sharded quantum scheduler (hostThreads >= 1). */
+    Cycles runSharded(Cycles max_cycles);
+
+    /** Run every shard's parallel phase up to @p q_end. */
+    void runParallel(Cycles q_end);
+
+    /**
+     * Barrier work after a quantum: apply buffered solo operations,
+     * flush buffered injector events, re-execute deferred steps,
+     * pump I/O for the window, and fold shard deltas — all in a
+     * deterministic order (see DESIGN.md).
+     */
+    void mergeQuantum(Cycles q_start, Cycles q_end);
+
+    /** O(1) watchdog progress sum: CPU ticks + I/O completions. */
+    std::uint64_t progressSum() const
+    {
+        return progressTicks_ + (io_ ? io_->completed() : 0);
+    }
+
     std::unique_ptr<inject::FaultInjector> injector_;
     /** @name Watchdog state @{ */
     std::uint64_t lastProgressSum_ = 0;
     Cycles lastProgressAt_ = 0;
     bool watchdogFired_ = false;
     Json watchdogReport_;
+    /** @} */
+
+    /** @name Sharded scheduler state (hostThreads >= 1) @{ */
+    std::vector<std::unique_ptr<Shard>> shards_;
+    /** CPU id -> owning shard; nullptr in legacy mode. */
+    std::vector<Shard *> shardOfCpu_;
+    /** True while shards run concurrently (solo ops buffer). */
+    bool parallelPhase_ = false;
+    /**
+     * Event-driven forward-progress counter (commits, region
+     * closes, halts), bumped via noteProgress() in legacy mode and
+     * folded from shard deltas at each barrier in sharded mode.
+     */
+    std::uint64_t progressTicks_ = 0;
+    /** Completion time of the last barrier-pumped I/O line. */
+    Cycles lastIoAt_ = 0;
     /** @} */
 };
 

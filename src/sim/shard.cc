@@ -1,0 +1,126 @@
+#include "shard.hh"
+
+#include <algorithm>
+
+#include "sim/machine.hh"
+
+namespace ztx::sim {
+
+Shard::Shard(Machine &machine, unsigned chip, std::vector<CpuId> cpus)
+    : machine_(machine), chip_(chip), cpus_(std::move(cpus))
+{
+}
+
+void
+Shard::requestSolo(CpuId cpu)
+{
+    if (machine_.parallelPhase_) {
+        soloOps_.push_back({curTime_, cpu, true});
+        return;
+    }
+    machine_.requestSolo(cpu);
+}
+
+void
+Shard::releaseSolo(CpuId cpu)
+{
+    if (machine_.parallelPhase_) {
+        soloOps_.push_back({curTime_, cpu, false});
+        return;
+    }
+    machine_.releaseSolo(cpu);
+}
+
+CpuId
+Shard::soloHolder() const
+{
+    // Stable during the parallel phase: solo transitions are applied
+    // only at the barrier, so every shard observes the same holder
+    // for the whole quantum regardless of host-thread count.
+    return machine_.soloCpu_;
+}
+
+void
+Shard::beginRun()
+{
+    heap_ = {};
+    deferred_.clear();
+    soloOps_.clear();
+    steps_ = extDelivered_ = extSkipped_ = progress_ = 0;
+    curTime_ = machine_.now_;
+    lastEventAt_ = machine_.now_;
+    for (const CpuId id : cpus_)
+        if (!machine_.cpus_[id]->halted())
+            heap_.push({machine_.readyAt_[id], id});
+}
+
+Cycles
+Shard::nextEventTime() const
+{
+    return heap_.empty() ? ~Cycles(0) : heap_.top().first;
+}
+
+void
+Shard::runQuantum(Cycles q_end)
+{
+    while (!heap_.empty() && heap_.top().first < q_end) {
+        const auto [t, id] = heap_.top();
+        heap_.pop();
+        if (t != machine_.readyAt_[id] || machine_.cpus_[id]->halted())
+            continue; // stale entry
+
+        // Solo mode: park everyone but the holder until the next
+        // barrier (the holder may release there). The park target is
+        // the quantum boundary, which depends only on the schedule,
+        // not on host-thread count.
+        const CpuId solo = machine_.soloCpu_;
+        if (solo != invalidCpu && id != solo) {
+            machine_.readyAt_[id] = q_end;
+            heap_.push({q_end, id});
+            continue;
+        }
+
+        curTime_ = t;
+        lastEventAt_ = t;
+
+        if (machine_.cfg_.externalInterruptPeriod &&
+            t >= machine_.nextInterrupt_[id]) {
+            machine_.cpus_[id]->deliverExternalInterrupt();
+            ++extDelivered_;
+            // Same catch-up rule as the legacy scheduler: at most
+            // one interrupt per period boundary, skipped periods
+            // are counted, never delivered as a burst.
+            const Cycles period = machine_.cfg_.externalInterruptPeriod;
+            machine_.nextInterrupt_[id] += period;
+            if (machine_.nextInterrupt_[id] <= t) {
+                const Cycles missed =
+                    (t - machine_.nextInterrupt_[id]) / period + 1;
+                extSkipped_ += missed;
+                machine_.nextInterrupt_[id] += missed * period;
+            }
+        }
+
+        if (machine_.injector_)
+            machine_.injector_->beforeStep(id, t);
+
+        core::Cpu &cpu = *machine_.cpus_[id];
+        cpu.setLocalOnly(true);
+        const Cycles cost = cpu.step();
+        cpu.setLocalOnly(false);
+        if (cpu.deferredStep()) {
+            // The step needs the fabric/OS: nothing was charged or
+            // moved (interrupt delivery and injector draws above
+            // are not repeated at the barrier). The CPU blocks (no
+            // heap entry) until the barrier re-executes the step
+            // serially, where it is counted.
+            deferred_.push_back({t, id});
+            continue;
+        }
+        ++steps_;
+        machine_.readyAt_[id] = t + cost + cpu.consumePendingStall();
+        if (!cpu.halted())
+            heap_.push({machine_.readyAt_[id], id});
+    }
+}
+
+} // namespace ztx::sim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * One shard of the sharded parallel scheduler: the event queue of a
+ * single chip's CPUs, runnable on a host thread.
+ *
+ * The Machine synchronizes shards in fixed cycle quanta bounded by
+ * the minimum cross-chip latency (LatencyModel::minFabricLatency,
+ * gem5-style): within a quantum every shard steps only CPU-local
+ * work (own L1/L2 hits, own transactional bits, own store cache,
+ * self-aborts) while anything that would touch the fabric, another
+ * CPU, the OS, or solo arbitration is *deferred* and re-executed
+ * serially at the quantum barrier in a deterministic order. Because
+ * the decision to defer depends only on the chip partitioning and
+ * cache state — never on how many host threads drive the shards — an
+ * N-thread run is bit-identical to the 1-thread run. See DESIGN.md
+ * ("Sharded deterministic parallel scheduling").
+ *
+ * The Shard is also the core::CpuEnv of its member CPUs: the clock
+ * is the shard-local current time, forward-progress ticks accumulate
+ * in a shard-local delta, and solo-mode requests issued during the
+ * parallel phase are buffered for ordered application at the
+ * barrier.
+ */
+
+#ifndef ZTX_SIM_SHARD_HH
+#define ZTX_SIM_SHARD_HH
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/config.hh"
+
+namespace ztx::sim {
+
+class Machine;
+
+/** Per-chip event queue of the sharded scheduler. */
+class Shard final : public core::CpuEnv
+{
+  public:
+    /**
+     * @param machine Owning machine (shared state, merge point).
+     * @param chip Chip index this shard covers (merge tie-break).
+     * @param cpus Member CPU ids (a contiguous id range).
+     */
+    Shard(Machine &machine, unsigned chip, std::vector<CpuId> cpus);
+
+    /** @name core::CpuEnv @{ */
+    Cycles now() const override { return curTime_; }
+    void requestSolo(CpuId cpu) override;
+    void releaseSolo(CpuId cpu) override;
+    CpuId soloHolder() const override;
+    void noteProgress(CpuId cpu) override
+    {
+        (void)cpu;
+        ++progress_;
+    }
+    /** @} */
+
+    /** Rebuild the event heap from the machine's ready times. */
+    void beginRun();
+
+    /** Earliest pending event, or ~Cycles(0) when the heap is dry. */
+    Cycles nextEventTime() const;
+
+    /**
+     * Parallel phase: process every event strictly before @p q_end,
+     * stepping member CPUs in local-only mode. Deferred steps are
+     * recorded for the barrier; CPUs parked by solo mode are pushed
+     * to @p q_end.
+     */
+    void runQuantum(Cycles q_end);
+
+    /** Chip index. */
+    unsigned chip() const { return chip_; }
+
+  private:
+    friend class Machine;
+
+    /** A step that must be re-executed serially at the barrier. */
+    struct DeferredStep
+    {
+        Cycles at;
+        CpuId cpu;
+    };
+
+    /** A solo request/release buffered during the parallel phase. */
+    struct SoloOp
+    {
+        Cycles at;
+        CpuId cpu;
+        bool request; ///< false = release
+    };
+
+    Machine &machine_;
+    unsigned chip_;
+    std::vector<CpuId> cpus_;
+
+    using HeapEntry = std::pair<Cycles, CpuId>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap_;
+
+    /** Shard-local clock: the event time currently executing. */
+    Cycles curTime_ = 0;
+    /** Time of the last event this shard actually executed. */
+    Cycles lastEventAt_ = 0;
+
+    std::vector<DeferredStep> deferred_;
+    std::vector<SoloOp> soloOps_;
+
+    /** @name Per-quantum deltas, folded at the barrier @{ */
+    std::uint64_t steps_ = 0;
+    std::uint64_t extDelivered_ = 0;
+    std::uint64_t extSkipped_ = 0;
+    std::uint64_t progress_ = 0;
+    /** @} */
+};
+
+} // namespace ztx::sim
+
+#endif // ZTX_SIM_SHARD_HH

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 
@@ -143,6 +144,47 @@ TEST(Footprint, ExtensionClearedBetweenTransactions)
     EXPECT_EQ(m.cpu(0).gr(3), 1u);
     EXPECT_EQ(m.cpu(0).stats().counter("tx.commits").value(), 2u);
     EXPECT_FALSE(m.hierarchy().lruExtensionAny(0));
+}
+
+TEST(Footprint, EvictedTrackedLinesStayInAttackableFootprint)
+{
+    // An adversary must be able to aim at the *whole* promised
+    // footprint: tx-read lines displaced from the L1 under an
+    // LRU-extension row are remembered in a per-CPU shadow list,
+    // surface through txFootprintLines(), and a conflict XI on one
+    // of them still kills the transaction (the extension row is
+    // row-granular, so the hit is imprecise but fatal).
+    Assembler as;
+    as.la(9, 0, std::int64_t(dataBase));
+    as.tbegin(0xFF);
+    as.jnz("out");
+    for (int i = 0; i < 12; ++i)
+        as.lg(1, 9, std::int64_t(i * l1RowStride));
+    as.label("spin");
+    as.j("spin"); // hold the transaction open
+    as.label("out");
+    as.halt();
+    const Program p = as.finish();
+    sim::Machine m(smallConfig(1));
+    m.setProgram(0, &p);
+    m.run(20'000);
+    ASSERT_TRUE(m.cpu(0).inTx());
+
+    const auto &tracked = m.hierarchy().lruTrackedLines(0);
+    ASSERT_FALSE(tracked.empty());
+    const auto footprint = m.hierarchy().txFootprintLines(0);
+    for (const Addr line : tracked) {
+        EXPECT_NE(std::find(footprint.begin(), footprint.end(),
+                            line),
+                  footprint.end())
+            << "evicted tracked line missing from footprint";
+        EXPECT_FALSE(m.hierarchy().inL1(0, line));
+        EXPECT_TRUE(m.hierarchy().lruExtensionHit(0, line));
+    }
+
+    // Attacking a tracked (L1-evicted) line aborts the transaction.
+    EXPECT_TRUE(m.hierarchy().injectAdversarialXi(0, tracked[0]));
+    EXPECT_FALSE(m.cpu(0).inTx());
 }
 
 TEST(Footprint, TxDirtyLinesMayLeaveL1WithoutAbort)
