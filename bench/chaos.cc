@@ -7,7 +7,11 @@
  * responses, and everything at once — with the forward-progress
  * watchdog armed. For every (workload, mix, scale) point the
  * consistency oracle verifies structure invariants and linearizable
- * effect counts after the run.
+ * effect counts after the run, and the operation-log checker
+ * (inject/lincheck) verifies that the recorded invoke/response
+ * history is actually linearizable — catching lost updates,
+ * duplicate dequeues, and stale reads that leave the final
+ * structure intact.
  *
  * The paper's claim under test: transactions may abort for any
  * environmental reason, but committed state is never corrupted, and
@@ -27,6 +31,7 @@
 
 #include "bench_util.hh"
 #include "inject/fault_plan.hh"
+#include "inject/lincheck.hh"
 #include "json_report.hh"
 #include "workload/hashtable.hh"
 #include "workload/list_set.hh"
@@ -82,6 +87,7 @@ struct Outcome
     bool oracleOk = false;
     bool watchdogFired = false;
     std::string oracleSummary;
+    inject::LinVerdict lincheck;
 };
 
 } // namespace
@@ -132,12 +138,14 @@ main(int argc, char **argv)
                 cfg.cpus = 4;
                 cfg.useElision = true;
                 cfg.iterations = iters;
+                cfg.opLog = true;
                 cfg.machine = mcfg;
                 const auto res = runListSetBench(cfg);
                 out = {res.throughput, res.txCommits, res.txAborts,
                        res.oracle.ok && res.sorted &&
                            res.lengthConsistent,
                        res.watchdogFired, res.oracle.summary()};
+                out.lincheck = res.lincheck;
                 report.addSimWork(res.elapsedCycles,
                                   res.instructions);
                 rec = bench::resultJson(res);
@@ -146,11 +154,13 @@ main(int argc, char **argv)
                 cfg.cpus = 4;
                 cfg.useElision = true;
                 cfg.iterations = iters;
+                cfg.opLog = true;
                 cfg.machine = mcfg;
                 const auto res = runHashTableBench(cfg);
                 out = {res.throughput, res.txCommits, res.txAborts,
                        res.oracle.ok, res.watchdogFired,
                        res.oracle.summary()};
+                out.lincheck = res.lincheck;
                 report.addSimWork(res.elapsedCycles,
                                   res.instructions);
                 rec = bench::resultJson(res);
@@ -159,17 +169,26 @@ main(int argc, char **argv)
                 cfg.cpus = 4;
                 cfg.useConstrainedTx = true;
                 cfg.iterations = iters;
+                cfg.opLog = true;
                 cfg.machine = mcfg;
                 const auto res = runQueueBench(cfg);
                 out = {res.throughput, res.txCommits, res.txAborts,
                        res.oracle.ok, res.watchdogFired,
                        res.oracle.summary()};
+                out.lincheck = res.lincheck;
                 report.addSimWork(res.elapsedCycles,
                                   res.instructions);
                 rec = bench::resultJson(res);
             }
 
-            const bool point_ok = out.oracleOk && !out.watchdogFired;
+            // A non-linearizable history already failed the oracle
+            // (the runner folds it in); an *unchecked* one on a run
+            // the watchdog let finish means the log or the checker
+            // gave up — fail the point rather than under-report.
+            const bool lincheck_ok =
+                out.lincheck.checked || out.watchdogFired;
+            const bool point_ok = out.oracleOk &&
+                                  !out.watchdogFired && lincheck_ok;
             all_ok = all_ok && point_ok;
             std::printf("  %-10s %-10s %-5.2g %10.5f %8llu %8llu  "
                         "%s%s\n",
@@ -187,6 +206,8 @@ main(int argc, char **argv)
                 rec["oracle_ok"] = out.oracleOk;
                 rec["watchdog_fired"] = out.watchdogFired;
                 rec["oracle_summary"] = out.oracleSummary;
+                rec["lincheck"] =
+                    inject::linVerdictJson(out.lincheck);
                 rec["fault_plan"] = inject::faultPlanJson(plan);
                 report.addRecord(std::move(rec));
             }

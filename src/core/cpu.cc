@@ -387,6 +387,10 @@ Cpu::diagnosticJson() const
         stats_.counters().count("xi.rejects_sent")
             ? stats_.counters().at("xi.rejects_sent").value()
             : 0;
+    // The ADT operation in flight when the machine stopped, if an
+    // op log is attached: the watchdog's per-CPU pending window.
+    if (opRecorder_)
+        d["pending_op"] = opRecorder_->pendingOpJson(id_);
     return d;
 }
 
@@ -882,6 +886,19 @@ Cpu::execute(const isa::Program::Slot &slot)
             ++progressEvents_;
             env_.noteProgress(id_);
         }
+        res.cost = 0;
+        break;
+      case Opcode::OPLOGB:
+        if (opRecorder_) {
+            opRecorder_->opInvoke(id_, env_.now(),
+                                  std::uint32_t(inst.imm),
+                                  gr[inst.r1], gr[inst.r2]);
+        }
+        res.cost = 0;
+        break;
+      case Opcode::OPLOGE:
+        if (opRecorder_)
+            opRecorder_->opResponse(id_, env_.now(), gr[inst.r1]);
         res.cost = 0;
         break;
       case Opcode::DELAY:

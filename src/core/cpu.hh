@@ -32,6 +32,7 @@
 #include "debug/page_table.hh"
 #include "debug/per.hh"
 #include "debug/tdc.hh"
+#include "core/op_recorder.hh"
 #include "isa/program.hh"
 #include "isa/registers.hh"
 #include "mem/hierarchy.hh"
@@ -198,6 +199,20 @@ class Cpu : public mem::CacheClient
     void resetMeasurement() { regionCycles_.reset(); }
     /** @} */
 
+    /** @name Operation log (OPLOGB/OPLOGE pseudo-ops) @{ */
+    /**
+     * Attach (or detach, with nullptr) the sink the OPLOGB/OPLOGE
+     * pseudo-ops report to. Without a recorder they are NOPs; with
+     * one, recording is free in simulated cycles, so timing is
+     * unchanged either way.
+     */
+    void setOpRecorder(OpRecorder *recorder)
+    {
+        opRecorder_ = recorder;
+    }
+    OpRecorder *opRecorder() const { return opRecorder_; }
+    /** @} */
+
     /** Per-CPU stats ("cpuN.*"): commits, aborts by reason, ... */
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
@@ -361,6 +376,9 @@ class Cpu : public mem::CacheClient
     bool perPending_ = false;
     Addr perPendingAddr_ = 0;
     /** @} */
+
+    /** Op-log sink for OPLOGB/OPLOGE; nullptr when disabled. */
+    OpRecorder *opRecorder_ = nullptr;
 
     StatGroup stats_;
 };

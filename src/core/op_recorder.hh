@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Host-side sink for the OPLOGB/OPLOGE pseudo-ops: the interface a
+ * CPU calls to record ADT operation invoke/response events into a
+ * host-visible operation log (workload/op_log.hh implements it as a
+ * per-CPU ring buffer).
+ *
+ * The CPU records at zero cycle cost so attaching a recorder does
+ * not perturb simulated timing; with no recorder attached the
+ * pseudo-ops are NOPs. Calls happen inside Cpu::step(), so in the
+ * sharded scheduler's parallel phase a recorder may be called from
+ * several host threads concurrently — implementations must keep
+ * per-CPU state disjoint (each CPU only ever passes its own id).
+ */
+
+#ifndef ZTX_CORE_OP_RECORDER_HH
+#define ZTX_CORE_OP_RECORDER_HH
+
+#include <cstdint>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace ztx::core {
+
+/** Receives operation invoke/response events from the CPUs. */
+class OpRecorder
+{
+  public:
+    virtual ~OpRecorder() = default;
+
+    /**
+     * An operation was invoked (OPLOGB executed).
+     * @param cpu Executing CPU.
+     * @param now Global cycle of the invoke.
+     * @param code Workload-specific operation code (OPLOGB imm).
+     * @param a0 First argument register value.
+     * @param a1 Second argument register value.
+     */
+    virtual void opInvoke(CpuId cpu, Cycles now, std::uint32_t code,
+                          std::uint64_t a0, std::uint64_t a1) = 0;
+
+    /**
+     * The operation invoked last on @p cpu completed (OPLOGE).
+     * @param now Global cycle of the response.
+     * @param result Observed result register value.
+     */
+    virtual void opResponse(CpuId cpu, Cycles now,
+                            std::uint64_t result) = 0;
+
+    /**
+     * The operation currently in flight on @p cpu (invoked, no
+     * response yet) as a JSON object, or null when none — the
+     * watchdog diagnosis bundle dumps this per CPU on a hang.
+     */
+    virtual Json pendingOpJson(CpuId cpu) const = 0;
+};
+
+} // namespace ztx::core
+
+#endif // ZTX_CORE_OP_RECORDER_HH

@@ -1,0 +1,623 @@
+#include "lincheck.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace ztx::inject {
+
+namespace {
+
+constexpr Cycles infCycle = ~Cycles(0);
+
+/** Effective response time: pending operations never precede. */
+Cycles
+respOf(const LinOp &op)
+{
+    return op.pending ? infCycle : op.response;
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(char(v >> (i * 8)));
+}
+
+std::string
+describeOp(const LinOp &op)
+{
+    std::ostringstream os;
+    os << "cpu" << op.cpu << '#' << op.seq << ' '
+       << linOpCodeName(op.code) << '(' << op.arg << ")->";
+    if (op.pending)
+        os << '?';
+    else
+        os << op.result;
+    os << " [" << op.invoke << ',';
+    if (op.pending)
+        os << "pending";
+    else
+        os << op.response;
+    os << ']';
+    return os.str();
+}
+
+// ---------------------------------------------------------------
+// Sequential specifications. Each is a value type: `apply` mutates
+// the state and validates the operation's observed result against
+// it (false = impossible here), `applyPending` takes the state
+// effect of a maybe-completed operation with unconstrained result,
+// and `encode` appends a canonical state fingerprint (memo key).
+// ---------------------------------------------------------------
+
+/** Sorted-set specification (list_set workload). */
+struct SetState
+{
+    std::set<std::uint64_t> keys;
+
+    bool
+    apply(const LinOp &op)
+    {
+        const bool present = keys.count(op.arg) != 0;
+        switch (op.code) {
+          case LinOpCode::SetLookup:
+            return (op.result != 0) == present;
+          case LinOpCode::SetInsert:
+            if ((op.result != 0) == present)
+                return false; // applied iff absent
+            keys.insert(op.arg);
+            return true;
+          case LinOpCode::SetDelete:
+            if ((op.result != 0) != present)
+                return false; // applied iff present
+            keys.erase(op.arg);
+            return true;
+          default:
+            return false; // foreign opcode in a set history
+        }
+    }
+
+    void
+    applyPending(const LinOp &op)
+    {
+        if (op.code == LinOpCode::SetInsert)
+            keys.insert(op.arg);
+        else if (op.code == LinOpCode::SetDelete)
+            keys.erase(op.arg);
+    }
+
+    void
+    encode(std::string &out) const
+    {
+        for (const std::uint64_t k : keys)
+            appendU64(out, k);
+    }
+};
+
+/** FIFO queue specification (queue workload). */
+struct QueueState
+{
+    std::deque<std::uint64_t> q;
+
+    bool
+    apply(const LinOp &op)
+    {
+        switch (op.code) {
+          case LinOpCode::QueueEnqueue:
+            q.push_back(op.arg);
+            return true;
+          case LinOpCode::QueueDequeue:
+            if (op.result == 0)
+                return q.empty(); // observed empty
+            if (q.empty() || q.front() != op.result)
+                return false;
+            q.pop_front();
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    void
+    applyPending(const LinOp &op)
+    {
+        if (op.code == LinOpCode::QueueEnqueue) {
+            q.push_back(op.arg);
+        } else if (op.code == LinOpCode::QueueDequeue) {
+            if (!q.empty())
+                q.pop_front();
+        }
+    }
+
+    void
+    encode(std::string &out) const
+    {
+        for (const std::uint64_t v : q)
+            appendU64(out, v);
+    }
+};
+
+/** Bounded-linear-probing map specification (hashtable workload). */
+struct MapState
+{
+    std::vector<std::uint64_t> slots; ///< index -> key, 0 empty
+    unsigned maxProbes = 0;
+    /** Engine-owned; outlives every state copy. */
+    const std::function<std::uint64_t(std::uint64_t)> *bucketOf =
+        nullptr;
+
+    enum class Probe
+    {
+        Empty,
+        Found,
+        Bound
+    };
+
+    Probe
+    probe(std::uint64_t key, std::size_t &slot) const
+    {
+        const std::uint64_t home = (*bucketOf)(key);
+        for (unsigned p = 0; p < maxProbes; ++p) {
+            const std::size_t s = std::size_t(home) + p;
+            if (s >= slots.size())
+                break;
+            if (slots[s] == 0) {
+                slot = s;
+                return Probe::Empty;
+            }
+            if (slots[s] == key) {
+                slot = s;
+                return Probe::Found;
+            }
+        }
+        return Probe::Bound;
+    }
+
+    bool
+    apply(const LinOp &op)
+    {
+        std::size_t s = 0;
+        const Probe pr = probe(op.arg, s);
+        switch (op.code) {
+          case LinOpCode::MapGet:
+            // The workload stores value == key; a found get must
+            // observe exactly that, a miss observes 0.
+            if (pr == Probe::Found)
+                return op.result == op.arg;
+            return op.result == 0;
+          case LinOpCode::MapPut:
+            if (pr == Probe::Bound)
+                return op.result == 0; // probe window full: dropped
+            slots[s] = op.arg;
+            return op.result == 1;
+          default:
+            return false;
+        }
+    }
+
+    void
+    applyPending(const LinOp &op)
+    {
+        if (op.code != LinOpCode::MapPut)
+            return;
+        std::size_t s = 0;
+        if (probe(op.arg, s) != Probe::Bound)
+            slots[s] = op.arg;
+    }
+
+    void
+    encode(std::string &out) const
+    {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i] == 0)
+                continue;
+            appendU64(out, i);
+            appendU64(out, slots[i]);
+        }
+    }
+};
+
+// ---------------------------------------------------------------
+// The search engine: DFS over linearization prefixes.
+// ---------------------------------------------------------------
+
+template <typename State>
+class Engine
+{
+  public:
+    Engine(std::vector<LinOp> history, State initial,
+           const LinCheckLimits &limits)
+        : ops_(std::move(history)), init_(std::move(initial)),
+          limits_(limits)
+    {
+    }
+
+    LinVerdict
+    run()
+    {
+        LinVerdict v;
+        v.numOps = ops_.size();
+        for (const auto &op : ops_)
+            if (op.pending)
+                ++v.numPending;
+
+        if (!validate(v))
+            return v; // malformed: checked stays false
+
+        // The simulator's global cycle order: sorting by invoke
+        // makes "the next operation that could linearize" a window
+        // scan from the first undecided index.
+        std::stable_sort(ops_.begin(), ops_.end(),
+                         [](const LinOp &a, const LinOp &b) {
+                             if (a.invoke != b.invoke)
+                                 return a.invoke < b.invoke;
+                             if (respOf(a) != respOf(b))
+                                 return respOf(a) < respOf(b);
+                             return a.cpu < b.cpu;
+                         });
+        done_.assign(ops_.size(), 0);
+
+        const bool ok = dfs(init_);
+        v.statesExplored = explored_;
+        if (limitHit_) {
+            v.reason = "state limit (" +
+                       std::to_string(limits_.maxStates) +
+                       ") exceeded before a verdict";
+            return v; // checked stays false
+        }
+        v.checked = true;
+        v.linearizable = ok;
+        if (!ok) {
+            v.reason = stuckReason_.empty()
+                           ? "no linearization of the history "
+                             "replays against the specification"
+                           : stuckReason_;
+            v.window = stuckWindow_;
+        }
+        return v;
+    }
+
+  private:
+    /**
+     * Reject histories the ring buffer cannot vouch for: windows
+     * running backwards, per-CPU operations overlapping each other,
+     * or a pending operation followed by more operations on the
+     * same CPU (a lost response).
+     */
+    bool
+    validate(LinVerdict &v) const
+    {
+        std::map<CpuId, std::vector<const LinOp *>> per_cpu;
+        for (const auto &op : ops_) {
+            if (!op.pending && op.response < op.invoke) {
+                v.reason = "malformed history: " + describeOp(op) +
+                           " responds before it is invoked";
+                return false;
+            }
+            per_cpu[op.cpu].push_back(&op);
+        }
+        for (auto &[cpu, list] : per_cpu) {
+            std::stable_sort(list.begin(), list.end(),
+                             [](const LinOp *a, const LinOp *b) {
+                                 return a->invoke < b->invoke;
+                             });
+            for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+                if (list[i]->pending) {
+                    v.reason = "malformed history: pending " +
+                               describeOp(*list[i]) +
+                               " is not cpu" +
+                               std::to_string(cpu) +
+                               "'s last operation";
+                    return false;
+                }
+                if (list[i]->response > list[i + 1]->invoke) {
+                    v.reason = "malformed history: " +
+                               describeOp(*list[i]) +
+                               " overlaps " +
+                               describeOp(*list[i + 1]) +
+                               " on the same CPU";
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    bool
+    bumpExplored()
+    {
+        if (++explored_ > limits_.maxStates) {
+            limitHit_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    void
+    mark(std::size_t i)
+    {
+        done_[i] = 1;
+        ++nDone_;
+    }
+
+    void
+    unmark(std::size_t i)
+    {
+        done_[i] = 0;
+        --nDone_;
+        if (i < firstHint_)
+            firstHint_ = i;
+    }
+
+    /**
+     * Candidate window at the current configuration: `first` is the
+     * lowest undecided index; `lim` the scan bound (first undecided
+     * op invoked after every undecided response); `m` the minimum
+     * undecided response. Candidates are the undecided ops invoked
+     * no later than `m` — exactly the ops minimal in the real-time
+     * precedence order, i.e. the legal next linearization choices.
+     */
+    struct Window
+    {
+        std::size_t first;
+        std::size_t lim;
+        Cycles minResp;
+        std::vector<std::size_t> cand;
+    };
+
+    Window
+    window()
+    {
+        Window w;
+        std::size_t first = firstHint_;
+        while (first < ops_.size() && done_[first])
+            ++first;
+        firstHint_ = first;
+        w.first = first;
+        w.lim = ops_.size();
+        Cycles m = infCycle;
+        for (std::size_t i = first; i < ops_.size(); ++i) {
+            if (done_[i])
+                continue;
+            if (ops_[i].invoke > m) {
+                w.lim = i;
+                break;
+            }
+            if (respOf(ops_[i]) < m)
+                m = respOf(ops_[i]);
+        }
+        w.minResp = m;
+        for (std::size_t i = first; i < w.lim; ++i) {
+            if (!done_[i] && ops_[i].invoke <= m)
+                w.cand.push_back(i);
+        }
+        return w;
+    }
+
+    /** @return False when this configuration was already explored. */
+    bool
+    memoInsert(const Window &w, const State &state)
+    {
+        std::string key;
+        key.reserve(64);
+        appendU64(key, w.first);
+        for (std::size_t i = w.first; i < w.lim; ++i)
+            if (done_[i])
+                appendU64(key, i);
+        key.push_back('|');
+        state.encode(key);
+        return seen_.insert(std::move(key)).second;
+    }
+
+    void
+    noteStuck(const Window &w, std::size_t failed)
+    {
+        if (nDone_ < bestDone_)
+            return;
+        bestDone_ = nDone_;
+        stuckWindow_.clear();
+        for (std::size_t i = w.first; i < w.lim; ++i)
+            if (!done_[i])
+                stuckWindow_.push_back(ops_[i]);
+        stuckReason_ =
+            describeOp(ops_[failed]) +
+            " cannot be linearized against the specification "
+            "after " +
+            std::to_string(nDone_) + " of " +
+            std::to_string(ops_.size()) + " operations";
+    }
+
+    bool
+    dfs(State state)
+    {
+        // Marks made by this frame's forced fast path, undone on
+        // backtrack.
+        std::vector<std::size_t> forced;
+        const auto rollback = [&] {
+            for (auto it = forced.rbegin(); it != forced.rend();
+                 ++it)
+                unmark(*it);
+        };
+
+        for (;;) {
+            Window w = window();
+            if (w.first == ops_.size())
+                return true; // every operation decided
+
+            // Fast path: exactly one minimal operation and it
+            // completed — its linearization position is forced, no
+            // branching, no memo traffic. The deterministic global
+            // cycle order makes this the dominant case.
+            if (w.cand.size() == 1 && !ops_[w.cand[0]].pending) {
+                if (!bumpExplored() ||
+                    !state.apply(ops_[w.cand[0]])) {
+                    if (!limitHit_)
+                        noteStuck(w, w.cand[0]);
+                    rollback();
+                    return false;
+                }
+                mark(w.cand[0]);
+                forced.push_back(w.cand[0]);
+                continue;
+            }
+
+            // Branch point: try every minimal operation; prune
+            // configurations (done-set + spec state) seen before.
+            if (!memoInsert(w, state)) {
+                rollback();
+                return false;
+            }
+            for (const std::size_t c : w.cand) {
+                const LinOp &op = ops_[c];
+                if (!bumpExplored())
+                    break;
+                if (!op.pending) {
+                    State next = state;
+                    if (!next.apply(op)) {
+                        noteStuck(w, c);
+                        continue;
+                    }
+                    mark(c);
+                    if (dfs(std::move(next)))
+                        return true;
+                    unmark(c);
+                } else {
+                    // Maybe-completed: either it took effect ...
+                    State next = state;
+                    next.applyPending(op);
+                    mark(c);
+                    if (dfs(std::move(next)))
+                        return true;
+                    unmark(c);
+                    if (limitHit_)
+                        break;
+                    // ... or it never happened.
+                    mark(c);
+                    if (dfs(state))
+                        return true;
+                    unmark(c);
+                }
+                if (limitHit_)
+                    break;
+            }
+            rollback();
+            return false;
+        }
+    }
+
+    std::vector<LinOp> ops_;
+    State init_;
+    LinCheckLimits limits_;
+
+    std::vector<char> done_;
+    std::size_t nDone_ = 0;
+    std::size_t firstHint_ = 0;
+    std::unordered_set<std::string> seen_;
+    std::uint64_t explored_ = 0;
+    bool limitHit_ = false;
+
+    std::size_t bestDone_ = 0;
+    std::string stuckReason_;
+    std::vector<LinOp> stuckWindow_;
+};
+
+} // namespace
+
+const char *
+linOpCodeName(LinOpCode code)
+{
+    switch (code) {
+      case LinOpCode::SetLookup:
+        return "lookup";
+      case LinOpCode::SetInsert:
+        return "insert";
+      case LinOpCode::SetDelete:
+        return "delete";
+      case LinOpCode::QueueEnqueue:
+        return "enqueue";
+      case LinOpCode::QueueDequeue:
+        return "dequeue";
+      case LinOpCode::MapGet:
+        return "get";
+      case LinOpCode::MapPut:
+        return "put";
+    }
+    return "?";
+}
+
+Json
+linVerdictJson(const LinVerdict &v)
+{
+    Json d = Json::object();
+    d["checked"] = v.checked;
+    d["linearizable"] = v.checked ? Json(v.linearizable) : Json();
+    d["ops"] = v.numOps;
+    d["pending_ops"] = v.numPending;
+    d["states_explored"] = v.statesExplored;
+    if (!v.reason.empty())
+        d["reason"] = v.reason;
+    if (!v.window.empty()) {
+        Json win = Json::array();
+        for (const auto &op : v.window) {
+            Json o = Json::object();
+            o["cpu"] = op.cpu;
+            o["seq"] = op.seq;
+            o["op"] = linOpCodeName(op.code);
+            o["arg"] = op.arg;
+            o["result"] = op.pending ? Json() : Json(op.result);
+            o["invoke"] = std::uint64_t(op.invoke);
+            o["response"] = op.pending
+                                ? Json()
+                                : Json(std::uint64_t(op.response));
+            o["pending"] = op.pending;
+            win.push(std::move(o));
+        }
+        d["window"] = std::move(win);
+    }
+    return d;
+}
+
+LinVerdict
+checkSetLinearizable(const std::vector<LinOp> &history,
+                     const std::vector<std::uint64_t> &initial_keys,
+                     const LinCheckLimits &limits)
+{
+    SetState init;
+    init.keys.insert(initial_keys.begin(), initial_keys.end());
+    return Engine<SetState>(history, std::move(init), limits).run();
+}
+
+LinVerdict
+checkQueueLinearizable(
+    const std::vector<LinOp> &history,
+    const std::vector<std::uint64_t> &initial_values,
+    const LinCheckLimits &limits)
+{
+    QueueState init;
+    init.q.assign(initial_values.begin(), initial_values.end());
+    return Engine<QueueState>(history, std::move(init), limits)
+        .run();
+}
+
+LinVerdict
+checkMapLinearizable(
+    const std::vector<LinOp> &history,
+    const std::vector<std::uint64_t> &initial_slots,
+    unsigned buckets, unsigned max_probes,
+    const std::function<std::uint64_t(std::uint64_t)> &bucket_of,
+    const LinCheckLimits &limits)
+{
+    (void)buckets; // geometry implied by initial_slots.size()
+    MapState init;
+    init.slots = initial_slots;
+    init.maxProbes = max_probes;
+    init.bucketOf = &bucket_of;
+    return Engine<MapState>(history, std::move(init), limits).run();
+}
+
+} // namespace ztx::inject

@@ -20,6 +20,23 @@ hex(Addr addr)
     return os.str();
 }
 
+/**
+ * Refuse structural walks while CPUs still run: a mid-flight
+ * transaction's buffered stores are invisible to the walk, so any
+ * verdict would be meaningless.
+ * @return True when the check must abort (violation recorded).
+ */
+bool
+refuseLiveWalk(OracleReport &rep, bool all_cpus_halted)
+{
+    if (all_cpus_halted)
+        return false;
+    rep.fail("oracle invoked while CPUs are still running: "
+             "structural walk would miss in-flight transactional "
+             "state (halt all CPUs first)");
+    return true;
+}
+
 } // namespace
 
 std::string
@@ -37,10 +54,12 @@ OracleReport::summary() const
 }
 
 OracleReport
-checkListSet(const mem::MainMemory &mem, Addr head_sentinel,
-             std::int64_t expected_length)
+checkListSet(const mem::MainMemory &mem, bool all_cpus_halted,
+             Addr head_sentinel, std::int64_t expected_length)
 {
     OracleReport rep;
+    if (refuseLiveWalk(rep, all_cpus_halted))
+        return rep;
     std::int64_t length = 0;
     std::int64_t last_key = 0;
     bool sorted = true;
@@ -70,10 +89,13 @@ checkListSet(const mem::MainMemory &mem, Addr head_sentinel,
 }
 
 OracleReport
-checkQueue(const mem::MainMemory &mem, Addr head_ptr_addr,
-           Addr tail_ptr_addr, std::int64_t expected_length)
+checkQueue(const mem::MainMemory &mem, bool all_cpus_halted,
+           Addr head_ptr_addr, Addr tail_ptr_addr,
+           std::int64_t expected_length)
 {
     OracleReport rep;
+    if (refuseLiveWalk(rep, all_cpus_halted))
+        return rep;
     const Addr head = mem.read(head_ptr_addr, 8);
     const Addr tail = mem.read(tail_ptr_addr, 8);
     if (head == 0 || tail == 0) {
@@ -111,12 +133,14 @@ checkQueue(const mem::MainMemory &mem, Addr head_ptr_addr,
 
 OracleReport
 checkHashTable(
-    const mem::MainMemory &mem, Addr table_base, unsigned buckets,
-    unsigned max_probes,
+    const mem::MainMemory &mem, bool all_cpus_halted,
+    Addr table_base, unsigned buckets, unsigned max_probes,
     const std::function<std::uint64_t(std::uint64_t)> &bucket_of,
     std::int64_t min_occupied, std::int64_t max_occupied)
 {
     OracleReport rep;
+    if (refuseLiveWalk(rep, all_cpus_halted))
+        return rep;
     std::set<std::uint64_t> seen;
     std::int64_t occupied = 0;
     for (std::uint64_t i = 0; i < buckets + max_probes; ++i) {

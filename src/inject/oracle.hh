@@ -10,7 +10,10 @@
  * The checkers are deliberately host-side and structural (no timing
  * state): they can run after watchdog-interrupted machines too, as
  * long as the caller only asks once every CPU halted (mid-flight
- * transactions otherwise hide buffered stores).
+ * transactions otherwise hide buffered stores). That precondition is
+ * enforced, not just documented: every checker takes the caller's
+ * all-CPUs-halted observation and refuses the walk (with a
+ * violation, so the run still fails loudly) when it does not hold.
  */
 
 #ifndef ZTX_INJECT_ORACLE_HH
@@ -54,8 +57,13 @@ struct OracleReport
  * next@+8): the walk terminates (acyclic), keys strictly ascend,
  * and the length equals @p expected_length (prefill plus the CPUs'
  * net insert counters — the linearizable effect count).
+ *
+ * @param all_cpus_halted Caller's observation that every CPU halted
+ *        (e.g. Machine::allHalted()). False refuses the walk with a
+ *        violation: mid-flight transactions hide buffered stores.
  */
-OracleReport checkListSet(const mem::MainMemory &mem, Addr head_sentinel,
+OracleReport checkListSet(const mem::MainMemory &mem, bool all_cpus_halted,
+                          Addr head_sentinel,
                           std::int64_t expected_length);
 
 /**
@@ -65,9 +73,11 @@ OracleReport checkListSet(const mem::MainMemory &mem, Addr head_sentinel,
  * terminates, the tail pointer is the last reachable node, its next
  * is null, and the residual length equals @p expected_length
  * (enqueues minus successful dequeues).
+ *
+ * @param all_cpus_halted See checkListSet().
  */
-OracleReport checkQueue(const mem::MainMemory &mem, Addr head_ptr_addr,
-                        Addr tail_ptr_addr,
+OracleReport checkQueue(const mem::MainMemory &mem, bool all_cpus_halted,
+                        Addr head_ptr_addr, Addr tail_ptr_addr,
                         std::int64_t expected_length);
 
 /**
@@ -78,10 +88,12 @@ OracleReport checkQueue(const mem::MainMemory &mem, Addr head_ptr_addr,
  * bucket_of(key) + max_probes), appears only once, carries the
  * workload's value==key payload, and the occupied-slot count lies
  * in [min_occupied, max_occupied] (puts only ever add keys).
+ *
+ * @param all_cpus_halted See checkListSet().
  */
 OracleReport checkHashTable(
-    const mem::MainMemory &mem, Addr table_base, unsigned buckets,
-    unsigned max_probes,
+    const mem::MainMemory &mem, bool all_cpus_halted,
+    Addr table_base, unsigned buckets, unsigned max_probes,
     const std::function<std::uint64_t(std::uint64_t)> &bucket_of,
     std::int64_t min_occupied, std::int64_t max_occupied);
 

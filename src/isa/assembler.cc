@@ -364,6 +364,24 @@ Assembler::marke()
 }
 
 void
+Assembler::oplogb(std::uint32_t code, unsigned r1, unsigned r2)
+{
+    checkReg(r1, "OPLOGB");
+    checkReg(r2, "OPLOGB");
+    auto &i = emit(Opcode::OPLOGB);
+    i.imm = std::int64_t(code);
+    i.r1 = std::uint8_t(r1);
+    i.r2 = std::uint8_t(r2);
+}
+
+void
+Assembler::oploge(unsigned r1)
+{
+    checkReg(r1, "OPLOGE");
+    emit(Opcode::OPLOGE).r1 = std::uint8_t(r1);
+}
+
+void
 Assembler::delay(unsigned r1)
 {
     checkReg(r1, "DELAY");

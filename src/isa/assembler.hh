@@ -123,6 +123,10 @@ class Assembler
     void rnd(unsigned r1, std::uint64_t bound);
     void markb();
     void marke();
+    /** Op-log invoke: operation @p code with arguments in r1/r2. */
+    void oplogb(std::uint32_t code, unsigned r1, unsigned r2 = 0);
+    /** Op-log response: observed result in r1. */
+    void oploge(unsigned r1);
     void delay(unsigned r1);
     void nop();
     void halt();

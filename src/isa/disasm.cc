@@ -126,8 +126,15 @@ disassemble(const Instruction &inst)
       case Opcode::PPA:
       case Opcode::STCK:
       case Opcode::DELAY:
+      case Opcode::OPLOGE:
         os << ' ';
         r(inst.r1);
+        break;
+      case Opcode::OPLOGB:
+        os << ' ' << inst.imm << ',';
+        r(inst.r1);
+        os << ',';
+        r(inst.r2);
         break;
       case Opcode::TEND:
       case Opcode::LPSWE:

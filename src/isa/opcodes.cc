@@ -74,6 +74,8 @@ constexpr OpcodeInfo infoTable[] = {
     {"RAND",   4, 0, 0, 0, 0, 0, 0, 1, none},
     {"MARKB",  2, 0, 0, 0, 0, 0, 0, 1, none},
     {"MARKE",  2, 0, 0, 0, 0, 0, 0, 1, none},
+    {"OPLOGB", 6, 0, 0, 0, 0, 0, 0, 1, none},
+    {"OPLOGE", 4, 0, 0, 0, 0, 0, 0, 1, none},
     {"DELAY",  4, 0, 0, 0, 0, 0, 0, 1, none},
     {"NOP",    2, 0, 0, 0, 0, 0, 0, 0, none},
     {"HALT",   2, 0, 0, 0, 0, 0, 1, 1, none},

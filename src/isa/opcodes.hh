@@ -81,6 +81,18 @@ enum class Opcode : std::uint8_t
     RAND,  ///< r1 = uniform random in [0, imm) from the CPU's RNG
     MARKB, ///< begin a measured region (workload harness)
     MARKE, ///< end a measured region
+    /**
+     * Operation-log invoke record (workload harness): notify the
+     * host-side op recorder that an ADT operation with code `imm`
+     * and arguments r1/r2 was invoked at the current global cycle.
+     * Zero cycles; a NOP without a recorder attached.
+     */
+    OPLOGB,
+    /**
+     * Operation-log response record: the operation invoked by the
+     * matching OPLOGB completed; r1 holds the observed result.
+     */
+    OPLOGE,
     DELAY, ///< stall for min(r1, 4096) cycles (spin/backoff pause)
     NOP,   ///< no operation
     HALT,  ///< stop this CPU

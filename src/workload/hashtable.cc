@@ -7,6 +7,7 @@
 #include "locks/lock_gen.hh"
 #include "workload/elision.hh"
 #include "workload/layout.hh"
+#include "workload/op_log.hh"
 
 namespace ztx::workload {
 
@@ -66,6 +67,12 @@ buildHashTableProgram(const HashTableBenchConfig &cfg)
     int emission = 0;
     const auto body = [&] {
         const std::string n = std::to_string(emission++);
+        // Zero the result register inside the region so an aborted
+        // attempt cannot leave a stale value: a put sets it to 1
+        // when it stored, a get loads the value; 0 is a miss or a
+        // probe-bound drop.
+        if (cfg.opLog)
+            as.lhi(5, 0);
         as.la(4, 9, 0, 6);
         as.lhi(13, std::int64_t(cfg.maxProbes));
         as.label("probe" + n);
@@ -82,17 +89,26 @@ buildHashTableProgram(const HashTableBenchConfig &cfg)
         as.brc(isa::maskCc0 | isa::maskCc2, "end" + n); // get: miss
         as.stg(12, 4, 0); // claim the slot: key
         as.stg(12, 4, 8); // value
+        if (cfg.opLog)
+            as.lhi(5, 1); // put applied
         as.j("end" + n);
         as.label("found" + n);
         as.cghi(7, std::int64_t(cfg.putPercent));
         as.brc(isa::maskCc0 | isa::maskCc2, "get" + n);
         as.stg(12, 4, 8); // put: update value
+        if (cfg.opLog)
+            as.lhi(5, 1); // put applied
         as.j("end" + n);
         as.label("get" + n);
         as.lg(5, 4, 8);
         as.label("end" + n);
     };
 
+    // One log code for both ops: the raw selector rides along in
+    // the second argument register and the host splits put/get the
+    // same way the program does (selector < putPercent).
+    if (cfg.opLog)
+        as.oplogb(std::uint32_t(inject::LinOpCode::MapGet), 12, 7);
     as.markb();
     if (cfg.useElision) {
         emitLockElision(as, 10, 0, body, "ht");
@@ -102,6 +118,8 @@ buildHashTableProgram(const HashTableBenchConfig &cfg)
         locks::SpinLock::emitRelease(as, 10, 0, lock_regs);
     }
     as.marke();
+    if (cfg.opLog)
+        as.oploge(5);
     as.brct(8, "iter");
     as.halt();
     return as.finish();
@@ -131,15 +149,25 @@ runHashTableBench(const HashTableBenchConfig &cfg)
     }
 
     // Slots occupied by the prefill: puts only ever add keys, so
-    // the oracle's occupancy floor after any chaotic run.
+    // the oracle's occupancy floor after any chaotic run. The full
+    // slot array doubles as the checker's initial state.
     std::int64_t prefill_occupied = 0;
+    std::vector<std::uint64_t> initial_slots;
     for (unsigned b = 0; b < cfg.buckets + cfg.maxProbes; ++b) {
-        if (machine.memory().read(hashTableBase + Addr(b) * 256, 8))
+        const std::uint64_t key =
+            machine.memory().read(hashTableBase + Addr(b) * 256, 8);
+        initial_slots.push_back(key);
+        if (key)
             ++prefill_occupied;
     }
 
     const Program program = buildHashTableProgram(cfg);
     machine.setProgramAll(&program);
+    OpLog oplog(machine.numCpus());
+    if (cfg.opLog) {
+        for (unsigned i = 0; i < machine.numCpus(); ++i)
+            machine.cpu(i).setOpRecorder(&oplog);
+    }
     const Cycles elapsed = machine.run();
     HashTableBenchResult res;
     res.watchdogFired = machine.watchdogFired();
@@ -165,6 +193,30 @@ runHashTableBench(const HashTableBenchConfig &cfg)
                          ? double(cfg.cpus) / res.meanRegionCycles
                          : 0.0;
 
+    if (cfg.opLog) {
+        // Behavior check: runs even after a watchdog halt (recorded
+        // registers only; in-flight ops stay pending).
+        const auto history = oplog.history(
+            [&](const OpRecord &rec, inject::LinOp &op) {
+                op.code = rec.a1 < cfg.putPercent
+                              ? inject::LinOpCode::MapPut
+                              : inject::LinOpCode::MapGet;
+                op.arg = rec.a0;
+                op.result = rec.result;
+            });
+        res.lincheck = checkLoggedHistory(oplog, [&] {
+            return inject::checkMapLinearizable(
+                history, initial_slots, cfg.buckets, cfg.maxProbes,
+                [&](std::uint64_t key) {
+                    return bucketOf(key, cfg.buckets);
+                });
+        });
+        if (res.lincheck.checked && !res.lincheck.linearizable) {
+            res.oracle.fail("operation history not linearizable: " +
+                            res.lincheck.reason);
+        }
+    }
+
     if (res.watchdogFired) {
         res.oracle.fail("forward-progress watchdog fired; "
                         "structures unchecked");
@@ -176,12 +228,15 @@ runHashTableBench(const HashTableBenchConfig &cfg)
         if (machine.memory().read(hashTableBase + Addr(b) * 256, 8))
             ++res.occupiedBuckets;
     }
-    res.oracle = inject::checkHashTable(
-        machine.memory(), hashTableBase, cfg.buckets, cfg.maxProbes,
+    inject::OracleReport structural = inject::checkHashTable(
+        machine.memory(), machine.allHalted(), hashTableBase,
+        cfg.buckets, cfg.maxProbes,
         [&](std::uint64_t key) {
             return bucketOf(key, cfg.buckets);
         },
         prefill_occupied, std::int64_t(cfg.keySpace));
+    for (auto &v : structural.violations)
+        res.oracle.fail(std::move(v));
     return res;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "inject/lincheck.hh"
 #include "inject/oracle.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
@@ -35,6 +36,12 @@ struct HashTableBenchConfig
     bool useElision = false;      ///< false: global lock
     unsigned iterations = 300;    ///< operations per CPU
     std::uint64_t seed = 1;
+    /**
+     * Record an operation history and check it for linearizability
+     * after the run. Off: the generated program is bit-identical to
+     * the unlogged one.
+     */
+    bool opLog = false;
     sim::MachineConfig machine{};
 };
 
@@ -57,6 +64,8 @@ struct HashTableBenchResult
     bool watchdogFired = false;
     /** Structural verdict (inject::checkHashTable). */
     inject::OracleReport oracle;
+    /** History verdict (cfg.opLog; unchecked when logging is off). */
+    inject::LinVerdict lincheck;
 };
 
 /** Build the generated program for @p cfg. */

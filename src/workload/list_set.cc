@@ -9,6 +9,7 @@
 #include "locks/lock_gen.hh"
 #include "workload/elision.hh"
 #include "workload/layout.hh"
+#include "workload/op_log.hh"
 
 namespace ztx::workload {
 
@@ -88,11 +89,26 @@ buildListSetProgram(const ListSetBenchConfig &cfg)
 
     // --- Lookup.
     as.label("lookup_sec");
+    if (cfg.opLog)
+        as.oplogb(std::uint32_t(inject::LinOpCode::SetLookup), 12);
     wrap(
         [&] {
             emitTraverse(as, "lk" + std::to_string(emission++));
         },
         "lookup");
+    if (cfg.opLog) {
+        // Found iff curr != 0 && curr->key == key; R5/R6 hold the
+        // committed traversal result past the region, so the flag
+        // can be derived outside it (only widens the window).
+        as.lhi(7, 0);
+        as.cghi(5, 0);
+        as.jz("lk_res");
+        as.cgr(6, 12);
+        as.jnz("lk_res");
+        as.lhi(7, 1);
+        as.label("lk_res");
+        as.oploge(7);
+    }
     as.j("iter_end");
 
     // --- Insert: node prepared outside the synchronized region.
@@ -100,6 +116,8 @@ buildListSetProgram(const ListSetBenchConfig &cfg)
     as.la(13, 15, 0);
     as.stg(12, 13, 0); // node.key
     as.la(15, 15, 256);
+    if (cfg.opLog)
+        as.oplogb(std::uint32_t(inject::LinOpCode::SetInsert), 12);
     wrap(
         [&] {
             const std::string tag =
@@ -117,11 +135,15 @@ buildListSetProgram(const ListSetBenchConfig &cfg)
             as.label(tag + "_dn");
         },
         "insert");
+    if (cfg.opLog)
+        as.oploge(7); // applied flag
     as.agr(14, 7);
     as.j("iter_end");
 
     // --- Delete.
     as.label("delete_sec");
+    if (cfg.opLog)
+        as.oplogb(std::uint32_t(inject::LinOpCode::SetDelete), 12);
     wrap(
         [&] {
             const std::string tag =
@@ -138,6 +160,8 @@ buildListSetProgram(const ListSetBenchConfig &cfg)
             as.label(tag + "_dn");
         },
         "del");
+    if (cfg.opLog)
+        as.oploge(7); // applied flag
     as.sgr(14, 7);
 
     as.label("iter_end");
@@ -171,9 +195,12 @@ runListSetBench(const ListSetBenchConfig &cfg)
 
     const Program program = buildListSetProgram(cfg);
     machine.setProgramAll(&program);
+    OpLog oplog(machine.numCpus());
     for (unsigned i = 0; i < cfg.cpus; ++i) {
         machine.cpu(i).setGr(
             15, arenaBase + Addr(i) * arenaStride);
+        if (cfg.opLog)
+            machine.cpu(i).setOpRecorder(&oplog);
     }
     const Cycles elapsed = machine.run();
     ListSetBenchResult res;
@@ -202,6 +229,25 @@ runListSetBench(const ListSetBenchConfig &cfg)
                          ? double(cfg.cpus) / res.meanRegionCycles
                          : 0.0;
 
+    if (cfg.opLog) {
+        // Behavior check: runs even after a watchdog halt — it uses
+        // recorded registers, not a structural walk, and the last
+        // in-flight op per CPU is simply pending (maybe completed).
+        const auto history = oplog.history(
+            [](const OpRecord &rec, inject::LinOp &op) {
+                op.code = inject::LinOpCode(rec.code);
+                op.arg = rec.a0;
+                op.result = rec.result;
+            });
+        res.lincheck = checkLoggedHistory(oplog, [&] {
+            return inject::checkSetLinearizable(history, keys);
+        });
+        if (res.lincheck.checked && !res.lincheck.linearizable) {
+            res.oracle.fail("operation history not linearizable: " +
+                            res.lincheck.reason);
+        }
+    }
+
     if (res.watchdogFired) {
         // Mid-flight transactions hold buffered state; the
         // structure cannot be judged. The run itself is the failure.
@@ -227,9 +273,11 @@ runListSetBench(const ListSetBenchConfig &cfg)
     res.lengthConsistent =
         std::int64_t(keys.size()) + net_inserts ==
         std::int64_t(res.finalLength);
-    res.oracle = inject::checkListSet(
-        machine.memory(), listBase,
+    inject::OracleReport structural = inject::checkListSet(
+        machine.memory(), machine.allHalted(), listBase,
         std::int64_t(keys.size()) + net_inserts);
+    for (auto &v : structural.violations)
+        res.oracle.fail(std::move(v));
     return res;
 }
 

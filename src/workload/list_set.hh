@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "inject/lincheck.hh"
 #include "inject/oracle.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
@@ -37,6 +38,12 @@ struct ListSetBenchConfig
     bool useElision = false; ///< false: global spin lock
     unsigned iterations = 200;
     std::uint64_t seed = 1;
+    /**
+     * Record an operation history (OPLOGB/OPLOGE around every
+     * region) and check it for linearizability after the run. Off:
+     * the generated program is bit-identical to the unlogged one.
+     */
+    bool opLog = false;
     sim::MachineConfig machine{};
 };
 
@@ -62,8 +69,10 @@ struct ListSetBenchResult
 
     /** The forward-progress watchdog stopped the run (chaos). */
     bool watchdogFired = false;
-    /** Structural/linearizability verdict (inject::checkListSet). */
+    /** Structural verdict (inject::checkListSet). */
     inject::OracleReport oracle;
+    /** History verdict (cfg.opLog; unchecked when logging is off). */
+    inject::LinVerdict lincheck;
 };
 
 /** Build the generated program for @p cfg. */

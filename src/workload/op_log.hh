@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Host-visible per-CPU operation log: the recording half of the
+ * linearizability harness. Each CPU's OPLOGB/OPLOGE pseudo-ops
+ * append invoke/response records into that CPU's ring buffer at
+ * zero simulated cost; after the run, the workload runner decodes
+ * the raw records into a history for inject/lincheck.hh.
+ *
+ * Semantics of one record:
+ *  - invoke: global cycle of OPLOGB, just before the operation's
+ *    synchronized region is entered (lock acquire / TBEGIN). The
+ *    linearization point cannot be earlier.
+ *  - response: global cycle of OPLOGE, just after the region closed
+ *    (TEND commit or lock release). The linearization point cannot
+ *    be later. Both bounds are conservative by a handful of
+ *    straight-line instructions, which can only widen the window —
+ *    a widened window never makes a linearizable history fail.
+ *  - completed == false: the operation was in flight when the run
+ *    stopped (watchdog halt, bounded run). It *may* have taken
+ *    effect — the checker must consider both outcomes.
+ *
+ * Rings are bounded: on overflow the oldest record is dropped and
+ * counted. A log with drops is a truncated history and cannot be
+ * checked (the checker reports it as such rather than guessing).
+ */
+
+#ifndef ZTX_WORKLOAD_OP_LOG_HH
+#define ZTX_WORKLOAD_OP_LOG_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+#include "core/op_recorder.hh"
+#include "inject/lincheck.hh"
+
+namespace ztx::workload {
+
+/** One logged ADT operation of one CPU. */
+struct OpRecord
+{
+    std::uint32_t code = 0; ///< workload-specific opcode (OPLOGB imm)
+    std::uint64_t a0 = 0;   ///< first argument register at invoke
+    std::uint64_t a1 = 0;   ///< second argument register at invoke
+    std::uint64_t result = 0; ///< result register at response
+    Cycles invoke = 0;
+    Cycles response = 0;
+    /** False: still pending when the run stopped (maybe completed). */
+    bool completed = false;
+};
+
+/** Per-CPU ring buffers implementing the CPU-side recorder hook. */
+class OpLog : public core::OpRecorder
+{
+  public:
+    /**
+     * @param cpus Number of CPUs that will record.
+     * @param capacity Records retained per CPU before the oldest
+     *        are dropped (and counted as truncation).
+     */
+    explicit OpLog(unsigned cpus, std::size_t capacity = 1u << 16);
+
+    /** @name core::OpRecorder @{ */
+    void opInvoke(CpuId cpu, Cycles now, std::uint32_t code,
+                  std::uint64_t a0, std::uint64_t a1) override;
+    void opResponse(CpuId cpu, Cycles now,
+                    std::uint64_t result) override;
+    Json pendingOpJson(CpuId cpu) const override;
+    /** @} */
+
+    /** The records of @p cpu in program order. */
+    const std::deque<OpRecord> &ops(CpuId cpu) const
+    {
+        return cpus_.at(cpu).ring;
+    }
+
+    /** Records dropped from @p cpu's ring (overflow). */
+    std::uint64_t dropped(CpuId cpu) const
+    {
+        return cpus_.at(cpu).dropped;
+    }
+
+    /**
+     * Protocol violations seen (OPLOGE without a pending OPLOGB, or
+     * two OPLOGBs without a response between them); any non-zero
+     * value means the generated program mis-nested its markers.
+     */
+    std::uint64_t protocolErrors() const;
+
+    /** True when any CPU dropped records: history unusable. */
+    bool truncated() const;
+
+    /** Records across all CPUs (completed + pending). */
+    std::size_t totalOps() const;
+
+    /**
+     * Decode every record into a checker history. Timing fields
+     * (invoke/response/pending) and provenance (cpu/seq) are filled
+     * here; @p decode maps the raw record to the ADT operation
+     * (code, arg, result).
+     */
+    std::vector<inject::LinOp> history(
+        const std::function<void(const OpRecord &,
+                                 inject::LinOp &)> &decode) const;
+
+  private:
+    /**
+     * All mutable state is per-CPU: each CPU appends only to its own
+     * slot, so recording is safe under the sharded scheduler's
+     * parallel phase without any locking.
+     */
+    struct PerCpu
+    {
+        std::deque<OpRecord> ring;
+        std::uint64_t dropped = 0;
+        std::uint64_t protocolErrors = 0;
+    };
+
+    std::size_t capacity_;
+    std::vector<PerCpu> cpus_;
+};
+
+/**
+ * Run @p check unless @p log cannot vouch for its history
+ * (truncation or marker protocol errors) — then return an unchecked
+ * verdict saying why instead of guessing.
+ */
+inject::LinVerdict checkLoggedHistory(
+    const OpLog &log,
+    const std::function<inject::LinVerdict()> &check);
+
+} // namespace ztx::workload
+
+#endif // ZTX_WORKLOAD_OP_LOG_HH

@@ -4,6 +4,7 @@
 #include "isa/assembler.hh"
 #include "locks/lock_gen.hh"
 #include "workload/layout.hh"
+#include "workload/op_log.hh"
 
 namespace ztx::workload {
 
@@ -52,6 +53,10 @@ buildQueueProgram(const QueueBenchConfig &cfg)
         as.stg(4, 3, 8);         // tail->next = node
         as.stg(4, 9, tailDisp);  // tail = node
     };
+    if (cfg.opLog) {
+        as.oplogb(std::uint32_t(inject::LinOpCode::QueueEnqueue),
+                  12);
+    }
     as.markb();
     if (cfg.useConstrainedTx) {
         as.tbeginc(0x00);
@@ -63,9 +68,16 @@ buildQueueProgram(const QueueBenchConfig &cfg)
         locks::SpinLock::emitRelease(as, 10, 0, lock_regs);
     }
     as.marke();
+    if (cfg.opLog)
+        as.oploge(12); // enqueue result is its value (unchecked)
 
     // --- Dequeue.
     const auto dequeue_body = [&] {
+        // Zero the result register inside the region so an aborted
+        // attempt cannot leave a stale value behind; enqueued
+        // values are >= 1, so 0 encodes "observed empty".
+        if (cfg.opLog)
+            as.lhi(6, 0);
         as.lgfo(3, 9, headDisp); // dummy/head node (store intent)
         as.lg(5, 3, 8);          // head->next
         as.cghi(5, 0);
@@ -74,6 +86,8 @@ buildQueueProgram(const QueueBenchConfig &cfg)
         as.lg(6, 5, 0);          // value
         as.label("deq_empty");
     };
+    if (cfg.opLog)
+        as.oplogb(std::uint32_t(inject::LinOpCode::QueueDequeue), 0);
     as.markb();
     if (cfg.useConstrainedTx) {
         as.tbeginc(0x00);
@@ -85,6 +99,8 @@ buildQueueProgram(const QueueBenchConfig &cfg)
         locks::SpinLock::emitRelease(as, 10, 0, lock_regs);
     }
     as.marke();
+    if (cfg.opLog)
+        as.oploge(6); // dequeued value, 0 when observed empty
     as.cghi(5, 0);
     as.jz("deq_was_empty");
     as.ahi(14, 1);
@@ -110,9 +126,12 @@ runQueueBench(const QueueBenchConfig &cfg)
 
     const Program program = buildQueueProgram(cfg);
     machine.setProgramAll(&program);
+    OpLog oplog(machine.numCpus());
     for (unsigned i = 0; i < cfg.cpus; ++i) {
         machine.cpu(i).setGr(
             15, arenaBase + Addr(i) * arenaStride);
+        if (cfg.opLog)
+            machine.cpu(i).setOpRecorder(&oplog);
     }
     const Cycles elapsed = machine.run();
     QueueBenchResult res;
@@ -140,6 +159,24 @@ runQueueBench(const QueueBenchConfig &cfg)
                          ? double(cfg.cpus) / res.meanRegionCycles
                          : 0.0;
 
+    if (cfg.opLog) {
+        // Behavior check: runs even after a watchdog halt (recorded
+        // registers only; in-flight ops stay pending).
+        const auto history = oplog.history(
+            [](const OpRecord &rec, inject::LinOp &op) {
+                op.code = inject::LinOpCode(rec.code);
+                op.arg = rec.a0;
+                op.result = rec.result;
+            });
+        res.lincheck = checkLoggedHistory(oplog, [&] {
+            return inject::checkQueueLinearizable(history, {});
+        });
+        if (res.lincheck.checked && !res.lincheck.linearizable) {
+            res.oracle.fail("operation history not linearizable: " +
+                            res.lincheck.reason);
+        }
+    }
+
     if (res.watchdogFired) {
         res.oracle.fail("forward-progress watchdog fired; "
                         "structures unchecked");
@@ -157,9 +194,11 @@ runQueueBench(const QueueBenchConfig &cfg)
     const std::int64_t expected =
         std::int64_t(cfg.cpus) * cfg.iterations -
         std::int64_t(res.dequeuedNonEmpty);
-    res.oracle = inject::checkQueue(machine.memory(),
-                                    queueBase + headDisp,
-                                    queueBase + tailDisp, expected);
+    inject::OracleReport structural = inject::checkQueue(
+        machine.memory(), machine.allHalted(), queueBase + headDisp,
+        queueBase + tailDisp, expected);
+    for (auto &v : structural.violations)
+        res.oracle.fail(std::move(v));
     return res;
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "inject/lincheck.hh"
 #include "inject/oracle.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
@@ -31,6 +32,12 @@ struct QueueBenchConfig
     /** true: TBEGINC; false: global spin lock. */
     bool useConstrainedTx = true;
     std::uint64_t seed = 1;
+    /**
+     * Record an operation history and check it for linearizability
+     * after the run. Off: the generated program is bit-identical to
+     * the unlogged one.
+     */
+    bool opLog = false;
     sim::MachineConfig machine{};
 };
 
@@ -52,8 +59,10 @@ struct QueueBenchResult
 
     /** The forward-progress watchdog stopped the run (chaos). */
     bool watchdogFired = false;
-    /** Structural/linearizability verdict (inject::checkQueue). */
+    /** Structural verdict (inject::checkQueue). */
     inject::OracleReport oracle;
+    /** History verdict (cfg.opLog; unchecked when logging is off). */
+    inject::LinVerdict lincheck;
 };
 
 /** Build the generated program for @p cfg. */

@@ -5,7 +5,10 @@
  * success, §II.D/§III.E) and committed state must stay consistent
  * under every mix — including the harshest one combining XI storms,
  * capacity squeezes, and interrupt storms — with the forward-
- * progress watchdog armed the whole time.
+ * progress watchdog armed the whole time. Every run records an
+ * operation history and the lincheck verdict must come back
+ * linearizable: faults may slow operations down but never produce a
+ * lost update, duplicate dequeue, or stale read.
  */
 
 #include <gtest/gtest.h>
@@ -55,6 +58,7 @@ TEST(ChaosStress, ConstrainedQueueSurvivesHarshestMix)
     cfg.cpus = 4;
     cfg.useConstrainedTx = true;
     cfg.iterations = 40;
+    cfg.opLog = true;
     cfg.machine = chaosMachine(harshestMix());
     const auto res = runQueueBench(cfg);
 
@@ -63,6 +67,9 @@ TEST(ChaosStress, ConstrainedQueueSurvivesHarshestMix)
     EXPECT_GT(res.txCommits, 0u);
     EXPECT_EQ(res.finalLength,
               4u * cfg.iterations - res.dequeuedNonEmpty);
+    ASSERT_TRUE(res.lincheck.checked) << res.lincheck.reason;
+    EXPECT_TRUE(res.lincheck.linearizable) << res.lincheck.reason;
+    EXPECT_EQ(res.lincheck.numOps, 8u * cfg.iterations);
 }
 
 TEST(ChaosStress, ConstrainedQueueSurvivesSpuriousAbortMix)
@@ -73,11 +80,14 @@ TEST(ChaosStress, ConstrainedQueueSurvivesSpuriousAbortMix)
     cfg.cpus = 4;
     cfg.useConstrainedTx = true;
     cfg.iterations = 40;
+    cfg.opLog = true;
     cfg.machine = chaosMachine(plan);
     const auto res = runQueueBench(cfg);
 
     EXPECT_FALSE(res.watchdogFired);
     EXPECT_TRUE(res.oracle.ok) << res.oracle.summary();
+    ASSERT_TRUE(res.lincheck.checked) << res.lincheck.reason;
+    EXPECT_TRUE(res.lincheck.linearizable) << res.lincheck.reason;
 }
 
 TEST(ChaosStress, ElidedListSetStaysConsistentUnderAllFaults)
@@ -91,6 +101,7 @@ TEST(ChaosStress, ElidedListSetStaysConsistentUnderAllFaults)
     cfg.cpus = 4;
     cfg.useElision = true;
     cfg.iterations = 40;
+    cfg.opLog = true;
     cfg.machine = chaosMachine(plan);
     const auto res = runListSetBench(cfg);
 
@@ -98,6 +109,9 @@ TEST(ChaosStress, ElidedListSetStaysConsistentUnderAllFaults)
     EXPECT_TRUE(res.sorted);
     EXPECT_TRUE(res.lengthConsistent);
     EXPECT_TRUE(res.oracle.ok) << res.oracle.summary();
+    ASSERT_TRUE(res.lincheck.checked) << res.lincheck.reason;
+    EXPECT_TRUE(res.lincheck.linearizable) << res.lincheck.reason;
+    EXPECT_EQ(res.lincheck.numOps, 4u * cfg.iterations);
 }
 
 TEST(ChaosStress, ElidedHashTableStaysConsistentUnderAllFaults)
@@ -111,11 +125,74 @@ TEST(ChaosStress, ElidedHashTableStaysConsistentUnderAllFaults)
     cfg.cpus = 4;
     cfg.useElision = true;
     cfg.iterations = 40;
+    cfg.opLog = true;
     cfg.machine = chaosMachine(plan);
     const auto res = runHashTableBench(cfg);
 
     EXPECT_FALSE(res.watchdogFired);
     EXPECT_TRUE(res.oracle.ok) << res.oracle.summary();
+    ASSERT_TRUE(res.lincheck.checked) << res.lincheck.reason;
+    EXPECT_TRUE(res.lincheck.linearizable) << res.lincheck.reason;
+    EXPECT_EQ(res.lincheck.numOps, 4u * cfg.iterations);
+}
+
+TEST(ChaosStress, SpuriousAbortHistoriesStayLinearizable)
+{
+    // Spurious-abort mix for the two elision workloads (the queue
+    // variant is covered above): retried operations must still log
+    // exactly one invoke/response pair and a linearizable history.
+    inject::FaultPlan plan;
+    plan.spuriousAbortRate = 0.01;
+
+    ListSetBenchConfig lcfg;
+    lcfg.cpus = 4;
+    lcfg.useElision = true;
+    lcfg.iterations = 40;
+    lcfg.opLog = true;
+    lcfg.machine = chaosMachine(plan);
+    const auto lres = runListSetBench(lcfg);
+    EXPECT_FALSE(lres.watchdogFired);
+    EXPECT_TRUE(lres.oracle.ok) << lres.oracle.summary();
+    ASSERT_TRUE(lres.lincheck.checked) << lres.lincheck.reason;
+    EXPECT_TRUE(lres.lincheck.linearizable) << lres.lincheck.reason;
+    EXPECT_EQ(lres.lincheck.numOps, 4u * lcfg.iterations);
+
+    HashTableBenchConfig hcfg;
+    hcfg.cpus = 4;
+    hcfg.useElision = true;
+    hcfg.iterations = 40;
+    hcfg.opLog = true;
+    hcfg.machine = chaosMachine(plan);
+    const auto hres = runHashTableBench(hcfg);
+    EXPECT_FALSE(hres.watchdogFired);
+    EXPECT_TRUE(hres.oracle.ok) << hres.oracle.summary();
+    ASSERT_TRUE(hres.lincheck.checked) << hres.lincheck.reason;
+    EXPECT_TRUE(hres.lincheck.linearizable) << hres.lincheck.reason;
+    EXPECT_EQ(hres.lincheck.numOps, 4u * hcfg.iterations);
+}
+
+TEST(ChaosStress, WatchdogHaltLeavesPendingOpsCheckable)
+{
+    // A 100% spurious-abort rate livelocks the constrained path, so
+    // the watchdog fires mid-operation. The history must still be
+    // checkable, with the stuck operations reported as pending
+    // (maybe completed) rather than invented or dropped.
+    inject::FaultPlan plan;
+    plan.spuriousAbortRate = 1.0;
+    QueueBenchConfig cfg;
+    cfg.cpus = 4;
+    cfg.useConstrainedTx = true;
+    cfg.iterations = 10;
+    cfg.opLog = true;
+    cfg.machine = chaosMachine(plan);
+    cfg.machine.watchdogCycles = 200'000;
+    const auto res = runQueueBench(cfg);
+
+    EXPECT_TRUE(res.watchdogFired);
+    EXPECT_FALSE(res.oracle.ok); // the watchdog itself fails it
+    ASSERT_TRUE(res.lincheck.checked) << res.lincheck.reason;
+    EXPECT_TRUE(res.lincheck.linearizable) << res.lincheck.reason;
+    EXPECT_GE(res.lincheck.numPending, 1u);
 }
 
 } // namespace

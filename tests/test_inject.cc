@@ -72,7 +72,7 @@ class OracleListSet : public ::testing::Test
 
 TEST_F(OracleListSet, ValidListPasses)
 {
-    const auto rep = inject::checkListSet(mem, sentinel, 2);
+    const auto rep = inject::checkListSet(mem, true, sentinel, 2);
     EXPECT_TRUE(rep.ok) << rep.summary();
     EXPECT_EQ(rep.summary(), "ok");
 }
@@ -80,25 +80,25 @@ TEST_F(OracleListSet, ValidListPasses)
 TEST_F(OracleListSet, UnsortedKeysCaught)
 {
     mem.write(nodeA + 0, 30, 8); // 30 before 20: not ascending
-    const auto rep = inject::checkListSet(mem, sentinel, 2);
+    const auto rep = inject::checkListSet(mem, true, sentinel, 2);
     EXPECT_FALSE(rep.ok);
 }
 
 TEST_F(OracleListSet, DuplicateKeyCaught)
 {
     mem.write(nodeB + 0, 10, 8); // strict ascent also rejects ties
-    EXPECT_FALSE(inject::checkListSet(mem, sentinel, 2).ok);
+    EXPECT_FALSE(inject::checkListSet(mem, true, sentinel, 2).ok);
 }
 
 TEST_F(OracleListSet, WrongLengthCaught)
 {
-    EXPECT_FALSE(inject::checkListSet(mem, sentinel, 3).ok);
+    EXPECT_FALSE(inject::checkListSet(mem, true, sentinel, 3).ok);
 }
 
 TEST_F(OracleListSet, CycleCaughtWithoutHanging)
 {
     mem.write(nodeB + 8, nodeA, 8); // B -> A: a cycle
-    EXPECT_FALSE(inject::checkListSet(mem, sentinel, 2).ok);
+    EXPECT_FALSE(inject::checkListSet(mem, true, sentinel, 2).ok);
 }
 
 class OracleQueue : public ::testing::Test
@@ -128,37 +128,37 @@ class OracleQueue : public ::testing::Test
 
 TEST_F(OracleQueue, ValidQueuePasses)
 {
-    const auto rep = inject::checkQueue(mem, headPtr, tailPtr, 2);
+    const auto rep = inject::checkQueue(mem, true, headPtr, tailPtr, 2);
     EXPECT_TRUE(rep.ok) << rep.summary();
 }
 
 TEST_F(OracleQueue, NullHeadCaught)
 {
     mem.write(headPtr, 0, 8);
-    EXPECT_FALSE(inject::checkQueue(mem, headPtr, tailPtr, 2).ok);
+    EXPECT_FALSE(inject::checkQueue(mem, true, headPtr, tailPtr, 2).ok);
 }
 
 TEST_F(OracleQueue, StaleTailCaught)
 {
     mem.write(tailPtr, nodeA, 8); // tail is not the last node
-    EXPECT_FALSE(inject::checkQueue(mem, headPtr, tailPtr, 2).ok);
+    EXPECT_FALSE(inject::checkQueue(mem, true, headPtr, tailPtr, 2).ok);
 }
 
 TEST_F(OracleQueue, DanglingTailNextCaught)
 {
     mem.write(nodeB + 8, 0xDEAD00, 8); // tail->next != null
-    EXPECT_FALSE(inject::checkQueue(mem, headPtr, tailPtr, 2).ok);
+    EXPECT_FALSE(inject::checkQueue(mem, true, headPtr, tailPtr, 2).ok);
 }
 
 TEST_F(OracleQueue, WrongLengthCaught)
 {
-    EXPECT_FALSE(inject::checkQueue(mem, headPtr, tailPtr, 1).ok);
+    EXPECT_FALSE(inject::checkQueue(mem, true, headPtr, tailPtr, 1).ok);
 }
 
 TEST_F(OracleQueue, CycleCaughtWithoutHanging)
 {
     mem.write(nodeB + 8, dummy, 8);
-    EXPECT_FALSE(inject::checkQueue(mem, headPtr, tailPtr, 2).ok);
+    EXPECT_FALSE(inject::checkQueue(mem, true, headPtr, tailPtr, 2).ok);
 }
 
 class OracleHashTable : public ::testing::Test
@@ -184,7 +184,8 @@ class OracleHashTable : public ::testing::Test
     inject::OracleReport
     check(std::int64_t min_occ, std::int64_t max_occ)
     {
-        return inject::checkHashTable(mem, base, buckets, maxProbes,
+        return inject::checkHashTable(mem, true, base, buckets,
+                                      maxProbes,
                                       bucketOf, min_occ, max_occ);
     }
 
@@ -223,6 +224,39 @@ TEST_F(OracleHashTable, OccupancyBoundsEnforced)
     put(3, 3, 3);
     EXPECT_FALSE(check(2, 8).ok); // fewer than the prefill floor
     EXPECT_FALSE(check(0, 0).ok); // more than the key space
+}
+
+// A structural walk over a machine with CPUs still running would
+// see mid-flight transactional state: every checker must refuse it
+// outright, even when the structure itself happens to be valid.
+TEST(OracleHaltGuard, MidFlightWalkRejected)
+{
+    mem::MainMemory mem;
+    // Valid one-node list: sentinel -> (10) -> null.
+    mem.write(0x1000 + 8, 0x2000, 8);
+    mem.write(0x2000 + 0, 10, 8);
+    mem.write(0x2000 + 8, 0, 8);
+    ASSERT_TRUE(inject::checkListSet(mem, true, 0x1000, 1).ok);
+    const auto list = inject::checkListSet(mem, false, 0x1000, 1);
+    EXPECT_FALSE(list.ok);
+    EXPECT_NE(list.summary().find("still running"),
+              std::string::npos);
+
+    // Valid empty queue: head = tail = dummy, dummy->next = null.
+    mem.write(0x100, 0x3000, 8);
+    mem.write(0x108, 0x3000, 8);
+    mem.write(0x3000 + 8, 0, 8);
+    ASSERT_TRUE(inject::checkQueue(mem, true, 0x100, 0x108, 0).ok);
+    EXPECT_FALSE(inject::checkQueue(mem, false, 0x100, 0x108, 0).ok);
+
+    // Valid empty hash table.
+    const auto mod8 = [](std::uint64_t k) { return k % 8; };
+    ASSERT_TRUE(
+        inject::checkHashTable(mem, true, 0x10000, 8, 2, mod8, 0, 8)
+            .ok);
+    EXPECT_FALSE(
+        inject::checkHashTable(mem, false, 0x10000, 8, 2, mod8, 0, 8)
+            .ok);
 }
 
 // ---------------------------------------------------------------
