@@ -148,6 +148,7 @@ main(int argc, char **argv)
                 out.lincheck = res.lincheck;
                 report.addSimWork(res.elapsedCycles,
                                   res.instructions);
+                report.addSched(res.sched);
                 rec = bench::resultJson(res);
             } else if (wl == "hashtable") {
                 HashTableBenchConfig cfg;
@@ -163,6 +164,7 @@ main(int argc, char **argv)
                 out.lincheck = res.lincheck;
                 report.addSimWork(res.elapsedCycles,
                                   res.instructions);
+                report.addSched(res.sched);
                 rec = bench::resultJson(res);
             } else {
                 QueueBenchConfig cfg;
@@ -178,6 +180,7 @@ main(int argc, char **argv)
                 out.lincheck = res.lincheck;
                 report.addSimWork(res.elapsedCycles,
                                   res.instructions);
+                report.addSched(res.sched);
                 rec = bench::resultJson(res);
             }
 

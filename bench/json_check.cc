@@ -58,6 +58,14 @@ main(int argc, char **argv)
     const ztx::Json *records = doc->find("records");
     if (!records || records->size() == 0)
         return fail(path, "missing or empty records");
+    // Determinism is part of the schema contract: any record that
+    // carries a determinism verdict must carry a passing one.
+    for (std::size_t i = 0; i < records->size(); ++i) {
+        const ztx::Json *det =
+            records->at(i).find("determinism_ok");
+        if (det && !det->boolean())
+            return fail(path, "record with determinism_ok=false");
+    }
     const ztx::Json *speed = doc->find("sim_speed");
     if (!speed)
         return fail(path, "missing sim_speed");

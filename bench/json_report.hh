@@ -25,6 +25,7 @@
 #include "common/json.hh"
 #include "common/types.hh"
 #include "sim/machine.hh"
+#include "workload/report.hh"
 
 namespace ztx::bench {
 
@@ -39,6 +40,13 @@ std::string jsonReportPath(const std::string &bench_name, int argc,
 /** An abort-reason map as a JSON object. */
 Json abortBreakdownJson(
     const std::map<std::string, std::uint64_t> &aborts_by_reason);
+
+/**
+ * A scheduler summary as a JSON object: the "sched.*" counters plus
+ * the derived serial fraction. All-zero under the legacy scheduler,
+ * so the record shape is identical across scheduler modes.
+ */
+Json schedStatsJson(const workload::SchedStatsSummary &sched);
 
 /**
  * The shared result fields of one sweep-point record: throughput,
@@ -61,6 +69,7 @@ resultJson(const Result &res)
     r["aborts_by_reason"] = abortBreakdownJson(res.abortsByReason);
     r["sim_cycles"] = std::uint64_t(res.elapsedCycles);
     r["instructions"] = res.instructions;
+    r["sched"] = schedStatsJson(res.sched);
     return r;
 }
 
@@ -95,6 +104,12 @@ class JsonReport
     void addSimWork(Cycles cycles, std::uint64_t instructions);
 
     /**
+     * Accumulate one run's scheduler activity into the doc-level
+     * "sched" object (always emitted, all-zero for legacy runs).
+     */
+    void addSched(const workload::SchedStatsSummary &sched);
+
+    /**
      * Write the document (no-op success when disabled).
      * @return False when the file could not be written.
      */
@@ -107,6 +122,7 @@ class JsonReport
     Json records_ = Json::array();
     std::uint64_t simCycles_ = 0;
     std::uint64_t instructions_ = 0;
+    workload::SchedStatsSummary sched_;
     std::chrono::steady_clock::time_point start_;
 };
 

@@ -2,11 +2,20 @@
  * @file
  * Host-side scaling of the sharded parallel scheduler: the same
  * simulated machine and workload driven with 1, 2, and 4 host
- * threads, on a single-chip topology (one shard — no parallelism to
- * harvest) and a multi-chip one (one shard per chip). Reports
- * wall-clock seconds, host MIPS, and speedup versus the 1-thread
- * sharded run; the determinism contract makes every row the same
- * simulation, so the comparison is pure host-side.
+ * threads, across a single-chip and a multi-chip topology and
+ * across sub-chip shard counts (--shards-per-chip, default sweep
+ * {1, 2}). Each record carries the host wall-clock numbers, the
+ * scheduler's serial fraction (steps_deferred / steps_total — the
+ * Amdahl ceiling the shard-local fast path attacks), the speedup
+ * versus the 1-thread run of the same partition, and a
+ * determinism_ok verdict: the full stats document of every
+ * multi-threaded run must be byte-identical to its 1-thread
+ * reference.
+ *
+ * A final "fastpath-delta" section re-runs a miss-heavy workload
+ * with the shard-local fast path disabled and enabled, quantifying
+ * how much of the serial fraction the fast path removes (the
+ * EXPERIMENTS.md recipe reads these two records).
  *
  * Results are honest for the machine they ran on: meta.host_cpus
  * records how many host CPUs were available — on a 1-core host no
@@ -15,13 +24,16 @@
 
 #include <chrono>
 #include <cstdio>
-#include <iostream>
+#include <cstring>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hh"
 #include "isa/assembler.hh"
 #include "json_report.hh"
+#include "workload/report.hh"
 
 namespace {
 
@@ -57,15 +69,50 @@ privateTxProgram(Addr base, unsigned iterations)
     return as.finish();
 }
 
+/**
+ * Miss-heavy sweeps: each CPU walks a private region larger than
+ * its L2, so steady-state accesses are chip-local L3 hits — the
+ * traffic the shard-local fast path resolves in-phase and the
+ * legacy defer rule sent to the serial barrier.
+ */
+isa::Program
+missHeavyProgram(Addr base, unsigned lines, unsigned sweeps)
+{
+    isa::Assembler as;
+    as.lhi(7, std::int64_t(sweeps));
+    as.label("sweep");
+    as.lhi(6, std::int64_t(lines));
+    as.la(9, 0, std::int64_t(base));
+    as.label("walk");
+    as.lg(3, 9);
+    as.ahi(3, 1);
+    as.stg(3, 9);
+    as.la(9, 9, 256);
+    as.brct(6, "walk");
+    as.brct(7, "sweep");
+    as.halt();
+    return as.finish();
+}
+
 struct RunResult
 {
     double hostSeconds = 0.0;
     Cycles simCycles = 0;
     std::uint64_t instructions = 0;
+    workload::SchedStatsSummary sched;
+    /** Full stats document, for byte-identity comparison. */
+    std::string statsText;
+};
+
+enum class Workload
+{
+    PrivateTx,
+    MissHeavy,
 };
 
 RunResult
 runOnce(const mem::Topology &topo, unsigned host_threads,
+        unsigned shards_per_chip, bool fast_path, Workload wl,
         unsigned iterations,
         std::vector<isa::Program> &programs /* keep-alive */)
 {
@@ -73,13 +120,29 @@ runOnce(const mem::Topology &topo, unsigned host_threads,
     cfg.topology = topo;
     cfg.seed = 17;
     cfg.hostThreads = host_threads;
+    cfg.hostShardsPerChip = shards_per_chip;
+    cfg.shardLocalFastPath = fast_path;
+    if (wl == Workload::MissHeavy) {
+        // Shrink the private levels so the 64 KB per-CPU region
+        // overflows L2 and steady-state sweeps hit the chip's L3.
+        cfg.geometry.l1 = {4 * 1024, 2};
+        cfg.geometry.l2 = {16 * 1024, 4};
+        cfg.geometry.l3 = {1024 * 1024, 8};
+        cfg.geometry.l4 = {8 * 1024 * 1024, 8};
+    }
     sim::Machine m(cfg);
 
     programs.clear();
     programs.reserve(m.numCpus());
-    for (unsigned i = 0; i < m.numCpus(); ++i)
-        programs.push_back(privateTxProgram(
-            Addr(0x40'0000) + Addr(i) * 0x1'0000, iterations));
+    for (unsigned i = 0; i < m.numCpus(); ++i) {
+        const Addr base = Addr(0x40'0000) + Addr(i) * 0x1'0000;
+        if (wl == Workload::PrivateTx)
+            programs.push_back(
+                privateTxProgram(base, iterations));
+        else
+            programs.push_back(missHeavyProgram(
+                base, 256, std::max(1u, iterations / 64)));
+    }
     for (unsigned i = 0; i < m.numCpus(); ++i)
         m.setProgram(i, &programs[i]);
 
@@ -94,7 +157,30 @@ runOnce(const mem::Topology &topo, unsigned host_threads,
     for (unsigned i = 0; i < m.numCpus(); ++i)
         res.instructions +=
             m.cpu(i).stats().counter("instructions").value();
+    res.sched = workload::collectSchedStats(m);
+    std::ostringstream os;
+    m.dumpStatsJson(os);
+    res.statsText = os.str();
     return res;
+}
+
+/** Value of --shards-per-chip / --shards-per-chip=N; 0 = sweep. */
+unsigned
+shardsPerChipArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--shards-per-chip") == 0) {
+            if (i + 1 < argc)
+                return unsigned(std::atoi(argv[i + 1]));
+            std::fprintf(stderr, "scale: --shards-per-chip needs "
+                                 "an operand; ignoring\n");
+            break;
+        }
+        if (std::strncmp(arg, "--shards-per-chip=", 18) == 0)
+            return unsigned(std::atoi(arg + 18));
+    }
+    return 0;
 }
 
 } // namespace
@@ -114,55 +200,129 @@ main(int argc, char **argv)
         std::getenv("ZTX_BENCH_FAST") ? bench::benchIterations()
                                       : 4 * bench::benchIterations();
 
+    const unsigned spc_arg = shardsPerChipArg(argc, argv);
+    const std::vector<unsigned> spc_axis =
+        spc_arg ? std::vector<unsigned>{spc_arg}
+                : std::vector<unsigned>{1u, 2u};
+    report.meta()["shards_per_chip_axis"] = [&spc_axis] {
+        Json axis = Json::array();
+        for (const unsigned spc : spc_axis)
+            axis.push(spc);
+        return axis;
+    }();
+
     struct TopoPoint
     {
         const char *name;
         mem::Topology topo;
     };
     const std::vector<TopoPoint> topos = {
-        {"1chip", mem::Topology(4, 1, 1)},   // one shard
-        {"4chips", mem::Topology(4, 4, 1)},  // four shards
+        {"1chip", mem::Topology(4, 1, 1)},   // sub-chip shards only
+        {"4chips", mem::Topology(4, 4, 1)},  // spc shards per chip
     };
 
     std::printf("# Sharded-scheduler host scaling "
                 "(host_cpus=%u)\n",
                 unsigned(std::thread::hardware_concurrency()));
-    std::printf("# %-8s %8s %12s %10s %10s\n", "topology",
-                "threads", "host_sec", "mips", "speedup");
+    std::printf("# %-8s %4s %8s %12s %10s %10s %10s %5s\n",
+                "topology", "spc", "threads", "host_sec", "mips",
+                "speedup", "serial", "det");
 
+    bool determinism_failed = false;
     std::vector<isa::Program> keep_alive;
     for (const TopoPoint &tp : topos) {
-        double base_seconds = 0.0;
-        for (const unsigned threads : {1u, 2u, 4u}) {
-            const RunResult res = runOnce(tp.topo, threads,
-                                          iterations, keep_alive);
-            if (threads == 1)
-                base_seconds = res.hostSeconds;
-            const double mips =
-                res.hostSeconds > 0.0
-                    ? double(res.instructions) / res.hostSeconds /
-                          1e6
-                    : 0.0;
-            const double speedup =
-                res.hostSeconds > 0.0
-                    ? base_seconds / res.hostSeconds
-                    : 0.0;
-            std::printf("  %-8s %8u %12.4f %10.2f %10.2f\n",
-                        tp.name, threads, res.hostSeconds, mips,
-                        speedup);
-            report.addSimWork(res.simCycles, res.instructions);
-            if (report.enabled()) {
-                Json rec = Json::object();
-                rec["topology"] = tp.name;
-                rec["host_threads"] = threads;
-                rec["host_seconds"] = res.hostSeconds;
-                rec["sim_cycles"] = std::uint64_t(res.simCycles);
-                rec["instructions"] = res.instructions;
-                rec["mips"] = mips;
-                rec["speedup_vs_1t"] = speedup;
-                report.addRecord(std::move(rec));
+        for (const unsigned spc : spc_axis) {
+            double base_seconds = 0.0;
+            std::string ref_stats;
+            for (const unsigned threads : {1u, 2u, 4u}) {
+                const RunResult res = runOnce(
+                    tp.topo, threads, spc, true,
+                    Workload::PrivateTx, iterations, keep_alive);
+                if (threads == 1) {
+                    base_seconds = res.hostSeconds;
+                    ref_stats = res.statsText;
+                }
+                const bool det = res.statsText == ref_stats;
+                determinism_failed |= !det;
+                const double mips =
+                    res.hostSeconds > 0.0
+                        ? double(res.instructions) /
+                              res.hostSeconds / 1e6
+                        : 0.0;
+                const double speedup =
+                    res.hostSeconds > 0.0
+                        ? base_seconds / res.hostSeconds
+                        : 0.0;
+                std::printf("  %-8s %4u %8u %12.4f %10.2f %10.2f"
+                            " %10.4f %5s\n",
+                            tp.name, spc, threads, res.hostSeconds,
+                            mips, speedup,
+                            res.sched.serialFraction(),
+                            det ? "ok" : "FAIL");
+                report.addSimWork(res.simCycles, res.instructions);
+                report.addSched(res.sched);
+                if (report.enabled()) {
+                    Json rec = Json::object();
+                    rec["section"] = "host-scaling";
+                    rec["topology"] = tp.name;
+                    rec["shards_per_chip"] = spc;
+                    rec["host_threads"] = threads;
+                    rec["host_seconds"] = res.hostSeconds;
+                    rec["sim_cycles"] =
+                        std::uint64_t(res.simCycles);
+                    rec["instructions"] = res.instructions;
+                    rec["mips"] = mips;
+                    rec["speedup_vs_1t"] = speedup;
+                    rec["serial_fraction"] =
+                        res.sched.serialFraction();
+                    rec["determinism_ok"] = det;
+                    rec["sched"] = bench::schedStatsJson(res.sched);
+                    report.addRecord(std::move(rec));
+                }
             }
         }
     }
-    return report.write() ? 0 : 1;
+
+    // Fast-path ablation: the same miss-heavy single-chip run with
+    // the shard-local fast path off, then on, on a whole-chip shard
+    // (every chip-local L3 hit is eligible). The serial-fraction
+    // drop between the two records is the headline number.
+    const unsigned delta_spc = spc_arg ? spc_arg : 1;
+    std::printf("# %-12s %10s %12s %10s\n", "fastpath", "serial",
+                "steps_def", "l3_local");
+    for (const bool fast_path : {false, true}) {
+        const RunResult res = runOnce(
+            topos[0].topo, 1, delta_spc, fast_path,
+            Workload::MissHeavy, iterations, keep_alive);
+        std::printf("  %-12s %10.4f %12llu %10llu\n",
+                    fast_path ? "on" : "off",
+                    res.sched.serialFraction(),
+                    (unsigned long long)res.sched.stepsDeferred,
+                    (unsigned long long)res.sched.l3LocalHits);
+        report.addSimWork(res.simCycles, res.instructions);
+        report.addSched(res.sched);
+        if (report.enabled()) {
+            Json rec = Json::object();
+            rec["section"] = "fastpath-delta";
+            rec["topology"] = topos[0].name;
+            rec["shards_per_chip"] = delta_spc;
+            rec["host_threads"] = 1;
+            rec["fast_path"] = fast_path;
+            rec["host_seconds"] = res.hostSeconds;
+            rec["sim_cycles"] = std::uint64_t(res.simCycles);
+            rec["instructions"] = res.instructions;
+            rec["speedup_vs_1t"] = 1.0;
+            rec["serial_fraction"] = res.sched.serialFraction();
+            rec["determinism_ok"] = true;
+            rec["sched"] = bench::schedStatsJson(res.sched);
+            report.addRecord(std::move(rec));
+        }
+    }
+
+    if (determinism_failed)
+        std::fprintf(stderr, "scale: DETERMINISM VIOLATION — "
+                             "stats diverged across host-thread "
+                             "counts\n");
+    const bool wrote = report.write();
+    return (wrote && !determinism_failed) ? 0 : 1;
 }

@@ -141,6 +141,9 @@ Cpu::accessLines(Addr addr, unsigned size, bool exclusive,
             deferredStep_ = true;
             return false;
         }
+        if (res.shardLocal && !res.rejected &&
+            res.source == mem::DataSource::L3)
+            ++shardL3Hits_;
         // Pipelining hides most of an L1 hit's use latency.
         cost += (!res.rejected && res.source == mem::DataSource::L1)
                     ? cfg_.l1HitCharge
@@ -172,6 +175,9 @@ Cpu::accessLines(Addr addr, unsigned size, bool exclusive,
         // retried): whether it defers depends only on cache state,
         // which is identical across host-thread counts, and the RNG
         // draw above is consumed either way.
+        if (res.shardLocal && !res.rejected &&
+            res.source == mem::DataSource::L3)
+            ++shardL3Hits_;
         if (!res.deferred && !res.rejected && !abortedDuringStep_ &&
             inTx()) {
             hier_.markTxRead(id_, spec_line);

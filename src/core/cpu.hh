@@ -192,6 +192,19 @@ class Cpu : public mem::CacheClient
 
     /** True when the last step() deferred instead of executing. */
     bool deferredStep() const { return deferredStep_; }
+
+    /**
+     * Fetches the shard-local fast path resolved from the chip's L3
+     * inside the parallel phase since the last call, then clear.
+     * The shard folds these into sched.l3_local_hits.
+     */
+    std::uint64_t
+    consumeShardL3Hits()
+    {
+        const std::uint64_t n = shardL3Hits_;
+        shardL3Hits_ = 0;
+        return n;
+    }
     /** @} */
 
     /** @name Measurement (MARKB/MARKE pseudo-ops) @{ */
@@ -346,6 +359,8 @@ class Cpu : public mem::CacheClient
     /** @name Sharded-scheduler state (see setLocalOnly) @{ */
     bool localOnly_ = false;
     bool deferredStep_ = false;
+    /** Fast-path L3 hits since the last consumeShardL3Hits(). */
+    std::uint64_t shardL3Hits_ = 0;
     /** @} */
 
     /** Commits + region closes + halt; see progressEvents(). */

@@ -86,6 +86,8 @@ FaultInjector::attachCpu(core::Cpu &cpu)
                          ((id + 1) * 0x9E3779B97F4A7C15ULL));
     stormRng_.emplace_back(baseSeed_ +
                            (id + 1) * 0xBF58476D1CE4E5B9ULL);
+    delayRng_.emplace_back(baseSeed_ ^
+                           ((id + 1) * 0x94D049BB133111EBULL));
     pendingStorms_.emplace_back();
     hot_.emplace_back();
 }
@@ -187,6 +189,7 @@ FaultInjector::foldHotCounters() const
         sum.squeezeFired += h.squeezeFired;
         sum.squeezeRestored += h.squeezeRestored;
         sum.interruptStormFired += h.interruptStormFired;
+        sum.xiDelayFired += h.xiDelayFired;
     }
     // Touch every counter unconditionally: the stat-group shape must
     // not depend on which faults happened to fire.
@@ -199,6 +202,8 @@ FaultInjector::foldHotCounters() const
     stats_.counter("interrupt_storm.fired")
         .inc(sum.interruptStormFired -
              hotFolded_.interruptStormFired);
+    stats_.counter("xi_delay.fired")
+        .inc(sum.xiDelayFired - hotFolded_.xiDelayFired);
     hotFolded_ = sum;
 }
 
@@ -266,13 +271,25 @@ FaultInjector::xiDelay(mem::XiKind kind, CpuId target,
                        CpuId requester)
 {
     (void)kind;
-    (void)target;
     (void)requester;
-    if (plan_.delayedXiRate <= 0 ||
-        !rng_.nextBool(plan_.delayedXiRate))
+    if (plan_.delayedXiRate <= 0)
         return 0;
-    stats_.counter("xi_delay.fired").inc();
-    return rng_.nextBounded(plan_.xiDelayMax) + 1;
+    // Per-target streams: a same-shard XI may be probed inside the
+    // parallel phase (shard-local fast path), so the draw must be a
+    // function of the target's own XI sequence only. Unattached
+    // fabric agents (the channel subsystem) are serial-only and use
+    // the shared stream.
+    if (target >= delayRng_.size()) {
+        if (!rng_.nextBool(plan_.delayedXiRate))
+            return 0;
+        stats_.counter("xi_delay.fired").inc();
+        return rng_.nextBounded(plan_.xiDelayMax) + 1;
+    }
+    Rng &r = delayRng_[target];
+    if (!r.nextBool(plan_.delayedXiRate))
+        return 0;
+    ++hot_[target].xiDelayFired;
+    return r.nextBounded(plan_.xiDelayMax) + 1;
 }
 
 } // namespace ztx::inject

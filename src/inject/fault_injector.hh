@@ -127,6 +127,7 @@ class FaultInjector : public mem::XiDelayProbe
         std::uint64_t squeezeFired = 0;
         std::uint64_t squeezeRestored = 0;
         std::uint64_t interruptStormFired = 0;
+        std::uint64_t xiDelayFired = 0;
     };
     void foldHotCounters() const;
 
@@ -143,11 +144,21 @@ class FaultInjector : public mem::XiDelayProbe
     std::vector<Rng> cpuRng_;
     /** Per-CPU streams for XI-storm line picks, indexed by target. */
     std::vector<Rng> stormRng_;
+    /**
+     * Per-CPU streams for XI response delays, indexed by the XI
+     * target: with the shard-local fast path, same-shard XIs are
+     * delivered inside the parallel phase by the target's shard, so
+     * the delay draw must depend only on the target's own XI
+     * sequence, never on global interleaving. XIs aimed at
+     * unattached fabric agents (the channel subsystem) cannot occur
+     * in-phase and fall back to the serial stream rng_.
+     */
+    std::vector<Rng> delayRng_;
     /** Sharded mode: per-CPU storm fire times awaiting the flush. */
     std::vector<std::vector<Cycles>> pendingStorms_;
     std::vector<HotCounters> hot_;
     mutable HotCounters hotFolded_{};
-    /** Serial-only stream: XI response delays (xiDelay). */
+    /** Serial-only stream: XI delays for unattached targets. */
     Rng rng_;
     mutable StatGroup stats_{"inject"};
 };

@@ -131,6 +131,17 @@ CacheArray::insert(Addr line, std::uint8_t flags)
     return victim;
 }
 
+bool
+CacheArray::insertWouldEvict(Addr line) const
+{
+    const Entry *base =
+        const_cast<CacheArray *>(this)->setBase(line);
+    unsigned valid_ways = 0;
+    for (unsigned w = 0; w < assoc_; ++w)
+        valid_ways += base[w].valid ? 1 : 0;
+    return valid_ways >= effAssoc_;
+}
+
 void
 CacheArray::setEffectiveAssoc(unsigned ways)
 {

@@ -83,6 +83,14 @@ class CacheArray
      */
     Victim insert(Addr line, std::uint8_t flags = 0);
 
+    /**
+     * True if insert(@p line) would displace a victim right now:
+     * the congruence class already holds effectiveAssoc() valid
+     * lines. The sharded fast path uses this to defer accesses
+     * whose install would have eviction side effects.
+     */
+    bool insertWouldEvict(Addr line) const;
+
     /** Remove @p line; true if it was present. */
     bool invalidate(Addr line);
 

@@ -1,29 +1,69 @@
 #include "directory.hh"
 
+#include <bit>
+
 #include "common/log.hh"
 
 namespace ztx::mem {
 
-const DirectoryEntry CoherenceDirectory::idleEntry_{};
+namespace {
 
-DirectoryEntry &
-CoherenceDirectory::entry(Addr line)
+constexpr auto relaxed = std::memory_order_relaxed;
+
+} // namespace
+
+CoherenceDirectory::Slot &
+CoherenceDirectory::slot(Addr line)
 {
-    return entries_[line];
+    const auto it = slots_.find(line);
+    if (it != slots_.end())
+        return it->second;
+    if (concurrent_)
+        ztx_panic("directory entry creation during a parallel "
+                  "phase (line 0x", std::hex, line, ")");
+    return slots_[line];
 }
 
-const DirectoryEntry &
+const CoherenceDirectory::Slot *
+CoherenceDirectory::findSlot(Addr line) const
+{
+    const auto it = slots_.find(line);
+    return it == slots_.end() ? nullptr : &it->second;
+}
+
+DirectoryEntry
 CoherenceDirectory::lookup(Addr line) const
 {
-    const auto it = entries_.find(line);
-    return it == entries_.end() ? idleEntry_ : it->second;
+    DirectoryEntry e;
+    const Slot *s = findSlot(line);
+    if (!s)
+        return e;
+    e.owner = s->owner.load(relaxed);
+    for (unsigned w = 0; w < sharerWords; ++w) {
+        std::uint64_t word = s->sharers[w].load(relaxed);
+        while (word) {
+            const unsigned bit =
+                unsigned(std::countr_zero(word));
+            e.sharers.set(w * 64 + bit);
+            word &= word - 1;
+        }
+    }
+    e.l3Mask = s->l3Mask.load(relaxed);
+    return e;
 }
 
 bool
 CoherenceDirectory::holds(CpuId cpu, Addr line) const
 {
-    const DirectoryEntry &e = lookup(line);
-    return e.owner == cpu || (cpu < maxDirectoryCpus && e.sharers[cpu]);
+    const Slot *s = findSlot(line);
+    if (!s)
+        return false;
+    if (s->owner.load(relaxed) == cpu)
+        return true;
+    if (cpu >= maxDirectoryCpus)
+        return false;
+    return s->sharers[cpu / 64].load(relaxed) &
+           (std::uint64_t(1) << (cpu % 64));
 }
 
 void
@@ -31,10 +71,13 @@ CoherenceDirectory::setExclusive(Addr line, CpuId cpu)
 {
     if (cpu >= maxDirectoryCpus)
         ztx_panic("directory cannot track cpu ", cpu);
-    DirectoryEntry &e = entry(line);
-    e.owner = cpu;
-    e.sharers.reset();
-    e.sharers.set(cpu);
+    Slot &s = slot(line);
+    s.owner.store(cpu, relaxed);
+    for (unsigned w = 0; w < sharerWords; ++w)
+        s.sharers[w].store(w == cpu / 64
+                               ? std::uint64_t(1) << (cpu % 64)
+                               : 0,
+                           relaxed);
 }
 
 void
@@ -42,43 +85,53 @@ CoherenceDirectory::addSharer(Addr line, CpuId cpu)
 {
     if (cpu >= maxDirectoryCpus)
         ztx_panic("directory cannot track cpu ", cpu);
-    DirectoryEntry &e = entry(line);
-    if (e.owner != invalidCpu && e.owner != cpu)
+    Slot &s = slot(line);
+    const CpuId owner = s.owner.load(relaxed);
+    if (owner != invalidCpu && owner != cpu)
         ztx_panic("addSharer while another CPU owns the line");
-    e.owner = invalidCpu;
-    e.sharers.set(cpu);
+    s.owner.store(invalidCpu, relaxed);
+    s.sharers[cpu / 64].fetch_or(std::uint64_t(1) << (cpu % 64),
+                                 relaxed);
 }
 
 void
 CoherenceDirectory::demoteOwner(Addr line)
 {
-    DirectoryEntry &e = entry(line);
-    if (e.owner == invalidCpu)
+    Slot &s = slot(line);
+    const CpuId owner = s.owner.load(relaxed);
+    if (owner == invalidCpu)
         ztx_panic("demoteOwner on unowned line");
-    e.sharers.set(e.owner);
-    e.owner = invalidCpu;
+    s.sharers[owner / 64].fetch_or(std::uint64_t(1)
+                                       << (owner % 64),
+                                   relaxed);
+    s.owner.store(invalidCpu, relaxed);
 }
 
 void
 CoherenceDirectory::remove(Addr line, CpuId cpu)
 {
-    const auto it = entries_.find(line);
-    if (it == entries_.end())
+    const auto it = slots_.find(line);
+    if (it == slots_.end())
         return;
-    DirectoryEntry &e = it->second;
-    if (e.owner == cpu)
-        e.owner = invalidCpu;
+    Slot &s = it->second;
+    // The owner clear is only reached by the owner's own shard (a
+    // line with an owner has exactly one holder), so the check-then-
+    // store pair cannot race with a concurrent owner claim.
+    if (s.owner.load(relaxed) == cpu)
+        s.owner.store(invalidCpu, relaxed);
     if (cpu < maxDirectoryCpus)
-        e.sharers.reset(cpu);
-    if (e.idle())
-        entries_.erase(it);
+        s.sharers[cpu / 64].fetch_and(
+            ~(std::uint64_t(1) << (cpu % 64)), relaxed);
+    // Idle entries are deliberately kept: the L3-residency mask
+    // outlives the holders, and erasure would mutate the map's
+    // structure under concurrent shard reads.
 }
 
 std::vector<CpuId>
 CoherenceDirectory::sharersExcept(Addr line, CpuId except) const
 {
     std::vector<CpuId> out;
-    const DirectoryEntry &e = lookup(line);
+    const DirectoryEntry e = lookup(line);
     for (unsigned cpu = 0; cpu < maxDirectoryCpus; ++cpu)
         if (e.sharers[cpu] && cpu != except && CpuId(cpu) != e.owner)
             out.push_back(cpu);
@@ -88,7 +141,39 @@ CoherenceDirectory::sharersExcept(Addr line, CpuId except) const
 std::size_t
 CoherenceDirectory::trackedLines() const
 {
-    return entries_.size();
+    std::size_t n = 0;
+    for (const auto &[line, s] : slots_) {
+        if (s.owner.load(relaxed) != invalidCpu) {
+            ++n;
+            continue;
+        }
+        for (unsigned w = 0; w < sharerWords; ++w) {
+            if (s.sharers[w].load(relaxed) != 0) {
+                ++n;
+                break;
+            }
+        }
+    }
+    return n;
+}
+
+void
+CoherenceDirectory::setL3Resident(Addr line, unsigned chip)
+{
+    if (chip >= maxDirectoryChips)
+        ztx_panic("directory cannot track chip ", chip);
+    slot(line).l3Mask.fetch_or(std::uint64_t(1) << chip, relaxed);
+}
+
+void
+CoherenceDirectory::clearL3Resident(Addr line, unsigned chip)
+{
+    if (chip >= maxDirectoryChips)
+        ztx_panic("directory cannot track chip ", chip);
+    const auto it = slots_.find(line);
+    if (it != slots_.end())
+        it->second.l3Mask.fetch_and(
+            ~(std::uint64_t(1) << chip), relaxed);
 }
 
 } // namespace ztx::mem

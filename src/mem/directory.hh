@@ -1,18 +1,32 @@
 /**
  * @file
  * Global coherence directory: which CPUs hold each line and in what
- * state (one exclusive owner, or a set of read-only sharers).
+ * state (one exclusive owner, or a set of read-only sharers), plus a
+ * per-line mask of the chips whose L3 the line is resident in.
  *
  * The real machine distributes this state across the inclusive L3/L4
  * directories; a single logical directory is an exact functional model
  * of "the SMP protocol knows who owns what", which is all the TM
  * mechanisms depend on. Timing still honors the hierarchy via the
  * latency model.
+ *
+ * Concurrency contract (sharded scheduler, DESIGN.md §5b): during a
+ * parallel phase each shard mutates only entries whose holders are
+ * confined to that shard, so per-entry writes never contend; the only
+ * cross-shard touches are commutative single-bit clears (remove) and
+ * relaxed snapshot reads (lookup). Entry storage is therefore atomic
+ * words, lookup() returns a plain snapshot by value, and idle entries
+ * are never erased — erasure would mutate the map's structure (and
+ * drop the L3-residency mask) while other shards read it. New entries
+ * may only be created at serial points; setConcurrentPhase(true)
+ * turns a creating access into a panic to enforce this.
  */
 
 #ifndef ZTX_MEM_DIRECTORY_HH
 #define ZTX_MEM_DIRECTORY_HH
 
+#include <array>
+#include <atomic>
 #include <bitset>
 #include <cstdint>
 #include <unordered_map>
@@ -25,7 +39,10 @@ namespace ztx::mem {
 /** Upper bound on CPUs a directory entry can track. */
 inline constexpr unsigned maxDirectoryCpus = 256;
 
-/** Coherence state of one line across the machine. */
+/** Upper bound on chips the L3-residency mask can track. */
+inline constexpr unsigned maxDirectoryChips = 64;
+
+/** Point-in-time coherence state of one line (a plain snapshot). */
 struct DirectoryEntry
 {
     /** Exclusive owner, or invalidCpu when held read-only/not held. */
@@ -33,6 +50,9 @@ struct DirectoryEntry
 
     /** Read-only holders (meaningful when owner == invalidCpu). */
     std::bitset<maxDirectoryCpus> sharers;
+
+    /** Bit @c c set: the line is resident in chip @c c's L3. */
+    std::uint64_t l3Mask = 0;
 
     /** True if no CPU holds the line in any state. */
     bool
@@ -48,8 +68,11 @@ class CoherenceDirectory
   public:
     CoherenceDirectory() = default;
 
-    /** State of @p line (absent lines read as idle). */
-    const DirectoryEntry &lookup(Addr line) const;
+    CoherenceDirectory(const CoherenceDirectory &) = delete;
+    CoherenceDirectory &operator=(const CoherenceDirectory &) = delete;
+
+    /** Snapshot of @p line's state (absent lines read as idle). */
+    DirectoryEntry lookup(Addr line) const;
 
     /** True if @p cpu holds @p line in any state. */
     bool holds(CpuId cpu, Addr line) const;
@@ -72,14 +95,52 @@ class CoherenceDirectory
     /** Sharers of @p line other than @p except. */
     std::vector<CpuId> sharersExcept(Addr line, CpuId except) const;
 
-    /** Number of lines with a non-idle entry. */
+    /** Number of lines some CPU currently holds (non-idle entries). */
     std::size_t trackedLines() const;
 
-  private:
-    DirectoryEntry &entry(Addr line);
+    /** @name L3-residency mask (maintained at serial points only) @{ */
+    void setL3Resident(Addr line, unsigned chip);
+    void clearL3Resident(Addr line, unsigned chip);
+    /** @} */
 
-    std::unordered_map<Addr, DirectoryEntry> entries_;
-    static const DirectoryEntry idleEntry_;
+    /**
+     * Guard for the sharded scheduler's parallel phase: while set,
+     * any operation that would have to create a new entry panics
+     * (entry creation rehashes the map under concurrent readers).
+     */
+    void setConcurrentPhase(bool on) { concurrent_ = on; }
+
+    /**
+     * Invoke @p fn(Addr, const DirectoryEntry &) for every tracked
+     * line, idle ones included (invariant checks; serial use only).
+     */
+    template <typename Fn>
+    void
+    forEachEntry(Fn &&fn) const
+    {
+        for (const auto &kv : slots_)
+            fn(kv.first, lookup(kv.first));
+    }
+
+  private:
+    static constexpr unsigned sharerWords = maxDirectoryCpus / 64;
+
+    /** Atomic per-line storage; see file comment for the contract. */
+    struct Slot
+    {
+        std::atomic<CpuId> owner{invalidCpu};
+        std::array<std::atomic<std::uint64_t>, sharerWords>
+            sharers{};
+        std::atomic<std::uint64_t> l3Mask{0};
+    };
+
+    /** The slot of @p line, created on demand (serial points only). */
+    Slot &slot(Addr line);
+
+    const Slot *findSlot(Addr line) const;
+
+    std::unordered_map<Addr, Slot> slots_;
+    bool concurrent_ = false;
 };
 
 } // namespace ztx::mem

@@ -1,6 +1,7 @@
 #include "hierarchy.hh"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 #include "common/log.hh"
@@ -39,6 +40,7 @@ Hierarchy::Hierarchy(const Topology &topo, const LatencyModel &lat,
     }
     lruExtTracked_.resize(n);
     hot_.resize(n);
+    l3MaskTracked_ = topo_.numChips() <= maxDirectoryChips;
     for (unsigned c = 0; c < topo_.numChips(); ++c)
         l3_.emplace_back(geo_.l3, "l3." + std::to_string(c));
     for (unsigned m = 0; m < topo_.numMcms(); ++m)
@@ -90,7 +92,7 @@ Hierarchy::findSource(CpuId cpu, Addr line) const
         return DataSource::L2;
 
     // Nearest other holder supplies the line (cache intervention).
-    const DirectoryEntry &e = dir_.lookup(line);
+    const DirectoryEntry e = dir_.lookup(line);
     Distance best = Distance::CrossMcm;
     bool found = false;
     for (unsigned h = 0; h < topo_.numCpus(); ++h) {
@@ -131,7 +133,15 @@ Hierarchy::sendXi(XiKind kind, Addr line, CpuId target, CpuId requester)
         bool(flags & line_flag::txDirty),
         lruExtensionHit(target, line),
     };
-    stats_.counter(std::string("xi.") + xiKindName(kind)).inc();
+    // XI counters live in the target's hot slot: in the fast path
+    // the XI is delivered by the target's own shard, so the shared
+    // StatGroup must not be touched from the parallel phase.
+    switch (kind) {
+      case XiKind::ReadOnly: ++hot_[target].xiReadOnly; break;
+      case XiKind::Demote: ++hot_[target].xiDemote; break;
+      case XiKind::Exclusive: ++hot_[target].xiExclusive; break;
+      case XiKind::Lru: ++hot_[target].xiLru; break;
+    }
     ztx_trace(trace::Category::Xi, xiKindName(kind), " XI to cpu",
               target, " line=0x", std::hex, line, std::dec,
               " from cpu", requester);
@@ -140,7 +150,7 @@ Hierarchy::sendXi(XiKind kind, Addr line, CpuId target, CpuId requester)
         if (kind != XiKind::Demote && kind != XiKind::Exclusive)
             ztx_panic("client rejected a non-rejectable ",
                       xiKindName(kind), " XI");
-        stats_.counter("xi.rejected").inc();
+        ++hot_[target].xiRejected;
     }
     return resp;
 }
@@ -152,7 +162,7 @@ Hierarchy::probeDelay(XiKind kind, CpuId target, CpuId requester)
         return 0;
     const Cycles delay = xiProbe_->xiDelay(kind, target, requester);
     if (delay)
-        stats_.counter("xi.delayed").inc();
+        ++hot_[target].xiDelayed;
     return delay;
 }
 
@@ -171,27 +181,36 @@ Hierarchy::fetch(CpuId cpu, Addr line, bool exclusive,
     if (lineOffset(line) != 0)
         ztx_panic("fetch of non-line-aligned address");
 
-    // Copy: the entry reference would dangle across directory
-    // mutations below (the map may rehash or erase the node).
     const DirectoryEntry e = dir_.lookup(line);
-    const bool holds_it = dir_.holds(cpu, line);
+    const bool holds_it =
+        e.owner == cpu ||
+        (cpu < maxDirectoryCpus && e.sharers[cpu]);
     if (holds_it && (!exclusive || e.owner == cpu)) {
         ++hot_[cpu].fetchTotal;
         return localHit(cpu, line);
     }
 
+    bool shard_local = false;
     if (local_only) {
-        // Parallel phase: this access needs the fabric or another
-        // CPU. Defer without charging anything — the step will be
-        // re-run serially at the quantum barrier.
-        AccessResult res;
-        res.deferred = true;
-        return res;
+        if (!shardLocalEligible(cpu, line, e)) {
+            // Parallel phase: this access needs the fabric or a CPU
+            // outside the shard. Defer without charging anything —
+            // the step will be re-run serially at the barrier.
+            AccessResult res;
+            res.deferred = true;
+            return res;
+        }
+        // Shard-local fast path: the line and every holder live
+        // inside this CPU's shard, so the full protocol below runs
+        // in the parallel phase touching only shard-owned state.
+        shard_local = true;
     }
     ++hot_[cpu].fetchTotal;
 
     AccessResult res;
-    res.source = findSource(cpu, line);
+    res.shardLocal = shard_local;
+    res.source = shard_local ? shardLocalSource(cpu, line)
+                             : findSource(cpu, line);
 
     Cycles xi_cost = 0;
     if (e.owner != invalidCpu && e.owner != cpu) {
@@ -230,10 +249,129 @@ Hierarchy::fetch(CpuId cpu, Addr line, bool exclusive,
     else
         dir_.addSharer(line, cpu);
 
-    installLocal(cpu, line);
+    if (shard_local)
+        installShardLocal(cpu, line);
+    else
+        installLocal(cpu, line);
     res.latency = std::max(lat_.fetch(res.source), xi_cost);
-    stats_.counter("fetch.miss").inc();
+    ++hot_[cpu].fetchMiss;
     return res;
+}
+
+void
+Hierarchy::setShardPartition(unsigned groups_per_chip,
+                             unsigned active_cpus)
+{
+    if (groups_per_chip == 0) {
+        shardGroupsPerChip_ = 0;
+        shardGroupSize_ = 1;
+        shardBits_.clear();
+        return;
+    }
+    if (topo_.numChips() > maxDirectoryChips)
+        ztx_fatal("shard-local fast path needs the L3-residency "
+                  "mask, which tracks at most ", maxDirectoryChips,
+                  " chips (topology has ", topo_.numChips(), ")");
+    const unsigned cores = topo_.coresPerChip();
+    shardGroupsPerChip_ = std::min(groups_per_chip, cores);
+    shardGroupSize_ = (cores + shardGroupsPerChip_ - 1) /
+                      shardGroupsPerChip_;
+    shardBits_.assign(topo_.numChips() * shardGroupsPerChip_, {});
+    for (CpuId cpu = 0; cpu < active_cpus; ++cpu)
+        shardBits_[shardOf(cpu)].set(cpu);
+}
+
+bool
+Hierarchy::shardLocalEligible(CpuId cpu, Addr line,
+                              const DirectoryEntry &e) const
+{
+    if (shardGroupsPerChip_ == 0)
+        return false; // no partition registered: always defer
+
+    // Every current holder must be inside this CPU's shard: any XI
+    // the protocol sends stays shard-owned. The IO agent is in no
+    // shard, so agent-held lines always defer.
+    const std::bitset<maxDirectoryCpus> &mine =
+        shardBits_[shardOf(cpu)];
+    if (e.owner != invalidCpu &&
+        (e.owner >= maxDirectoryCpus || !mine[e.owner]))
+        return false;
+    if ((e.sharers & ~mine).any())
+        return false;
+
+    // The line must be L3-resident on this chip and nowhere else.
+    // Whether another chip ever cached the line only changes at
+    // serial points (L3 fills and evictions are serial-path-only),
+    // so this test is phase-stable: it cannot observe another
+    // shard's in-phase activity, which is what makes the
+    // defer/resolve decision independent of host-thread count. It
+    // also guarantees the fetch is a chip-local L3 hit — no L4 or
+    // fabric traffic to model.
+    const unsigned chip = topo_.chipOf(cpu);
+    if (e.l3Mask != std::uint64_t(1) << chip)
+        return false;
+    if (shardGroupsPerChip_ == 1)
+        return true; // whole-chip shard: chip-confined, resolve now
+
+    // Sub-chip shards share their chip's L3 with sibling groups, so
+    // two more conditions keep the fast path race-free: the line
+    // must be homed to this group (per-line hashing gives exactly
+    // one group in-phase mutation rights over the directory entry),
+    // and the install must be eviction-free — an in-phase L2
+    // eviction would strip a holder that a sibling group's
+    // eligibility check may concurrently read.
+    if (homeGroupOf(line) != groupOf(cpu))
+        return false;
+    return l2_[cpu].contains(line) ||
+           !l2_[cpu].insertWouldEvict(line);
+}
+
+DataSource
+Hierarchy::shardLocalSource(CpuId cpu, Addr line) const
+{
+    if (l1_[cpu].contains(line))
+        return DataSource::L1;
+    if (l2_[cpu].contains(line))
+        return DataSource::L2;
+    // Eligibility confined the line to this chip: any holder
+    // intervention is a same-chip transfer and the no-holder case is
+    // an own-chip L3 hit — both DataSource::L3, exactly what
+    // findSource() would have derived.
+    return DataSource::L3;
+}
+
+void
+Hierarchy::installShardLocal(CpuId cpu, Addr line)
+{
+    // Eligibility guarantees the line is already L3-resident on this
+    // chip and, by inclusivity, L4-resident — and a real on-chip L3
+    // hit never leaves the chip, so L4 recency is deliberately not
+    // refreshed. The L3 LRU update is safe only for whole-chip
+    // shards (sole in-phase user of the chip's array); sub-chip
+    // shards share it with sibling groups and skip the update, at
+    // the cost of slightly staler L3 recency under fine sharding.
+    const unsigned chip = topo_.chipOf(cpu);
+    if (shardGroupsPerChip_ == 1) {
+        if (!l3_[chip].touch(line))
+            ztx_panic("shard-local install: line 0x", std::hex, line,
+                      std::dec, " not L3-resident on chip ", chip,
+                      " despite residency mask");
+    } else if (!l3_[chip].contains(line)) {
+        ztx_panic("shard-local install: line 0x", std::hex, line,
+                  std::dec, " not L3-resident on chip ", chip,
+                  " despite residency mask");
+    }
+    if (!l2_[cpu].touch(line)) {
+        const auto victim = l2_[cpu].insert(line);
+        // Sub-chip eligibility rejects evicting installs outright;
+        // for whole-chip shards the eviction (and its LRU-XI) stays
+        // inside the shard and is handled exactly as on the serial
+        // path.
+        if (victim.valid)
+            handleL2Evict(cpu, victim.line);
+    }
+    if (!l1_[cpu].touch(line))
+        insertL1(cpu, line);
 }
 
 void
@@ -251,6 +389,8 @@ Hierarchy::installLocal(CpuId cpu, Addr line)
         const auto victim = l3_[chip].insert(line);
         if (victim.valid)
             handleL3Evict(chip, victim.line);
+        if (l3MaskTracked_)
+            dir_.setL3Resident(line, chip);
     }
     if (!l2_[cpu].touch(line)) {
         const auto victim = l2_[cpu].insert(line);
@@ -298,7 +438,7 @@ Hierarchy::handleL2Evict(CpuId cpu, Addr victim)
     const bool ext_hit = lruExtensionHit(cpu, victim);
     l1_[cpu].invalidate(victim);
     dir_.remove(victim, cpu);
-    stats_.counter("l2.evict").inc();
+    ++hot_[cpu].l2Evict;
     // Inclusivity LRU-XI down to the core; the client aborts its
     // transaction when the line is (or may be, via the imprecise
     // extension row) part of the transactional footprint.
@@ -312,6 +452,8 @@ void
 Hierarchy::handleL3Evict(unsigned chip, Addr victim)
 {
     stats_.counter("l3.evict").inc();
+    if (l3MaskTracked_)
+        dir_.clearL3Resident(victim, chip);
     const unsigned first = chip * topo_.coresPerChip();
     for (unsigned i = 0; i < topo_.coresPerChip(); ++i) {
         const CpuId cpu = first + i;
@@ -504,6 +646,14 @@ Hierarchy::foldHotCounters() const
         sum.l1Evict += h.l1Evict;
         sum.lruExtSet += h.lruExtSet;
         sum.txDirtyKilled += h.txDirtyKilled;
+        sum.fetchMiss += h.fetchMiss;
+        sum.l2Evict += h.l2Evict;
+        sum.xiReadOnly += h.xiReadOnly;
+        sum.xiDemote += h.xiDemote;
+        sum.xiExclusive += h.xiExclusive;
+        sum.xiLru += h.xiLru;
+        sum.xiRejected += h.xiRejected;
+        sum.xiDelayed += h.xiDelayed;
     }
     // Touch every counter unconditionally so the set of registered
     // stats (and hence the JSON shape) never depends on which paths
@@ -512,11 +662,25 @@ Hierarchy::foldHotCounters() const
                                       hotFolded_.fetchTotal);
     stats_.counter("fetch.l1_hit").inc(sum.l1Hit - hotFolded_.l1Hit);
     stats_.counter("fetch.l2_hit").inc(sum.l2Hit - hotFolded_.l2Hit);
+    stats_.counter("fetch.miss").inc(sum.fetchMiss -
+                                     hotFolded_.fetchMiss);
     stats_.counter("l1.evict").inc(sum.l1Evict - hotFolded_.l1Evict);
     stats_.counter("l1.lru_ext_set").inc(sum.lruExtSet -
                                          hotFolded_.lruExtSet);
     stats_.counter("l1.tx_dirty_killed")
         .inc(sum.txDirtyKilled - hotFolded_.txDirtyKilled);
+    stats_.counter("l2.evict").inc(sum.l2Evict - hotFolded_.l2Evict);
+    stats_.counter("xi.read-only").inc(sum.xiReadOnly -
+                                       hotFolded_.xiReadOnly);
+    stats_.counter("xi.demote").inc(sum.xiDemote -
+                                    hotFolded_.xiDemote);
+    stats_.counter("xi.exclusive").inc(sum.xiExclusive -
+                                       hotFolded_.xiExclusive);
+    stats_.counter("xi.lru").inc(sum.xiLru - hotFolded_.xiLru);
+    stats_.counter("xi.rejected").inc(sum.xiRejected -
+                                      hotFolded_.xiRejected);
+    stats_.counter("xi.delayed").inc(sum.xiDelayed -
+                                     hotFolded_.xiDelayed);
     hotFolded_ = sum;
 }
 
@@ -538,6 +702,30 @@ Hierarchy::checkInvariants() const
                 ztx_panic("L2 line not in directory (cpu ", cpu, ")");
         });
     }
+    if (!l3MaskTracked_)
+        return;
+    // The L3-residency mask must agree with the actual arrays in
+    // both directions: every resident line has its chip bit set, and
+    // every set bit corresponds to a resident line. The fast path's
+    // eligibility test stands on this.
+    for (unsigned chip = 0; chip < topo_.numChips(); ++chip) {
+        l3_[chip].forEachValid([&](const CacheArray::Entry &e) {
+            if (!(dir_.lookup(e.line).l3Mask &
+                  (std::uint64_t(1) << chip)))
+                ztx_panic("L3-resident line missing its residency "
+                          "mask bit (chip ", chip, ")");
+        });
+    }
+    dir_.forEachEntry([&](Addr line, const DirectoryEntry &e) {
+        for (std::uint64_t mask = e.l3Mask; mask;
+             mask &= mask - 1) {
+            const unsigned chip =
+                unsigned(std::countr_zero(mask));
+            if (!l3_[chip].contains(line))
+                ztx_panic("residency mask bit set for a line not "
+                          "in chip ", chip, "'s L3");
+        }
+    });
 }
 
 } // namespace ztx::mem

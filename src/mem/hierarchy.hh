@@ -17,6 +17,7 @@
 #ifndef ZTX_MEM_HIERARCHY_HH
 #define ZTX_MEM_HIERARCHY_HH
 
+#include <bitset>
 #include <memory>
 #include <vector>
 
@@ -42,12 +43,20 @@ struct AccessResult
 
     /**
      * True when a local-only fetch (sharded parallel phase) would
-     * have had to leave the private L1/L2: no state moved, nothing
-     * was charged, and the step must be re-executed at the quantum
+     * have had to leave the shard: no state moved, nothing was
+     * charged, and the step must be re-executed at the quantum
      * barrier. Distinct from `rejected`, which is an architectural
      * stiff-arm outcome that feeds the TM hang-avoidance ladder.
      */
     bool deferred = false;
+
+    /**
+     * True when a local-only fetch was resolved inside the parallel
+     * phase by the shard-local fast path (same-chip L3 hit or
+     * same-shard coherence) instead of deferring. Feeds the
+     * scheduler's sched.l3_local_hits counter.
+     */
+    bool shardLocal = false;
 
     /** CPU that rejected the XI (valid when rejected). */
     CpuId rejecter = invalidCpu;
@@ -73,14 +82,37 @@ class Hierarchy
      * @param cpu Requesting CPU.
      * @param line Line-aligned address.
      * @param exclusive True for store access (needs ownership).
-     * @param local_only When true (sharded parallel phase), only
-     *        private L1/L2 hits are serviced; anything that would
-     *        touch the fabric or another CPU returns deferred with
-     *        no state moved and no counters charged.
+     * @param local_only When true (sharded parallel phase), the
+     *        access is serviced only if it stays inside the CPU's
+     *        shard: private L1/L2 hits always, and — when a shard
+     *        partition is registered — same-chip L3 hits and
+     *        same-shard coherence actions via the shard-local fast
+     *        path. Anything that would leave the shard returns
+     *        deferred with no state moved and no counters charged.
      * @return latency/rejection outcome; on rejection no state moved.
      */
     AccessResult fetch(CpuId cpu, Addr line, bool exclusive,
                        bool local_only = false);
+
+    /**
+     * Register the sharded scheduler's partition so local-only
+     * fetches can use the shard-local fast path (DESIGN.md §5b).
+     * Shards are contiguous CPU id ranges: @p groups_per_chip core
+     * groups per chip, in chip-major order. 0 clears the partition
+     * (every non-private local-only access defers, the pre-fast-path
+     * behaviour). The eligibility decision depends only on this
+     * partition and on cache state that is stable across a parallel
+     * phase — never on host-thread count or interleaving.
+     */
+    void setShardPartition(unsigned groups_per_chip,
+                           unsigned active_cpus);
+
+    /**
+     * Forwarded to the coherence directory: while set, directory
+     * entry creation (only possible via serial-path fetches) panics,
+     * catching any fast-path access that escaped its shard.
+     */
+    void setConcurrentPhase(bool on) { dir_.setConcurrentPhase(on); }
 
     /**
      * @name Transactional bit plane (paper §III.C)
@@ -219,12 +251,52 @@ class Hierarchy
         std::uint64_t l1Evict = 0;
         std::uint64_t lruExtSet = 0;
         std::uint64_t txDirtyKilled = 0;
+        std::uint64_t fetchMiss = 0;
+        std::uint64_t l2Evict = 0;
+        // XI counters are indexed by the XI *target*, whose shard is
+        // the one acting on its caches in the fast path.
+        std::uint64_t xiReadOnly = 0;
+        std::uint64_t xiDemote = 0;
+        std::uint64_t xiExclusive = 0;
+        std::uint64_t xiLru = 0;
+        std::uint64_t xiRejected = 0;
+        std::uint64_t xiDelayed = 0;
     };
 
     void foldHotCounters() const;
 
     AccessResult localHit(CpuId cpu, Addr line);
     DataSource findSource(CpuId cpu, Addr line) const;
+    bool shardLocalEligible(CpuId cpu, Addr line,
+                            const DirectoryEntry &e) const;
+    DataSource shardLocalSource(CpuId cpu, Addr line) const;
+    void installShardLocal(CpuId cpu, Addr line);
+
+    /** Shard index of @p cpu under the registered partition. */
+    unsigned
+    shardOf(CpuId cpu) const
+    {
+        return topo_.chipOf(cpu) * shardGroupsPerChip_ +
+               groupOf(cpu);
+    }
+
+    /** Core group of @p cpu within its chip. */
+    unsigned
+    groupOf(CpuId cpu) const
+    {
+        return (cpu % topo_.coresPerChip()) / shardGroupSize_;
+    }
+
+    /**
+     * The core group holding in-phase mutation rights for @p line
+     * within each chip (sub-chip partitions hash lines to groups so
+     * two groups of one chip never race on a directory entry).
+     */
+    unsigned
+    homeGroupOf(Addr line) const
+    {
+        return unsigned((line >> lineSizeLog2) % shardGroupsPerChip_);
+    }
     XiResponse sendXi(XiKind kind, Addr line, CpuId target,
                       CpuId requester);
     Cycles probeDelay(XiKind kind, CpuId target, CpuId requester);
@@ -254,6 +326,22 @@ class Hierarchy
      */
     std::vector<std::vector<Addr>> lruExtTracked_;
     bool lruExtEnabled_ = true;
+    /**
+     * Shard partition for the local fast path: 0 groups per chip
+     * means no partition is registered (all non-private local-only
+     * accesses defer). shardBits_[s] holds the CPU-id membership of
+     * shard @c s; shardGroupSize_ is the contiguous-id width of one
+     * core group.
+     */
+    unsigned shardGroupsPerChip_ = 0;
+    unsigned shardGroupSize_ = 1;
+    std::vector<std::bitset<maxDirectoryCpus>> shardBits_;
+    /**
+     * Whether the directory's L3-residency mask is maintained
+     * (topologies beyond maxDirectoryChips chips cannot use it, and
+     * therefore cannot register a shard partition either).
+     */
+    bool l3MaskTracked_ = true;
     XiDelayProbe *xiProbe_ = nullptr;
     std::vector<HotCounters> hot_;
     mutable HotCounters hotFolded_{};

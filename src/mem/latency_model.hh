@@ -83,27 +83,57 @@ struct LatencyModel
     }
 
     /**
-     * Minimum number of cycles any interaction that leaves a CPU's
-     * private L1/L2 can take: the cheapest fabric fetch (L3 and
-     * beyond), intervention, or reject-retry stall across all
-     * hierarchical distances. The sharded scheduler uses this as
-     * its synchronization quantum: a cross-chip effect initiated in
-     * one quantum cannot become visible to another chip before the
-     * next barrier, so per-chip event queues may run a full quantum
-     * without synchronizing. Clamped to >= 1 so degenerate
-     * configurations still make progress.
+     * Minimum number of cycles any interaction that stays on a
+     * CPU's own chip but leaves its private L1/L2 can take: the
+     * cheapest of an L3 hit, a same-chip intervention, and a
+     * same-chip reject-retry stall. This bounds how fast one
+     * core group of a chip can affect another, and is therefore
+     * the synchronization quantum of sub-chip shards
+     * (MachineConfig::hostShardsPerChip > 1). Clamped to >= 1 so
+     * degenerate configurations still make progress.
      */
     Cycles
-    minFabricLatency() const
+    minIntraChipLatency() const
     {
-        Cycles m = std::min({l3Hit, l4Hit, remoteMcm, memory});
+        const Cycles m =
+            std::min({l3Hit, intervention(Distance::SameChip),
+                      rejectRetry(Distance::SameChip)});
+        return std::max<Cycles>(m, 1);
+    }
+
+    /**
+     * Minimum number of cycles any interaction that leaves a CPU's
+     * own chip can take: the cheapest L4/remote/memory fetch,
+     * cross-chip intervention, or cross-chip reject-retry stall.
+     * Whole-chip shards resolve all intra-chip interactions inside
+     * the parallel phase (the shard-local L3 fast path), so their
+     * quantum only has to bound cross-chip visibility — this value.
+     * Clamped to >= 1.
+     */
+    Cycles
+    minCrossChipLatency() const
+    {
+        Cycles m = std::min({l4Hit, remoteMcm, memory});
         for (const Distance d :
-             {Distance::SameChip, Distance::SameMcm,
-              Distance::CrossMcm}) {
+             {Distance::SameMcm, Distance::CrossMcm}) {
             m = std::min(m, intervention(d));
             m = std::min(m, rejectRetry(d));
         }
         return std::max<Cycles>(m, 1);
+    }
+
+    /**
+     * Minimum number of cycles any interaction that leaves a CPU's
+     * private L1/L2 can take, at any hierarchical distance: the
+     * smaller of the intra- and cross-chip bounds. The quantum of
+     * sub-chip shards, whose cross-shard traffic includes same-chip
+     * paths.
+     */
+    Cycles
+    minFabricLatency() const
+    {
+        return std::min(minIntraChipLatency(),
+                        minCrossChipLatency());
     }
 };
 

@@ -24,22 +24,35 @@ Machine::Machine(const MachineConfig &config)
         ztx_fatal("activeCpus ", n, " exceeds topology capacity ",
                   cfg_.topology.numCpus());
 
-    // Sharded mode: one event queue per chip, built before the CPUs
-    // so each CPU can bind its chip's shard as its environment.
+    // Sharded mode: one event queue per core group (the whole chip
+    // by default), built before the CPUs so each CPU can bind its
+    // shard as its environment. The partition — and hence every
+    // defer decision — is a pure function of the configuration and
+    // topology, never of hostThreads.
     if (cfg_.hostThreads > 0) {
         shardOfCpu_.assign(n, nullptr);
         const unsigned per_chip = cfg_.topology.coresPerChip();
+        const unsigned spc = effectiveShardsPerChip(cfg_);
+        const unsigned group_size = (per_chip + spc - 1) / spc;
         for (unsigned c = 0; c * per_chip < n; ++c) {
-            std::vector<CpuId> members;
-            const unsigned first = c * per_chip;
-            const unsigned last = std::min(n, first + per_chip);
-            for (unsigned i = first; i < last; ++i)
-                members.push_back(i);
-            shards_.push_back(
-                std::make_unique<Shard>(*this, c, members));
-            for (const CpuId id : members)
-                shardOfCpu_[id] = shards_.back().get();
+            for (unsigned g = 0; g < spc; ++g) {
+                std::vector<CpuId> members;
+                const unsigned first =
+                    c * per_chip + g * group_size;
+                const unsigned last = std::min(
+                    {n, first + group_size, (c + 1) * per_chip});
+                for (unsigned i = first; i < last; ++i)
+                    members.push_back(i);
+                if (members.empty())
+                    continue;
+                shards_.push_back(
+                    std::make_unique<Shard>(*this, c, g, members));
+                for (const CpuId id : members)
+                    shardOfCpu_[id] = shards_.back().get();
+            }
         }
+        if (cfg_.shardLocalFastPath)
+            hierarchy_.setShardPartition(spc, n);
     }
 
     cpus_.reserve(n);
@@ -70,6 +83,7 @@ Machine::Machine(const MachineConfig &config)
         hierarchy_.setXiDelayProbe(injector_.get());
     }
     readyAt_.assign(n, 0);
+    heapKey_.assign(n, ~Cycles(0));
     nextInterrupt_.assign(n, 0);
     if (cfg_.externalInterruptPeriod) {
         // Stagger the timer ticks across CPUs.
@@ -81,6 +95,24 @@ Machine::Machine(const MachineConfig &config)
 }
 
 Machine::~Machine() = default;
+
+unsigned
+effectiveShardsPerChip(const MachineConfig &config)
+{
+    if (config.hostThreads == 0)
+        return 0; // legacy scheduler: no shard partition
+    const unsigned cores = config.topology.coresPerChip();
+    unsigned spc = config.hostShardsPerChip;
+    if (spc == 0) {
+        // Auto: multi-chip topologies already parallelize across
+        // chips; a single-chip topology is split into up to four
+        // core groups so the parallel phase has work to spread.
+        spc = config.topology.numChips() > 1
+                  ? 1
+                  : std::min<unsigned>(cores, 4);
+    }
+    return std::min(spc, cores);
+}
 
 void
 Machine::setProgram(CpuId id, const isa::Program *program)
@@ -260,7 +292,15 @@ Machine::runSharded(Cycles max_cycles)
     const bool bounded = max_cycles != ~Cycles(0);
     const Cycles end_cycle =
         bounded ? start + max_cycles : ~Cycles(0);
-    const Cycles quantum = cfg_.latency.minFabricLatency();
+    // Whole-chip shards with the fast path resolve every intra-chip
+    // interaction inside the parallel phase, so their quantum only
+    // has to bound cross-chip visibility. Sub-chip shards (and runs
+    // with the fast path disabled) still defer some same-chip
+    // traffic and keep the tighter all-paths bound.
+    const Cycles quantum =
+        cfg_.shardLocalFastPath && effectiveShardsPerChip(cfg_) == 1
+            ? cfg_.latency.minCrossChipLatency()
+            : cfg_.latency.minFabricLatency();
 
     for (auto &sh : shards_)
         sh->beginRun();
@@ -350,6 +390,10 @@ Machine::runSharded(Cycles max_cycles)
             std::min(q_start + quantum, end_cycle);
 
         parallelPhase_ = true;
+        // Directory entries may only be created at serial points;
+        // the guard turns a fast-path access that escaped its shard
+        // into a deterministic panic instead of a silent race.
+        hierarchy_.setConcurrentPhase(true);
         if (pool.empty()) {
             runParallel(q_end);
         } else {
@@ -357,6 +401,7 @@ Machine::runSharded(Cycles max_cycles)
             start_gate.arriveAndWait();
             end_gate.arriveAndWait();
         }
+        hierarchy_.setConcurrentPhase(false);
         parallelPhase_ = false;
 
         now_ = q_end;
@@ -408,13 +453,14 @@ Machine::runParallel(Cycles q_end)
 void
 Machine::mergeQuantum(Cycles q_start, Cycles q_end)
 {
-    // 1. Solo-mode arbitration, ordered by (cycle, chip, issue
-    //    sequence). A halted holder releases automatically, as in
-    //    the legacy scheduler.
+    // 1. Solo-mode arbitration, ordered by (cycle, chip, group,
+    //    issue sequence). A halted holder releases automatically,
+    //    as in the legacy scheduler.
     struct TaggedSolo
     {
         Cycles at;
         unsigned chip;
+        unsigned group;
         std::size_t seq;
         CpuId cpu;
         bool request;
@@ -423,15 +469,15 @@ Machine::mergeQuantum(Cycles q_start, Cycles q_end)
     for (auto &sh : shards_) {
         for (std::size_t i = 0; i < sh->soloOps_.size(); ++i) {
             const Shard::SoloOp &op = sh->soloOps_[i];
-            solo.push_back(
-                {op.at, sh->chip_, i, op.cpu, op.request});
+            solo.push_back({op.at, sh->chip_, sh->group_, i, op.cpu,
+                            op.request});
         }
         sh->soloOps_.clear();
     }
     std::sort(solo.begin(), solo.end(),
               [](const TaggedSolo &a, const TaggedSolo &b) {
-                  return std::tie(a.at, a.chip, a.seq) <
-                         std::tie(b.at, b.chip, b.seq);
+                  return std::tie(a.at, a.chip, a.group, a.seq) <
+                         std::tie(b.at, b.chip, b.group, b.seq);
               });
     for (const TaggedSolo &op : solo) {
         if (op.request)
@@ -448,9 +494,10 @@ Machine::mergeQuantum(Cycles q_start, Cycles q_end)
         injector_->flushSharded(q_end);
 
     // 3. Deferred steps, re-executed serially in (cycle, cpu)
-    //    order; cpu id refines chip id since chips own contiguous
-    //    id ranges. A CPU parked behind a freshly granted solo
-    //    holder retries next quantum instead.
+    //    order — equivalent to (cycle, chip, group, cpu) since
+    //    shards own contiguous id ranges in chip-major, group-minor
+    //    order. A CPU parked behind a freshly granted solo holder
+    //    retries next quantum instead.
     struct TaggedStep
     {
         Cycles at;
@@ -474,17 +521,19 @@ Machine::mergeQuantum(Cycles q_start, Cycles q_end)
         Shard &sh = *shardOfCpu_[d.cpu];
         if (soloCpu_ != invalidCpu && d.cpu != soloCpu_) {
             readyAt_[d.cpu] = q_end;
-            sh.heap_.push({q_end, d.cpu});
+            sh.push(q_end, d.cpu);
             continue;
         }
         sh.curTime_ = d.at;
         sh.lastEventAt_ = std::max(sh.lastEventAt_, d.at);
         stepCounter_.inc();
+        stepsDeferredCounter_.inc();
+        stepsTotalCounter_.inc();
         Cycles cost = c.step();
         cost += c.consumePendingStall();
         readyAt_[d.cpu] = d.at + cost;
         if (!c.halted())
-            sh.heap_.push({readyAt_[d.cpu], d.cpu});
+            sh.push(readyAt_[d.cpu], d.cpu);
     }
     // Solo grants from re-steps: a halted holder still releases.
     while (soloCpu_ != invalidCpu && cpus_[soloCpu_]->halted())
@@ -504,11 +553,14 @@ Machine::mergeQuantum(Cycles q_start, Cycles q_end)
     // 5. Fold shard deltas into the machine counters.
     for (auto &sh : shards_) {
         stepCounter_.inc(sh->steps_);
+        stepsLocalCounter_.inc(sh->steps_);
+        stepsTotalCounter_.inc(sh->steps_);
+        l3LocalHitsCounter_.inc(sh->l3Local_);
         extDeliveredCounter_.inc(sh->extDelivered_);
         extSkippedCounter_.inc(sh->extSkipped_);
         progressTicks_ += sh->progress_;
         sh->steps_ = sh->extDelivered_ = sh->extSkipped_ = 0;
-        sh->progress_ = 0;
+        sh->progress_ = sh->l3Local_ = 0;
     }
     stats_.counter("scheduler.quanta").inc();
 }
@@ -627,7 +679,11 @@ machineConfigJson(const MachineConfig &config)
     meta["watchdog_cycles"] = std::uint64_t(config.watchdogCycles);
     // hostThreads is deliberately NOT serialized: stat documents
     // must stay byte-comparable across host-thread counts (the
-    // determinism contract of the sharded scheduler).
+    // determinism contract of the sharded scheduler). The shard
+    // partition and fast-path toggle ARE serialized — they change
+    // defer decisions and hence simulated results.
+    meta["shards_per_chip"] = effectiveShardsPerChip(config);
+    meta["shard_local_fast_path"] = config.shardLocalFastPath;
     if (config.faults.enabled())
         meta["faults"] = inject::faultPlanJson(config.faults);
 

@@ -103,7 +103,42 @@ struct MachineConfig
      * documents stay byte-comparable across host-thread counts.
      */
     unsigned hostThreads = 0;
+
+    /**
+     * Sub-chip sharding: split each chip of the sharded scheduler
+     * into this many core-group shards (contiguous CPU id ranges).
+     * 0 selects automatically: multi-chip topologies keep one shard
+     * per chip; a single-chip topology splits into up to four
+     * groups so the parallel scheduler still has work to spread.
+     * Clamped to coresPerChip(). The partition is a pure function
+     * of (this value, topology) — never of hostThreads — so every
+     * host-thread count runs the identical partition and stays
+     * bit-identical. Like hostThreads, this is serialized into
+     * machineConfigJson() as the *effective* shards_per_chip value,
+     * because changing the partition changes defer decisions and
+     * hence simulated results.
+     */
+    unsigned hostShardsPerChip = 0;
+
+    /**
+     * Shard-local L3 fast path (DESIGN.md §5b): let a shard resolve
+     * same-chip L3 hits and same-shard coherence entirely inside
+     * the parallel phase instead of deferring them to the barrier,
+     * and widen the quantum of whole-chip shards to the minimum
+     * cross-chip latency. Off reproduces the pre-fast-path
+     * scheduler (every non-private access defers); the toggle
+     * changes simulated timing and is serialized.
+     */
+    bool shardLocalFastPath = true;
 };
+
+/**
+ * The shard partition @p config resolves to: core groups per chip
+ * for the sharded scheduler, 0 for the legacy scheduler. A pure
+ * function of (hostShardsPerChip != 0, topology) — deliberately not
+ * of hostThreads beyond its zero test.
+ */
+unsigned effectiveShardsPerChip(const MachineConfig &config);
 
 /** A complete simulated SMP machine. */
 class Machine : public core::CpuEnv
@@ -214,6 +249,13 @@ class Machine : public core::CpuEnv
 
     Cycles now_ = 0;
     std::vector<Cycles> readyAt_;
+    /**
+     * The key each CPU's live shard-heap entry was pushed with
+     * (~Cycles(0) when none). beginRun() carries the heaps across
+     * run() calls and reinserts only CPUs whose ready time moved
+     * while the heap was cold, instead of rebuilding from scratch.
+     */
+    std::vector<Cycles> heapKey_;
     std::vector<Cycles> nextInterrupt_;
     StatGroup stats_{"machine"};
     /** @name Hot-path counters, resolved once @{ */
@@ -223,6 +265,25 @@ class Machine : public core::CpuEnv
     Counter &extSkippedCounter_ =
         stats_.counter("external.periods_skipped");
     Counter &soloRequestCounter_ = stats_.counter("solo.requests");
+    /**
+     * Sharded-scheduler breakdown (all zero under the legacy
+     * scheduler, but always registered so the JSON shape is
+     * stable): steps completed inside the parallel phase, steps
+     * re-executed serially at the barrier, their sum, fast-path L3
+     * hits, and heap entries reinserted by beginRun().
+     * steps_deferred / steps_total is the serial fraction the
+     * fast path exists to shrink.
+     */
+    Counter &stepsLocalCounter_ =
+        stats_.counter("sched.steps_local");
+    Counter &stepsDeferredCounter_ =
+        stats_.counter("sched.steps_deferred");
+    Counter &stepsTotalCounter_ =
+        stats_.counter("sched.steps_total");
+    Counter &l3LocalHitsCounter_ =
+        stats_.counter("sched.l3_local_hits");
+    Counter &heapReinsertsCounter_ =
+        stats_.counter("sched.heap_reinserts");
     /** @} */
     std::unique_ptr<IoSubsystem> io_;
     Cycles ioReadyAt_ = 0;

@@ -6,9 +6,18 @@
 
 namespace ztx::sim {
 
-Shard::Shard(Machine &machine, unsigned chip, std::vector<CpuId> cpus)
-    : machine_(machine), chip_(chip), cpus_(std::move(cpus))
+Shard::Shard(Machine &machine, unsigned chip, unsigned group,
+             std::vector<CpuId> cpus)
+    : machine_(machine), chip_(chip), group_(group),
+      cpus_(std::move(cpus))
 {
+}
+
+void
+Shard::push(Cycles t, CpuId id)
+{
+    machine_.heapKey_[id] = t;
+    heap_.push({t, id});
 }
 
 void
@@ -43,15 +52,25 @@ Shard::soloHolder() const
 void
 Shard::beginRun()
 {
-    heap_ = {};
     deferred_.clear();
     soloOps_.clear();
     steps_ = extDelivered_ = extSkipped_ = progress_ = 0;
+    l3Local_ = 0;
     curTime_ = machine_.now_;
     lastEventAt_ = machine_.now_;
-    for (const CpuId id : cpus_)
-        if (!machine_.cpus_[id]->halted())
-            heap_.push({machine_.readyAt_[id], id});
+    // The heap is carried across run() calls: a member CPU only
+    // needs a fresh entry when its ready time moved while the heap
+    // was cold (program rebind, bounded-run resume) — the old entry,
+    // if any, is then stale and filtered on pop. beginRun() runs
+    // serially, so the machine counter is safe to bump here.
+    for (const CpuId id : cpus_) {
+        if (machine_.cpus_[id]->halted())
+            continue;
+        if (machine_.heapKey_[id] == machine_.readyAt_[id])
+            continue; // live entry already queued
+        push(machine_.readyAt_[id], id);
+        machine_.heapReinsertsCounter_.inc();
+    }
 }
 
 Cycles
@@ -66,8 +85,14 @@ Shard::runQuantum(Cycles q_end)
     while (!heap_.empty() && heap_.top().first < q_end) {
         const auto [t, id] = heap_.top();
         heap_.pop();
-        if (t != machine_.readyAt_[id] || machine_.cpus_[id]->halted())
+        if (t != machine_.readyAt_[id])
             continue; // stale entry
+        // The live entry is consumed: invalidate its key so that a
+        // path that does not re-push (halt, deferral) leaves the CPU
+        // marked as unqueued for beginRun()'s carry check.
+        machine_.heapKey_[id] = ~Cycles(0);
+        if (machine_.cpus_[id]->halted())
+            continue;
 
         // Solo mode: park everyone but the holder until the next
         // barrier (the holder may release there). The park target is
@@ -76,7 +101,7 @@ Shard::runQuantum(Cycles q_end)
         const CpuId solo = machine_.soloCpu_;
         if (solo != invalidCpu && id != solo) {
             machine_.readyAt_[id] = q_end;
-            heap_.push({q_end, id});
+            push(q_end, id);
             continue;
         }
 
@@ -107,19 +132,24 @@ Shard::runQuantum(Cycles q_end)
         cpu.setLocalOnly(true);
         const Cycles cost = cpu.step();
         cpu.setLocalOnly(false);
+        // Fast-path L3 hits are counted even for a step that later
+        // defers on another line: the partial fetches really
+        // happened (and make the re-executed step's leading lines
+        // private hits), deterministically in both cases.
+        l3Local_ += cpu.consumeShardL3Hits();
         if (cpu.deferredStep()) {
-            // The step needs the fabric/OS: nothing was charged or
-            // moved (interrupt delivery and injector draws above
-            // are not repeated at the barrier). The CPU blocks (no
-            // heap entry) until the barrier re-executes the step
-            // serially, where it is counted.
+            // The step needs to leave the shard: nothing was
+            // charged or moved (interrupt delivery and injector
+            // draws above are not repeated at the barrier). The CPU
+            // blocks (no heap entry) until the barrier re-executes
+            // the step serially, where it is counted.
             deferred_.push_back({t, id});
             continue;
         }
         ++steps_;
         machine_.readyAt_[id] = t + cost + cpu.consumePendingStall();
         if (!cpu.halted())
-            heap_.push({machine_.readyAt_[id], id});
+            push(machine_.readyAt_[id], id);
     }
 }
 

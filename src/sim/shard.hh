@@ -1,17 +1,21 @@
 /**
  * @file
- * One shard of the sharded parallel scheduler: the event queue of a
- * single chip's CPUs, runnable on a host thread.
+ * One shard of the sharded parallel scheduler: the event queue of
+ * one core group of one chip (the whole chip by default), runnable
+ * on a host thread.
  *
- * The Machine synchronizes shards in fixed cycle quanta bounded by
- * the minimum cross-chip latency (LatencyModel::minFabricLatency,
- * gem5-style): within a quantum every shard steps only CPU-local
- * work (own L1/L2 hits, own transactional bits, own store cache,
- * self-aborts) while anything that would touch the fabric, another
- * CPU, the OS, or solo arbitration is *deferred* and re-executed
- * serially at the quantum barrier in a deterministic order. Because
- * the decision to defer depends only on the chip partitioning and
- * cache state — never on how many host threads drive the shards — an
+ * The Machine synchronizes shards in fixed cycle quanta (gem5-style)
+ * sized to the fastest path that can cross a shard boundary: the
+ * minimum cross-chip latency for whole-chip shards with the
+ * shard-local fast path, the minimum fabric latency otherwise.
+ * Within a quantum every shard steps only shard-owned work — own
+ * L1/L2 hits, own transactional bits, own store cache, self-aborts,
+ * and (with the fast path) same-chip L3 hits and same-shard
+ * coherence — while anything that would leave the shard, touch the
+ * OS, or arbitrate solo mode is *deferred* and re-executed serially
+ * at the quantum barrier in a deterministic order. Because the
+ * decision to defer depends only on the shard partition and cache
+ * state — never on how many host threads drive the shards — an
  * N-thread run is bit-identical to the 1-thread run. See DESIGN.md
  * ("Sharded deterministic parallel scheduling").
  *
@@ -44,9 +48,12 @@ class Shard final : public core::CpuEnv
     /**
      * @param machine Owning machine (shared state, merge point).
      * @param chip Chip index this shard covers (merge tie-break).
+     * @param group Core-group index within the chip (sub-chip
+     *        sharding; 0 for whole-chip shards; merge tie-break).
      * @param cpus Member CPU ids (a contiguous id range).
      */
-    Shard(Machine &machine, unsigned chip, std::vector<CpuId> cpus);
+    Shard(Machine &machine, unsigned chip, unsigned group,
+          std::vector<CpuId> cpus);
 
     /** @name core::CpuEnv @{ */
     Cycles now() const override { return curTime_; }
@@ -60,7 +67,12 @@ class Shard final : public core::CpuEnv
     }
     /** @} */
 
-    /** Rebuild the event heap from the machine's ready times. */
+    /**
+     * Prepare the shard for a run() call. The event heap is carried
+     * across calls: only member CPUs whose ready time changed while
+     * the heap was cold (program rebinds, bounded-run resume) are
+     * reinserted, counted in sched.heap_reinserts.
+     */
     void beginRun();
 
     /** Earliest pending event, or ~Cycles(0) when the heap is dry. */
@@ -77,8 +89,18 @@ class Shard final : public core::CpuEnv
     /** Chip index. */
     unsigned chip() const { return chip_; }
 
+    /** Core-group index within the chip. */
+    unsigned group() const { return group_; }
+
   private:
     friend class Machine;
+
+    /**
+     * Push a heap entry for @p id at time @p t, recording the key
+     * so beginRun() can tell live entries from stale ones. All
+     * pushes go through here.
+     */
+    void push(Cycles t, CpuId id);
 
     /** A step that must be re-executed serially at the barrier. */
     struct DeferredStep
@@ -97,6 +119,7 @@ class Shard final : public core::CpuEnv
 
     Machine &machine_;
     unsigned chip_;
+    unsigned group_;
     std::vector<CpuId> cpus_;
 
     using HeapEntry = std::pair<Cycles, CpuId>;
@@ -117,6 +140,8 @@ class Shard final : public core::CpuEnv
     std::uint64_t extDelivered_ = 0;
     std::uint64_t extSkipped_ = 0;
     std::uint64_t progress_ = 0;
+    /** Shard-local fast-path L3 hits (sched.l3_local_hits). */
+    std::uint64_t l3Local_ = 0;
     /** @} */
 };
 

@@ -183,6 +183,7 @@ runHashTableBench(const HashTableBenchConfig &cfg)
         region_count += cpu.regionCycles().count();
     }
     const TxStatsSummary tx = collectTxStats(machine);
+    res.sched = collectSchedStats(machine);
     res.txCommits = tx.commits;
     res.txAborts = tx.aborts;
     res.instructions = tx.instructions;

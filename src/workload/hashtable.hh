@@ -57,6 +57,10 @@ struct HashTableBenchResult
     std::uint64_t instructions = 0;
     /** Abort counts keyed by tx::abortReasonName(). */
     std::map<std::string, std::uint64_t> abortsByReason;
+
+    /** Parallel-scheduler activity (zero on the legacy path). */
+    SchedStatsSummary sched;
+
     /** Occupied buckets at the end (sanity). */
     unsigned occupiedBuckets = 0;
 

@@ -219,6 +219,7 @@ runListSetBench(const ListSetBenchConfig &cfg)
         net_inserts += std::int64_t(cpu.gr(14));
     }
     const TxStatsSummary tx = collectTxStats(machine);
+    res.sched = collectSchedStats(machine);
     res.txCommits = tx.commits;
     res.txAborts = tx.aborts;
     res.instructions = tx.instructions;

@@ -60,6 +60,9 @@ struct ListSetBenchResult
     /** Abort counts keyed by tx::abortReasonName(). */
     std::map<std::string, std::uint64_t> abortsByReason;
 
+    /** Parallel-scheduler activity (zero on the legacy path). */
+    SchedStatsSummary sched;
+
     /** Final list length (walked host-side). */
     unsigned finalLength = 0;
     /** Keys strictly ascending along the walk. */

@@ -149,6 +149,7 @@ runQueueBench(const QueueBenchConfig &cfg)
         res.dequeuedNonEmpty += cpu.gr(14);
     }
     const TxStatsSummary tx = collectTxStats(machine);
+    res.sched = collectSchedStats(machine);
     res.txCommits = tx.commits;
     res.txAborts = tx.aborts;
     res.instructions = tx.instructions;

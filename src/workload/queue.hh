@@ -52,6 +52,10 @@ struct QueueBenchResult
     std::uint64_t instructions = 0;
     /** Abort counts keyed by tx::abortReasonName(). */
     std::map<std::string, std::uint64_t> abortsByReason;
+
+    /** Parallel-scheduler activity (zero on the legacy path). */
+    SchedStatsSummary sched;
+
     std::uint64_t dequeuedNonEmpty = 0;
     /** Nodes remaining in the queue at the end (consistency). */
     std::uint64_t finalLength = 0;

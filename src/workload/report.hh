@@ -71,6 +71,35 @@ struct TxStatsSummary
 /** Collect the per-CPU "tx.*" / "instructions" counters. */
 TxStatsSummary collectTxStats(const sim::Machine &machine);
 
+/**
+ * Parallel-scheduler activity of one run: how much work the sharded
+ * scheduler resolved inside the parallel phase (steps_local) versus
+ * re-executed serially at the quantum barrier (steps_deferred), plus
+ * the shard-local L3 hits that the fast path kept off the serial
+ * path and the event-heap rebuild traffic saved by carrying heaps
+ * across quanta. All zero under the legacy serial scheduler.
+ */
+struct SchedStatsSummary
+{
+    std::uint64_t stepsLocal = 0;
+    std::uint64_t stepsDeferred = 0;
+    std::uint64_t stepsTotal = 0;
+    std::uint64_t l3LocalHits = 0;
+    std::uint64_t heapReinserts = 0;
+
+    /** Fraction of steps resolved at the serial barrier. */
+    double
+    serialFraction() const
+    {
+        return stepsTotal
+                   ? double(stepsDeferred) / double(stepsTotal)
+                   : 0.0;
+    }
+};
+
+/** Collect the machine-level "sched.*" counters. */
+SchedStatsSummary collectSchedStats(const sim::Machine &machine);
+
 } // namespace ztx::workload
 
 #endif // ZTX_WORKLOAD_REPORT_HH

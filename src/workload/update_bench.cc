@@ -156,6 +156,7 @@ runUpdateBench(const UpdateBenchConfig &cfg)
         region_count += cpu.regionCycles().count();
     }
     const TxStatsSummary tx = collectTxStats(machine);
+    res.sched = collectSchedStats(machine);
     res.txCommits = tx.commits;
     res.txAborts = tx.aborts;
     res.xiRejects = tx.xiRejects;

@@ -67,6 +67,9 @@ struct UpdateBenchResult
     /** Abort counts keyed by tx::abortReasonName(). */
     std::map<std::string, std::uint64_t> abortsByReason;
 
+    /** Parallel-scheduler activity (zero on the legacy path). */
+    SchedStatsSummary sched;
+
     /** Sum of all pool variables after the run (correctness). */
     std::uint64_t poolSum = 0;
 };

@@ -70,14 +70,60 @@ TEST(Directory, RemoveOwnerAndSharers)
     EXPECT_TRUE(d.lookup(lineA).idle());
 }
 
-TEST(Directory, RemoveErasesIdleEntries)
+TEST(Directory, RemoveLeavesIdleEntriesUntracked)
 {
+    // Never-erase contract: remove() leaves the slot in place (the
+    // sharded scheduler reads entries concurrently), but idle
+    // entries stop counting as tracked lines.
     CoherenceDirectory d;
     d.addSharer(lineA, 0);
     d.addSharer(lineB, 0);
     EXPECT_EQ(d.trackedLines(), 2u);
     d.remove(lineA, 0);
     EXPECT_EQ(d.trackedLines(), 1u);
+    EXPECT_TRUE(d.lookup(lineA).idle());
+}
+
+TEST(Directory, L3ResidencyMaskTracksChips)
+{
+    CoherenceDirectory d;
+    d.setL3Resident(lineA, 0);
+    d.setL3Resident(lineA, 3);
+    EXPECT_EQ(d.lookup(lineA).l3Mask, 0b1001u);
+    d.clearL3Resident(lineA, 0);
+    EXPECT_EQ(d.lookup(lineA).l3Mask, 0b1000u);
+    d.clearL3Resident(lineA, 3);
+    EXPECT_EQ(d.lookup(lineA).l3Mask, 0u);
+    // Lines the mask never saw read as not resident anywhere.
+    EXPECT_EQ(d.lookup(lineB).l3Mask, 0u);
+}
+
+TEST(Directory, L3MaskSurvivesHolderRemoval)
+{
+    // The residency mask outlives the holders: an L3 line with no
+    // current CPU holder is exactly the case the shard-local fast
+    // path resolves in-phase.
+    CoherenceDirectory d;
+    d.addSharer(lineA, 2);
+    d.setL3Resident(lineA, 1);
+    d.remove(lineA, 2);
+    EXPECT_TRUE(d.lookup(lineA).idle());
+    EXPECT_EQ(d.lookup(lineA).l3Mask, 0b10u);
+}
+
+TEST(Directory, ConcurrentPhaseMutatesExistingSlots)
+{
+    // During a parallel phase existing entries may be mutated, only
+    // entry *creation* is forbidden (it would rehash the map under
+    // concurrent readers).
+    CoherenceDirectory d;
+    d.addSharer(lineA, 1);
+    d.setConcurrentPhase(true);
+    d.addSharer(lineA, 2);
+    d.remove(lineA, 1);
+    d.setConcurrentPhase(false);
+    EXPECT_TRUE(d.holds(2, lineA));
+    EXPECT_FALSE(d.holds(1, lineA));
 }
 
 TEST(Directory, SharersExceptSkipsSelfAndOwner)

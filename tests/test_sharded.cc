@@ -9,11 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "inject/fault_plan.hh"
+#include "mem/latency_model.hh"
 #include "ztx_test_util.hh"
 
 namespace {
@@ -241,6 +245,245 @@ TEST(Sharded, SoloModeParksOtherCpusAcrossShards)
     m.releaseSolo(0);
     m.run(20'000);
     EXPECT_GT(m.cpu(5).gr(5), 100u);
+}
+
+/**
+ * Miss-heavy private sweeps: each CPU repeatedly walks its own
+ * @p lines cache lines. With shrunken L1/L2 geometry the region
+ * overflows the private levels, so steady-state accesses are
+ * chip-local L3 hits — the traffic the shard-local fast path
+ * resolves inside the parallel phase.
+ */
+Program
+missHeavyProgram(Addr base, unsigned lines, unsigned sweeps)
+{
+    Assembler as;
+    as.lhi(7, std::int64_t(sweeps));
+    as.label("sweep");
+    as.lhi(6, std::int64_t(lines));
+    as.la(9, 0, std::int64_t(base));
+    as.label("walk");
+    as.lg(3, 9);
+    as.ahi(3, 1);
+    as.stg(3, 9);
+    as.la(9, 9, 256);
+    as.brct(6, "walk");
+    as.brct(7, "sweep");
+    as.halt();
+    return as.finish();
+}
+
+/** shardedConfig with caches small enough to force L3 traffic. */
+sim::MachineConfig
+missHeavyConfig(std::uint64_t seed, unsigned host_threads,
+                unsigned shards_per_chip)
+{
+    auto cfg = shardedConfig(seed, host_threads);
+    cfg.hostShardsPerChip = shards_per_chip;
+    cfg.geometry.l1 = {4 * 1024, 2};
+    cfg.geometry.l2 = {16 * 1024, 4};
+    cfg.geometry.l3 = {1024 * 1024, 8};
+    cfg.geometry.l4 = {8 * 1024 * 1024, 8};
+    return cfg;
+}
+
+/** One miss-heavy run: full stats JSON plus a region checksum. */
+std::pair<std::string, std::uint64_t>
+runMissHeavy(const sim::MachineConfig &cfg)
+{
+    sim::Machine m(cfg);
+    std::vector<Program> programs;
+    programs.reserve(m.numCpus());
+    for (unsigned i = 0; i < m.numCpus(); ++i)
+        programs.push_back(missHeavyProgram(
+            dataBase + Addr(i) * 0x2'0000, 128, 3));
+    for (unsigned i = 0; i < m.numCpus(); ++i)
+        m.setProgram(i, &programs[i]);
+    m.run();
+    EXPECT_TRUE(m.allHalted());
+    std::ostringstream os;
+    m.dumpStatsJson(os);
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < m.numCpus(); ++i)
+        for (unsigned k = 0; k < 128; k += 16)
+            sum += m.peekMem(dataBase + Addr(i) * 0x2'0000 +
+                                 k * 256,
+                             8) *
+                   (i * 131 + k + 1);
+    return {os.str(), sum};
+}
+
+TEST(Sharded, MissHeavyDeterminismMatrix)
+{
+    // The fast path's acceptance gate: with capacity misses forcing
+    // L3 traffic through the shard-local path, the stats document
+    // and final memory stay byte-identical across host-thread
+    // counts for every sub-chip partition, with and without chaos.
+    inject::FaultPlan chaos;
+    chaos.spuriousAbortRate = 0.002;
+    chaos.delayedXiRate = 0.05;
+    chaos.xiDelayMax = 60;
+
+    for (const unsigned spc : {1u, 2u}) {
+        for (const bool inject_chaos : {false, true}) {
+            auto make = [&](unsigned threads) {
+                auto cfg = missHeavyConfig(31, threads, spc);
+                if (inject_chaos) {
+                    cfg.faults = chaos;
+                    cfg.watchdogCycles = 2'000'000;
+                }
+                return cfg;
+            };
+            const auto ref = runMissHeavy(make(1));
+            for (const unsigned threads : {2u, 4u}) {
+                const auto got = runMissHeavy(make(threads));
+                EXPECT_EQ(ref.first, got.first)
+                    << "stats diverged: spc " << spc << ", "
+                    << threads << " host threads, chaos="
+                    << inject_chaos;
+                EXPECT_EQ(ref.second, got.second)
+                    << "memory diverged: spc " << spc << ", "
+                    << threads << " host threads, chaos="
+                    << inject_chaos;
+            }
+        }
+    }
+}
+
+TEST(Sharded, ShardLocalFastPathResolvesL3HitsInPhase)
+{
+    // Directed: steady-state L3 re-hits on private regions must be
+    // resolved inside the parallel phase (sched.l3_local_hits),
+    // not deferred to the barrier — and disabling the fast path
+    // must push exactly that traffic back to the serial path.
+    auto run_counters = [](bool fast_path) {
+        auto cfg = missHeavyConfig(31, 1, 1);
+        cfg.shardLocalFastPath = fast_path;
+        sim::Machine m(cfg);
+        std::vector<Program> programs;
+        for (unsigned i = 0; i < m.numCpus(); ++i)
+            programs.push_back(missHeavyProgram(
+                dataBase + Addr(i) * 0x2'0000, 128, 3));
+        for (unsigned i = 0; i < m.numCpus(); ++i)
+            m.setProgram(i, &programs[i]);
+        m.run();
+        EXPECT_TRUE(m.allHalted());
+        auto &st = m.stats();
+        return std::array<std::uint64_t, 3>{
+            st.counter("sched.l3_local_hits").value(),
+            st.counter("sched.steps_deferred").value(),
+            st.counter("sched.steps_total").value()};
+    };
+    const auto on = run_counters(true);
+    const auto off = run_counters(false);
+    EXPECT_GT(on[0], 0u) << "no shard-local L3 hits recorded";
+    EXPECT_EQ(off[0], 0u) << "fast path fired while disabled";
+    EXPECT_LT(on[1], off[1])
+        << "fast path did not reduce deferred steps";
+    EXPECT_GT(on[2], 0u);
+}
+
+TEST(Sharded, SameShardXiAbortMatchesLegacy)
+{
+    // A conflict abort delivered by a same-shard XI inside the
+    // parallel phase must leave the same architectural state (TDB
+    // block, abort-handler path, final memory) as the legacy serial
+    // scheduler resolving the same conflict.
+    constexpr Addr shared = dataBase;
+    constexpr Addr tdb_addr = dataBase + 0x1000;
+
+    // CPU 0: open a transaction, tx-read the shared line, then sit
+    // in the transaction long enough for CPU 1's stores to land.
+    Assembler a0;
+    a0.la(8, 0, std::int64_t(tdb_addr));
+    a0.la(9, 0, std::int64_t(shared));
+    a0.lhi(5, 0);
+    a0.tbegin(0xFF, {.tdbBase = 8});
+    a0.jnz("handler");
+    a0.lg(3, 9);
+    a0.lhi(1, 4'000);
+    a0.delay(1);
+    a0.tend();
+    a0.lhi(5, 1); // committed
+    a0.halt();
+    a0.label("handler");
+    a0.lhi(5, 2); // aborted
+    a0.halt();
+    const Program p0 = a0.finish();
+
+    // CPU 1 (same chip, same shard): wait, then hammer the line
+    // with exclusive stores until the reject ladder gives up.
+    Assembler a1;
+    a1.la(9, 0, std::int64_t(shared));
+    a1.lhi(1, 500);
+    a1.delay(1);
+    a1.lhi(8, 64);
+    a1.label("hammer");
+    a1.lg(3, 9);
+    a1.ahi(3, 1);
+    a1.stg(3, 9);
+    a1.brct(8, "hammer");
+    a1.halt();
+    const Program p1 = a1.finish();
+
+    auto outcome = [&](unsigned host_threads) {
+        auto cfg = shardedConfig(13, host_threads);
+        cfg.activeCpus = 2; // both CPUs on chip 0 -> one shard
+        sim::Machine m(cfg);
+        m.setProgram(0, &p0);
+        m.setProgram(1, &p1);
+        m.run();
+        EXPECT_TRUE(m.allHalted());
+        std::uint64_t tdb_sum = 0;
+        for (unsigned off = 0; off < 256; off += 8)
+            tdb_sum += m.peekMem(tdb_addr + off, 8) * (off + 1);
+        return std::tuple<std::uint64_t, std::uint64_t,
+                          std::uint64_t>{
+            m.cpu(0).gr(5), tdb_sum, m.peekMem(shared, 8)};
+    };
+
+    const auto legacy = outcome(0);
+    const auto sharded = outcome(1);
+    // The conflict must actually abort CPU 0 (not be ridden out),
+    // and every architectural artifact must agree bit-for-bit.
+    EXPECT_EQ(std::get<0>(legacy), 2u) << "legacy run committed";
+    EXPECT_EQ(legacy, sharded);
+}
+
+TEST(Sharded, HeapCarriesAcrossQuantaAndRuns)
+{
+    // The per-shard event heap is built once and carried: after the
+    // initial seeding (one reinsert per live CPU), later quanta and
+    // resumed runs must not rebuild it.
+    Assembler as;
+    as.label("spin");
+    as.ahi(5, 1);
+    as.j("spin");
+    const Program p = as.finish();
+
+    sim::Machine m(shardedConfig(3, 2));
+    m.setProgramAll(&p);
+    m.run(10'000);
+    auto &st = m.stats();
+    const std::uint64_t seeded =
+        st.counter("sched.heap_reinserts").value();
+    EXPECT_EQ(seeded, m.numCpus())
+        << "initial seeding should insert each CPU exactly once";
+    m.run(10'000);
+    EXPECT_EQ(st.counter("sched.heap_reinserts").value(), seeded)
+        << "resumed run rebuilt the carried heap";
+}
+
+TEST(Sharded, QuantumLatencyBounds)
+{
+    // The quantum bounds the fast path relies on: the cheapest
+    // same-chip interaction (sub-chip shard quantum) and the
+    // cheapest cross-chip interaction (whole-chip quantum with the
+    // fast path on) at default latencies.
+    const mem::LatencyModel lat;
+    EXPECT_EQ(lat.minIntraChipLatency(), 28u);
+    EXPECT_EQ(lat.minCrossChipLatency(), 68u);
+    EXPECT_EQ(lat.minFabricLatency(), 28u);
 }
 
 /** Spin forever: no commit, no region close, no halt. */
