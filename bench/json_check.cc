@@ -61,10 +61,28 @@ main(int argc, char **argv)
     // Determinism is part of the schema contract: any record that
     // carries a determinism verdict must carry a passing one.
     for (std::size_t i = 0; i < records->size(); ++i) {
-        const ztx::Json *det =
-            records->at(i).find("determinism_ok");
+        const ztx::Json &rec = records->at(i);
+        const ztx::Json *det = rec.find("determinism_ok");
         if (det && !det->boolean())
             return fail(path, "record with determinism_ok=false");
+        // History-checker shape: a record produced with the op log
+        // on (op_log=true) must carry exactly one checker section —
+        // order_infer (inferred order) or lincheck (fallback /
+        // truncated). Both, neither, or a section without op_log
+        // all mean the producer mis-wired the oracles.
+        const ztx::Json *oplog = rec.find("op_log");
+        const bool logged = oplog && oplog->boolean();
+        const bool has_lc = rec.contains("lincheck");
+        const bool has_oi = rec.contains("order_infer");
+        if (logged && has_lc == has_oi)
+            return fail(path, has_lc
+                                  ? "op_log record with both "
+                                    "lincheck and order_infer"
+                                  : "op_log record with neither "
+                                    "lincheck nor order_infer");
+        if (!logged && (has_lc || has_oi))
+            return fail(path, "checker section on a record "
+                              "without op_log=true");
     }
     const ztx::Json *speed = doc->find("sim_speed");
     if (!speed)

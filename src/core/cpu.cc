@@ -528,6 +528,7 @@ Cpu::beginTransaction(const isa::Program::Slot &slot, bool constrained)
         tbeginAddr_ = slot.addr;
         tbeginLength_ = slot.length;
         hier_.clearTxMarks(id_);
+        versionArmed_ = false;
         storeCache_.closeAllEntries(memory_);
         constrained_ = constrained;
         if (constrained)
@@ -564,6 +565,25 @@ Cpu::endTransaction()
         res.completed = false;
         return res;
     }
+
+    // Version-order recording (OPLOGV armed): report the committed
+    // region's read/write line footprint while the TX marks are
+    // still live. Host-side work only — zero simulated cost.
+    if (versionArmed_ && opRecorder_) {
+        std::vector<FootprintAccess> acc;
+        for (const Addr line : hier_.txFootprintLines(id_))
+            acc.push_back({line, hier_.txDirty(id_, line)});
+        // Canonical order: the footprint walk follows cache-array
+        // layout, which is not a stable public contract.
+        std::sort(acc.begin(), acc.end(),
+                  [](const FootprintAccess &a,
+                     const FootprintAccess &b) {
+                      return a.line < b.line;
+                  });
+        opRecorder_->opCommit(id_, env_.now(), acc.data(),
+                              acc.size());
+    }
+    versionArmed_ = false;
 
     stq_.clearTransactionalMarks();
     storeCache_.commitTransaction(memory_);
@@ -905,6 +925,21 @@ Cpu::execute(const isa::Program::Slot &slot)
       case Opcode::OPLOGE:
         if (opRecorder_)
             opRecorder_->opResponse(id_, env_.now(), gr[inst.r1]);
+        res.cost = 0;
+        break;
+      case Opcode::OPLOGV:
+        if (opRecorder_) {
+            if (inTx()) {
+                versionArmed_ = true;
+            } else {
+                // Lock path: the region's "commit" is the lock-line
+                // write — record it so lock regions and elided
+                // transactions order in the same version chain.
+                const FootprintAccess acc{
+                    lineAlign(effectiveAddr(inst)), true};
+                opRecorder_->opCommit(id_, env_.now(), &acc, 1);
+            }
+        }
         res.cost = 0;
         break;
       case Opcode::DELAY:

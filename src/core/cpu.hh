@@ -394,6 +394,14 @@ class Cpu : public mem::CacheClient
 
     /** Op-log sink for OPLOGB/OPLOGE; nullptr when disabled. */
     OpRecorder *opRecorder_ = nullptr;
+    /**
+     * An OPLOGV executed inside the current transaction: the
+     * outermost TEND reports the region's read/write line footprint
+     * to opRecorder_ before clearing the TX marks. Cleared on commit
+     * and on abort (millicode), so only committed footprints are
+     * ever recorded.
+     */
+    bool versionArmed_ = false;
 
     StatGroup stats_;
 };

@@ -16,12 +16,25 @@
 #ifndef ZTX_CORE_OP_RECORDER_HH
 #define ZTX_CORE_OP_RECORDER_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/json.hh"
 #include "common/types.hh"
 
 namespace ztx::core {
+
+/**
+ * One line of a committed region's footprint, as the CPU reports it
+ * at commit time (OPLOGV): the line address and whether the region
+ * wrote it. The recorder assigns per-line version numbers host-side
+ * (workload/op_log.hh).
+ */
+struct FootprintAccess
+{
+    Addr line = 0;
+    bool write = false;
+};
 
 /** Receives operation invoke/response events from the CPUs. */
 class OpRecorder
@@ -47,6 +60,24 @@ class OpRecorder
      */
     virtual void opResponse(CpuId cpu, Cycles now,
                             std::uint64_t result) = 0;
+
+    /**
+     * A synchronized region of @p cpu committed (outermost TEND with
+     * version recording armed by OPLOGV, or a lock-path OPLOGV)
+     * touching the @p n lines in @p acc. Called between opInvoke and
+     * opResponse of the operation the commit belongs to; the default
+     * ignores footprints so recorders predating version-order
+     * recording keep working.
+     */
+    virtual void
+    opCommit(CpuId cpu, Cycles now, const FootprintAccess *acc,
+             std::size_t n)
+    {
+        (void)cpu;
+        (void)now;
+        (void)acc;
+        (void)n;
+    }
 
     /**
      * The operation currently in flight on @p cpu (invoked, no

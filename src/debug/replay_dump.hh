@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Replay-from-log debug dump: renders the serial schedule the
+ * order-inference oracle (inject/order_infer.hh) reconstructed from
+ * the version log, so a linearizability violation can be read as a
+ * straight-line trace instead of a raw concurrent history. The
+ * workload runners and bench/chaos print this on any violation.
+ *
+ * Lives in debug/ next to the other post-mortem machinery (watchdog
+ * diagnosis, TDC), but links against ztx_inject — hence its own
+ * little library target (ztx_replay) below the umbrella, keeping
+ * ztx_debug free of the inject dependency the core CPUs pull in.
+ */
+
+#ifndef ZTX_DEBUG_REPLAY_DUMP_HH
+#define ZTX_DEBUG_REPLAY_DUMP_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "inject/lincheck.hh"
+#include "inject/order_infer.hh"
+
+namespace ztx::debug {
+
+/**
+ * The inferred serial schedule of @p report (indices into
+ * @p history), one operation per line with its version records,
+ * truncated to the last @p tail operations before the failure point
+ * (the whole schedule when it is shorter). When the report fell
+ * back to the DFS there is no schedule to print; the returned text
+ * says so and shows the fallback reason instead.
+ */
+std::string replayScheduleDump(
+    const std::vector<inject::LinOp> &history,
+    const inject::OrderInferReport &report,
+    std::size_t tail = 32);
+
+} // namespace ztx::debug
+
+#endif // ZTX_DEBUG_REPLAY_DUMP_HH

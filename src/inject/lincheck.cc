@@ -1,226 +1,23 @@
 #include "lincheck.hh"
 
 #include <algorithm>
-#include <deque>
 #include <map>
-#include <set>
-#include <sstream>
 #include <unordered_set>
 #include <utility>
+
+#include "inject/adt_spec.hh"
 
 namespace ztx::inject {
 
 namespace {
 
-constexpr Cycles infCycle = ~Cycles(0);
-
-/** Effective response time: pending operations never precede. */
-Cycles
-respOf(const LinOp &op)
-{
-    return op.pending ? infCycle : op.response;
-}
-
-void
-appendU64(std::string &out, std::uint64_t v)
-{
-    for (unsigned i = 0; i < 8; ++i)
-        out.push_back(char(v >> (i * 8)));
-}
-
-std::string
-describeOp(const LinOp &op)
-{
-    std::ostringstream os;
-    os << "cpu" << op.cpu << '#' << op.seq << ' '
-       << linOpCodeName(op.code) << '(' << op.arg << ")->";
-    if (op.pending)
-        os << '?';
-    else
-        os << op.result;
-    os << " [" << op.invoke << ',';
-    if (op.pending)
-        os << "pending";
-    else
-        os << op.response;
-    os << ']';
-    return os.str();
-}
-
-// ---------------------------------------------------------------
-// Sequential specifications. Each is a value type: `apply` mutates
-// the state and validates the operation's observed result against
-// it (false = impossible here), `applyPending` takes the state
-// effect of a maybe-completed operation with unconstrained result,
-// and `encode` appends a canonical state fingerprint (memo key).
-// ---------------------------------------------------------------
-
-/** Sorted-set specification (list_set workload). */
-struct SetState
-{
-    std::set<std::uint64_t> keys;
-
-    bool
-    apply(const LinOp &op)
-    {
-        const bool present = keys.count(op.arg) != 0;
-        switch (op.code) {
-          case LinOpCode::SetLookup:
-            return (op.result != 0) == present;
-          case LinOpCode::SetInsert:
-            if ((op.result != 0) == present)
-                return false; // applied iff absent
-            keys.insert(op.arg);
-            return true;
-          case LinOpCode::SetDelete:
-            if ((op.result != 0) != present)
-                return false; // applied iff present
-            keys.erase(op.arg);
-            return true;
-          default:
-            return false; // foreign opcode in a set history
-        }
-    }
-
-    void
-    applyPending(const LinOp &op)
-    {
-        if (op.code == LinOpCode::SetInsert)
-            keys.insert(op.arg);
-        else if (op.code == LinOpCode::SetDelete)
-            keys.erase(op.arg);
-    }
-
-    void
-    encode(std::string &out) const
-    {
-        for (const std::uint64_t k : keys)
-            appendU64(out, k);
-    }
-};
-
-/** FIFO queue specification (queue workload). */
-struct QueueState
-{
-    std::deque<std::uint64_t> q;
-
-    bool
-    apply(const LinOp &op)
-    {
-        switch (op.code) {
-          case LinOpCode::QueueEnqueue:
-            q.push_back(op.arg);
-            return true;
-          case LinOpCode::QueueDequeue:
-            if (op.result == 0)
-                return q.empty(); // observed empty
-            if (q.empty() || q.front() != op.result)
-                return false;
-            q.pop_front();
-            return true;
-          default:
-            return false;
-        }
-    }
-
-    void
-    applyPending(const LinOp &op)
-    {
-        if (op.code == LinOpCode::QueueEnqueue) {
-            q.push_back(op.arg);
-        } else if (op.code == LinOpCode::QueueDequeue) {
-            if (!q.empty())
-                q.pop_front();
-        }
-    }
-
-    void
-    encode(std::string &out) const
-    {
-        for (const std::uint64_t v : q)
-            appendU64(out, v);
-    }
-};
-
-/** Bounded-linear-probing map specification (hashtable workload). */
-struct MapState
-{
-    std::vector<std::uint64_t> slots; ///< index -> key, 0 empty
-    unsigned maxProbes = 0;
-    /** Engine-owned; outlives every state copy. */
-    const std::function<std::uint64_t(std::uint64_t)> *bucketOf =
-        nullptr;
-
-    enum class Probe
-    {
-        Empty,
-        Found,
-        Bound
-    };
-
-    Probe
-    probe(std::uint64_t key, std::size_t &slot) const
-    {
-        const std::uint64_t home = (*bucketOf)(key);
-        for (unsigned p = 0; p < maxProbes; ++p) {
-            const std::size_t s = std::size_t(home) + p;
-            if (s >= slots.size())
-                break;
-            if (slots[s] == 0) {
-                slot = s;
-                return Probe::Empty;
-            }
-            if (slots[s] == key) {
-                slot = s;
-                return Probe::Found;
-            }
-        }
-        return Probe::Bound;
-    }
-
-    bool
-    apply(const LinOp &op)
-    {
-        std::size_t s = 0;
-        const Probe pr = probe(op.arg, s);
-        switch (op.code) {
-          case LinOpCode::MapGet:
-            // The workload stores value == key; a found get must
-            // observe exactly that, a miss observes 0.
-            if (pr == Probe::Found)
-                return op.result == op.arg;
-            return op.result == 0;
-          case LinOpCode::MapPut:
-            if (pr == Probe::Bound)
-                return op.result == 0; // probe window full: dropped
-            slots[s] = op.arg;
-            return op.result == 1;
-          default:
-            return false;
-        }
-    }
-
-    void
-    applyPending(const LinOp &op)
-    {
-        if (op.code != LinOpCode::MapPut)
-            return;
-        std::size_t s = 0;
-        if (probe(op.arg, s) != Probe::Bound)
-            slots[s] = op.arg;
-    }
-
-    void
-    encode(std::string &out) const
-    {
-        for (std::size_t i = 0; i < slots.size(); ++i) {
-            if (slots[i] == 0)
-                continue;
-            appendU64(out, i);
-            appendU64(out, slots[i]);
-        }
-    }
-};
+using spec::appendU64;
+using spec::describeOp;
+using spec::infCycle;
+using spec::MapState;
+using spec::QueueState;
+using spec::respOf;
+using spec::SetState;
 
 // ---------------------------------------------------------------
 // The search engine: DFS over linearization prefixes.
@@ -248,6 +45,19 @@ class Engine
 
         if (!validate(v))
             return v; // malformed: checked stays false
+
+        // The search recurses once per linearized operation, so the
+        // history size bounds the stack depth: refuse oversized
+        // histories honestly instead of overflowing. Large complete
+        // histories belong to the order-inference oracle
+        // (order_infer.hh), which is iterative and O(n log n).
+        if (ops_.size() > limits_.maxOps) {
+            v.reason = "history of " + std::to_string(ops_.size()) +
+                       " operations exceeds the DFS operation "
+                       "limit (" + std::to_string(limits_.maxOps) +
+                       "); use the order-inference oracle";
+            return v; // checked stays false
+        }
 
         // The simulator's global cycle order: sorting by invoke
         // makes "the next operation that could linearize" a window
@@ -556,6 +366,7 @@ linVerdictJson(const LinVerdict &v)
     Json d = Json::object();
     d["checked"] = v.checked;
     d["linearizable"] = v.checked ? Json(v.linearizable) : Json();
+    d["truncated"] = v.truncated;
     d["ops"] = v.numOps;
     d["pending_ops"] = v.numPending;
     d["states_explored"] = v.statesExplored;

@@ -54,6 +54,20 @@ enum class LinOpCode : std::uint32_t
 /** Mnemonic of @p code ("lookup", "enqueue", ...). */
 const char *linOpCodeName(LinOpCode code);
 
+/**
+ * One versioned line access of a committed region's footprint
+ * (order_infer.hh): the region observed (read) or installed (write)
+ * @p version of object @p objid. Writes bump the per-object version
+ * by one, so version chains totally order the writers of an object
+ * and place every reader between two writers.
+ */
+struct VersionAccess
+{
+    Addr objid = 0; ///< cache-line address of the object
+    std::uint64_t version = 0;
+    bool write = false;
+};
+
 /** One operation of a recorded history. */
 struct LinOp
 {
@@ -72,6 +86,14 @@ struct LinOp
     CpuId cpu = 0;
     std::uint32_t seq = 0; ///< per-CPU sequence number
     /** @} */
+
+    /**
+     * Version-order records of the operation's committed region
+     * (empty when version recording was off or the run stopped
+     * before the region committed). Consumed by order_infer.hh; the
+     * DFS checker ignores them.
+     */
+    std::vector<VersionAccess> accesses;
 };
 
 /** Search limits: blowup protection for adversarial histories. */
@@ -79,6 +101,13 @@ struct LinCheckLimits
 {
     /** Specification apply attempts before giving up unchecked. */
     std::uint64_t maxStates = 4'000'000;
+    /**
+     * History sizes beyond this come back unchecked: the DFS
+     * recurses once per linearized operation, so the history size
+     * bounds the host stack depth. Histories this large are the
+     * order-inference oracle's job (order_infer.hh).
+     */
+    std::uint64_t maxOps = 20'000;
 };
 
 /** Outcome of one linearizability check. */
@@ -91,6 +120,14 @@ struct LinVerdict
      */
     bool checked = false;
     bool linearizable = false;
+    /**
+     * The operation log overflowed and dropped records: the history
+     * is an incomplete suffix and can never be checked (checked
+     * stays false). Distinguished from other unchecked outcomes so
+     * harnesses report truncation instead of treating it as a
+     * checker failure.
+     */
+    bool truncated = false;
 
     std::uint64_t numOps = 0;
     std::uint64_t numPending = 0;

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Version-order inference oracle: the O(n log n) replacement for the
+ * exponential lincheck DFS on complete histories.
+ *
+ * Every committed region reports its read/write line footprint at
+ * commit time (OPLOGV / Cpu::endTransaction); the operation log
+ * assigns each line a monotonically increasing version — reads
+ * record the current version, writes install the next one — and
+ * batches the (objid, version) pairs onto the region's operation.
+ * Offline, those records reconstruct the cross-CPU commit order:
+ * the writers of an object are totally ordered by version, and each
+ * reader of version v sits between the writer of v and the writer
+ * of v + 1. A topological sort of the operations over these version
+ * edges plus per-CPU program order — ties broken by invoke cycle so
+ * the result is deterministic — yields a serial schedule that is
+ * verified against real-time precedence while it is emitted and
+ * then replayed once against the sequential specification
+ * (adt_spec.hh). Total work is O(n log n) in operations + records,
+ * against the DFS's worst-case exponential search.
+ *
+ * The oracle only ever *infers* on histories it can vouch for:
+ * pending operations (the region may or may not have committed —
+ * there is no version record to say), missing version batches,
+ * duplicated or gapped versions, cyclic edges, or an inferred order
+ * that contradicts real-time precedence all route the history to
+ * the DFS fallback (lincheck.hh), which branches over the
+ * possibilities instead of guessing. `fallbackReason` records why.
+ */
+
+#ifndef ZTX_INJECT_ORDER_INFER_HH
+#define ZTX_INJECT_ORDER_INFER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "inject/lincheck.hh"
+
+namespace ztx::inject {
+
+/** Outcome of one order-inference run. */
+struct OrderInferReport
+{
+    /**
+     * Final verdict — produced by the inference replay when
+     * `inferred`, by the DFS fallback otherwise. Compatible with
+     * every LinVerdict consumer.
+     */
+    LinVerdict verdict;
+
+    /** True: the verdict came from the inferred serial order. */
+    bool inferred = false;
+    /** Why inference was not applicable (empty when `inferred`). */
+    std::string fallbackReason;
+
+    /** @name Inference statistics (zero when not inferred) @{ */
+    std::uint64_t versionRecords = 0;
+    std::uint64_t versionEdges = 0;
+    std::uint64_t programEdges = 0;
+    std::uint64_t orderLength = 0;
+    /** @} */
+
+    /**
+     * The inferred serial schedule as indices into the input
+     * history, in linearization order. Kept when `inferred` (even
+     * on a replay failure) so debug/replay_dump.hh can print the
+     * schedule around a violation.
+     */
+    std::vector<std::uint32_t> order;
+};
+
+/** @p r as a JSON object (chaos records). */
+Json orderInferJson(const OrderInferReport &r);
+
+/**
+ * Infer-and-replay a set history against the sequential set
+ * specification from @p initial_keys; histories that cannot be
+ * inferred fall back to checkSetLinearizable with @p limits.
+ */
+OrderInferReport inferSetLinearizable(
+    const std::vector<LinOp> &history,
+    const std::vector<std::uint64_t> &initial_keys,
+    const LinCheckLimits &limits = {});
+
+/** Queue counterpart of inferSetLinearizable. */
+OrderInferReport inferQueueLinearizable(
+    const std::vector<LinOp> &history,
+    const std::vector<std::uint64_t> &initial_values,
+    const LinCheckLimits &limits = {});
+
+/** Map counterpart of inferSetLinearizable (see lincheck.hh). */
+OrderInferReport inferMapLinearizable(
+    const std::vector<LinOp> &history,
+    const std::vector<std::uint64_t> &initial_slots,
+    unsigned buckets, unsigned max_probes,
+    const std::function<std::uint64_t(std::uint64_t)> &bucket_of,
+    const LinCheckLimits &limits = {});
+
+} // namespace ztx::inject
+
+#endif // ZTX_INJECT_ORDER_INFER_HH

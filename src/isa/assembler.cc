@@ -382,6 +382,15 @@ Assembler::oploge(unsigned r1)
 }
 
 void
+Assembler::oplogv(unsigned base, std::int64_t disp)
+{
+    checkReg(base, "OPLOGV");
+    auto &i = emit(Opcode::OPLOGV);
+    i.base = std::uint8_t(base);
+    i.disp = disp;
+}
+
+void
 Assembler::delay(unsigned r1)
 {
     checkReg(r1, "DELAY");

@@ -127,6 +127,11 @@ class Assembler
     void oplogb(std::uint32_t code, unsigned r1, unsigned r2 = 0);
     /** Op-log response: observed result in r1. */
     void oploge(unsigned r1);
+    /**
+     * Op-log version record: in-TX, arm commit-footprint recording;
+     * outside, record a write of the lock line at base + disp.
+     */
+    void oplogv(unsigned base, std::int64_t disp = 0);
     void delay(unsigned r1);
     void nop();
     void halt();

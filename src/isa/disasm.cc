@@ -136,6 +136,10 @@ disassemble(const Instruction &inst)
         os << ',';
         r(inst.r2);
         break;
+      case Opcode::OPLOGV:
+        os << ' ';
+        storageOperand(os, inst);
+        break;
       case Opcode::TEND:
       case Opcode::LPSWE:
       case Opcode::INVALID:

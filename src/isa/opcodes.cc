@@ -76,6 +76,9 @@ constexpr OpcodeInfo infoTable[] = {
     {"MARKE",  2, 0, 0, 0, 0, 0, 0, 1, none},
     {"OPLOGB", 6, 0, 0, 0, 0, 0, 0, 1, none},
     {"OPLOGE", 4, 0, 0, 0, 0, 0, 0, 1, none},
+    // OPLOGV must stay legal in constrained TX: the queue workload
+    // records version footprints inside its TBEGINC region.
+    {"OPLOGV", 4, 0, 0, 0, 0, 0, 0, 0, none},
     {"DELAY",  4, 0, 0, 0, 0, 0, 0, 1, none},
     {"NOP",    2, 0, 0, 0, 0, 0, 0, 0, none},
     {"HALT",   2, 0, 0, 0, 0, 0, 1, 1, none},

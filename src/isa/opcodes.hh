@@ -93,6 +93,18 @@ enum class Opcode : std::uint8_t
      * matching OPLOGB completed; r1 holds the observed result.
      */
     OPLOGE,
+    /**
+     * Operation-log version record. Inside a transaction: arm the
+     * commit path to report the region's read/write line footprint
+     * to the op recorder when the outermost TEND commits (versions
+     * are assigned host-side). Outside: record a single write of
+     * the lock line at base + disp — the lock-path stand-in for a
+     * commit footprint, ordering the region in that line's version
+     * chain. Zero cycles; a NOP without a recorder. Unlike
+     * OPLOGB/OPLOGE it is allowed inside constrained transactions,
+     * where the bracket markers cannot go.
+     */
+    OPLOGV,
     DELAY, ///< stall for min(r1, 4096) cycles (spin/backoff pause)
     NOP,   ///< no operation
     HALT,  ///< stop this CPU

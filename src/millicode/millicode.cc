@@ -103,6 +103,7 @@ MillicodeEngine::transactionAbort(core::Cpu &cpu,
     cpu.txDepth_ = 0;
     cpu.txLevels_.clear();
     cpu.constrained_ = false;
+    cpu.versionArmed_ = false; // aborted footprints are not recorded
     cpu.checker_.end();
     cpu.lastAbortCode_ = ctx.code;
     cpu.abortedDuringStep_ = true;

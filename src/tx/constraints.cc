@@ -61,6 +61,12 @@ ConstraintChecker::checkInstruction(const isa::Instruction &inst,
     if (inst.op == isa::Opcode::TEND)
         return std::nullopt;
 
+    // Zero-cycle simulator instrumentation is exempt from the
+    // budget: enabling op logging must not change which regions are
+    // constrained-legal.
+    if (inst.op == isa::Opcode::OPLOGV)
+        return std::nullopt;
+
     // A re-check at the same address is a retry of an instruction
     // whose storage access was rejected, not a new instruction:
     // constrained code has no backward branches, so an address can

@@ -1,8 +1,10 @@
 #include "hashtable.hh"
 
+#include <iostream>
 #include <string>
 
 #include "common/log.hh"
+#include "debug/replay_dump.hh"
 #include "isa/assembler.hh"
 #include "locks/lock_gen.hh"
 #include "workload/elision.hh"
@@ -102,6 +104,11 @@ buildHashTableProgram(const HashTableBenchConfig &cfg)
         as.label("get" + n);
         as.lg(5, 4, 8);
         as.label("end" + n);
+        // Version record: in the elided TX it arms the commit
+        // footprint; on the lock path it records the lock-line
+        // write that orders the region in the lock's version chain.
+        if (cfg.opLog)
+            as.oplogv(10, 0);
     };
 
     // One log code for both ops: the raw selector rides along in
@@ -163,7 +170,7 @@ runHashTableBench(const HashTableBenchConfig &cfg)
 
     const Program program = buildHashTableProgram(cfg);
     machine.setProgramAll(&program);
-    OpLog oplog(machine.numCpus());
+    OpLog oplog(machine.numCpus(), cfg.opLogCapacity);
     if (cfg.opLog) {
         for (unsigned i = 0; i < machine.numCpus(); ++i)
             machine.cpu(i).setOpRecorder(&oplog);
@@ -205,16 +212,19 @@ runHashTableBench(const HashTableBenchConfig &cfg)
                 op.arg = rec.a0;
                 op.result = rec.result;
             });
-        res.lincheck = checkLoggedHistory(oplog, [&] {
-            return inject::checkMapLinearizable(
+        res.orderInfer = checkLoggedHistoryOrdered(oplog, [&] {
+            return inject::inferMapLinearizable(
                 history, initial_slots, cfg.buckets, cfg.maxProbes,
                 [&](std::uint64_t key) {
                     return bucketOf(key, cfg.buckets);
                 });
         });
+        res.lincheck = res.orderInfer.verdict;
         if (res.lincheck.checked && !res.lincheck.linearizable) {
             res.oracle.fail("operation history not linearizable: " +
                             res.lincheck.reason);
+            std::cerr << debug::replayScheduleDump(history,
+                                                   res.orderInfer);
         }
     }
 

@@ -19,6 +19,7 @@
 
 #include "inject/lincheck.hh"
 #include "inject/oracle.hh"
+#include "inject/order_infer.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
 #include "workload/report.hh"
@@ -42,6 +43,8 @@ struct HashTableBenchConfig
      * the unlogged one.
      */
     bool opLog = false;
+    /** Per-CPU op-log ring capacity (overflow truncates). */
+    std::size_t opLogCapacity = 1u << 16;
     sim::MachineConfig machine{};
 };
 
@@ -70,6 +73,8 @@ struct HashTableBenchResult
     inject::OracleReport oracle;
     /** History verdict (cfg.opLog; unchecked when logging is off). */
     inject::LinVerdict lincheck;
+    /** Full order-inference report behind `lincheck`. */
+    inject::OrderInferReport orderInfer;
 };
 
 /** Build the generated program for @p cfg. */

@@ -1,10 +1,12 @@
 #include "list_set.hh"
 
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "debug/replay_dump.hh"
 #include "isa/assembler.hh"
 #include "locks/lock_gen.hh"
 #include "workload/elision.hh"
@@ -75,13 +77,22 @@ buildListSetProgram(const ListSetBenchConfig &cfg)
     int emission = 0;
     const auto wrap = [&](const std::function<void()> &body,
                           const std::string &site) {
+        // Version recording rides at the end of the region body: on
+        // the TX path OPLOGV arms commit-footprint reporting, on the
+        // lock path it records the lock-line write that orders the
+        // region in the lock's version chain.
+        const auto logged = [&] {
+            body();
+            if (cfg.opLog)
+                as.oplogv(10, 0);
+        };
         as.markb();
         if (cfg.useElision) {
-            emitLockElision(as, 10, 0, body, site);
+            emitLockElision(as, 10, 0, logged, site);
         } else {
             locks::SpinLock::emitAcquire(as, 10, 0, lock_regs,
                                          site + "_lk");
-            body();
+            logged();
             locks::SpinLock::emitRelease(as, 10, 0, lock_regs);
         }
         as.marke();
@@ -195,7 +206,7 @@ runListSetBench(const ListSetBenchConfig &cfg)
 
     const Program program = buildListSetProgram(cfg);
     machine.setProgramAll(&program);
-    OpLog oplog(machine.numCpus());
+    OpLog oplog(machine.numCpus(), cfg.opLogCapacity);
     for (unsigned i = 0; i < cfg.cpus; ++i) {
         machine.cpu(i).setGr(
             15, arenaBase + Addr(i) * arenaStride);
@@ -240,12 +251,15 @@ runListSetBench(const ListSetBenchConfig &cfg)
                 op.arg = rec.a0;
                 op.result = rec.result;
             });
-        res.lincheck = checkLoggedHistory(oplog, [&] {
-            return inject::checkSetLinearizable(history, keys);
+        res.orderInfer = checkLoggedHistoryOrdered(oplog, [&] {
+            return inject::inferSetLinearizable(history, keys);
         });
+        res.lincheck = res.orderInfer.verdict;
         if (res.lincheck.checked && !res.lincheck.linearizable) {
             res.oracle.fail("operation history not linearizable: " +
                             res.lincheck.reason);
+            std::cerr << debug::replayScheduleDump(history,
+                                                   res.orderInfer);
         }
     }
 

@@ -18,6 +18,7 @@
 
 #include "inject/lincheck.hh"
 #include "inject/oracle.hh"
+#include "inject/order_infer.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
 #include "workload/report.hh"
@@ -40,10 +41,13 @@ struct ListSetBenchConfig
     std::uint64_t seed = 1;
     /**
      * Record an operation history (OPLOGB/OPLOGE around every
-     * region) and check it for linearizability after the run. Off:
-     * the generated program is bit-identical to the unlogged one.
+     * region, OPLOGV version footprints inside) and check it for
+     * linearizability after the run. Off: the generated program is
+     * bit-identical to the unlogged one.
      */
     bool opLog = false;
+    /** Per-CPU op-log ring capacity (overflow truncates). */
+    std::size_t opLogCapacity = 1u << 16;
     sim::MachineConfig machine{};
 };
 
@@ -76,6 +80,12 @@ struct ListSetBenchResult
     inject::OracleReport oracle;
     /** History verdict (cfg.opLog; unchecked when logging is off). */
     inject::LinVerdict lincheck;
+    /**
+     * Full order-inference report behind `lincheck` (which mirrors
+     * its verdict): whether the O(n log n) oracle inferred the
+     * order or fell back to the DFS, and why.
+     */
+    inject::OrderInferReport orderInfer;
 };
 
 /** Build the generated program for @p cfg. */

@@ -43,6 +43,26 @@ OpLog::opResponse(CpuId cpu, Cycles now, std::uint64_t result)
     rec.completed = true;
 }
 
+void
+OpLog::opCommit(CpuId cpu, Cycles now,
+                const core::FootprintAccess *acc, std::size_t n)
+{
+    (void)now; // versions order commits; the cycle is implicit
+    PerCpu &pc = cpus_.at(cpu);
+    if (pc.ring.empty() || pc.ring.back().completed) {
+        ++pc.protocolErrors; // commit outside an op bracket
+        return;
+    }
+    OpRecord &rec = pc.ring.back();
+    const std::lock_guard<std::mutex> guard(versionMutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t &ver = lineVersions_[acc[i].line];
+        if (acc[i].write)
+            ++ver;
+        rec.accesses.push_back({acc[i].line, ver, acc[i].write});
+    }
+}
+
 Json
 OpLog::pendingOpJson(CpuId cpu) const
 {
@@ -86,6 +106,16 @@ OpLog::totalOps() const
     return n;
 }
 
+std::uint64_t
+OpLog::versionRecords() const
+{
+    std::uint64_t n = 0;
+    for (const auto &pc : cpus_)
+        for (const OpRecord &rec : pc.ring)
+            n += rec.accesses.size();
+    return n;
+}
+
 std::vector<inject::LinOp>
 OpLog::history(const std::function<void(const OpRecord &,
                                         inject::LinOp &)> &decode)
@@ -102,6 +132,7 @@ OpLog::history(const std::function<void(const OpRecord &,
             op.pending = !rec.completed;
             op.cpu = cpu;
             op.seq = seq++;
+            op.accesses = rec.accesses;
             decode(rec, op);
             ops.push_back(op);
         }
@@ -116,6 +147,7 @@ checkLoggedHistory(const OpLog &log,
     inject::LinVerdict v;
     v.numOps = log.totalOps();
     if (log.truncated()) {
+        v.truncated = true;
         v.reason = "operation log truncated (ring overflow "
                    "dropped records)";
         return v;
@@ -127,6 +159,23 @@ checkLoggedHistory(const OpLog &log,
         return v;
     }
     return check();
+}
+
+inject::OrderInferReport
+checkLoggedHistoryOrdered(
+    const OpLog &log,
+    const std::function<inject::OrderInferReport()> &infer)
+{
+    inject::OrderInferReport r;
+    r.verdict = checkLoggedHistory(
+        log, [] { return inject::LinVerdict(); });
+    if (log.truncated() || log.protocolErrors()) {
+        // Neither oracle can vouch for this history; the verdict
+        // above already says why.
+        r.fallbackReason = r.verdict.reason;
+        return r;
+    }
+    return infer();
 }
 
 } // namespace ztx::workload

@@ -30,12 +30,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/json.hh"
 #include "common/types.hh"
 #include "core/op_recorder.hh"
 #include "inject/lincheck.hh"
+#include "inject/order_infer.hh"
 
 namespace ztx::workload {
 
@@ -50,6 +53,14 @@ struct OpRecord
     Cycles response = 0;
     /** False: still pending when the run stopped (maybe completed). */
     bool completed = false;
+    /**
+     * Versioned line accesses of the operation's committed region
+     * (OPLOGV): the log assigns each touched line a version at
+     * commit time — reads observe the current one, writes install
+     * the next — and batches the pairs here. Empty when version
+     * recording is off or the region never committed.
+     */
+    std::vector<inject::VersionAccess> accesses;
 };
 
 /** Per-CPU ring buffers implementing the CPU-side recorder hook. */
@@ -68,6 +79,9 @@ class OpLog : public core::OpRecorder
                   std::uint64_t a0, std::uint64_t a1) override;
     void opResponse(CpuId cpu, Cycles now,
                     std::uint64_t result) override;
+    void opCommit(CpuId cpu, Cycles now,
+                  const core::FootprintAccess *acc,
+                  std::size_t n) override;
     Json pendingOpJson(CpuId cpu) const override;
     /** @} */
 
@@ -96,6 +110,9 @@ class OpLog : public core::OpRecorder
     /** Records across all CPUs (completed + pending). */
     std::size_t totalOps() const;
 
+    /** Version accesses recorded across all CPUs. */
+    std::uint64_t versionRecords() const;
+
     /**
      * Decode every record into a checker history. Timing fields
      * (invoke/response/pending) and provenance (cpu/seq) are filled
@@ -121,16 +138,39 @@ class OpLog : public core::OpRecorder
 
     std::size_t capacity_;
     std::vector<PerCpu> cpus_;
+
+    /**
+     * Per-line version table, shared across CPUs. Unlike the rings
+     * this is cross-CPU state, so commits guard it with a mutex;
+     * the result is still deterministic under the sharded
+     * scheduler because conflicting commits (same line, at least
+     * one write) cannot race across host threads — coherence
+     * defers cross-shard conflicts to the serial barrier — and
+     * racing read-read commits assign the same version either way.
+     */
+    std::mutex versionMutex_;
+    std::unordered_map<Addr, std::uint64_t> lineVersions_;
 };
 
 /**
  * Run @p check unless @p log cannot vouch for its history
  * (truncation or marker protocol errors) — then return an unchecked
- * verdict saying why instead of guessing.
+ * verdict saying why instead of guessing. A truncated log yields
+ * `truncated = true` so harnesses can report overflow distinctly.
  */
 inject::LinVerdict checkLoggedHistory(
     const OpLog &log,
     const std::function<inject::LinVerdict()> &check);
+
+/**
+ * Order-inference counterpart of checkLoggedHistory: run @p infer
+ * (one of the inject::infer*Linearizable entry points, which fall
+ * back to the DFS themselves) unless the log is truncated or
+ * protocol-broken — those can never be checked by either oracle.
+ */
+inject::OrderInferReport checkLoggedHistoryOrdered(
+    const OpLog &log,
+    const std::function<inject::OrderInferReport()> &infer);
 
 } // namespace ztx::workload
 

@@ -1,6 +1,9 @@
 #include "queue.hh"
 
+#include <iostream>
+
 #include "common/log.hh"
+#include "debug/replay_dump.hh"
 #include "isa/assembler.hh"
 #include "locks/lock_gen.hh"
 #include "workload/layout.hh"
@@ -52,6 +55,11 @@ buildQueueProgram(const QueueBenchConfig &cfg)
         as.lgfo(3, 9, tailDisp); // tail node (store intent)
         as.stg(4, 3, 8);         // tail->next = node
         as.stg(4, 9, tailDisp);  // tail = node
+        // Version record: in the constrained TX it arms the commit
+        // footprint (legal there, unlike OPLOGB/OPLOGE); on the
+        // lock path it records the lock-line write.
+        if (cfg.opLog)
+            as.oplogv(10, 0);
     };
     if (cfg.opLog) {
         as.oplogb(std::uint32_t(inject::LinOpCode::QueueEnqueue),
@@ -85,6 +93,8 @@ buildQueueProgram(const QueueBenchConfig &cfg)
         as.stg(5, 9, headDisp);  // head = next
         as.lg(6, 5, 0);          // value
         as.label("deq_empty");
+        if (cfg.opLog)
+            as.oplogv(10, 0);
     };
     if (cfg.opLog)
         as.oplogb(std::uint32_t(inject::LinOpCode::QueueDequeue), 0);
@@ -126,7 +136,7 @@ runQueueBench(const QueueBenchConfig &cfg)
 
     const Program program = buildQueueProgram(cfg);
     machine.setProgramAll(&program);
-    OpLog oplog(machine.numCpus());
+    OpLog oplog(machine.numCpus(), cfg.opLogCapacity);
     for (unsigned i = 0; i < cfg.cpus; ++i) {
         machine.cpu(i).setGr(
             15, arenaBase + Addr(i) * arenaStride);
@@ -169,12 +179,15 @@ runQueueBench(const QueueBenchConfig &cfg)
                 op.arg = rec.a0;
                 op.result = rec.result;
             });
-        res.lincheck = checkLoggedHistory(oplog, [&] {
-            return inject::checkQueueLinearizable(history, {});
+        res.orderInfer = checkLoggedHistoryOrdered(oplog, [&] {
+            return inject::inferQueueLinearizable(history, {});
         });
+        res.lincheck = res.orderInfer.verdict;
         if (res.lincheck.checked && !res.lincheck.linearizable) {
             res.oracle.fail("operation history not linearizable: " +
                             res.lincheck.reason);
+            std::cerr << debug::replayScheduleDump(history,
+                                                   res.orderInfer);
         }
     }
 

@@ -17,6 +17,7 @@
 
 #include "inject/lincheck.hh"
 #include "inject/oracle.hh"
+#include "inject/order_infer.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
 #include "workload/report.hh"
@@ -38,6 +39,8 @@ struct QueueBenchConfig
      * the unlogged one.
      */
     bool opLog = false;
+    /** Per-CPU op-log ring capacity (overflow truncates). */
+    std::size_t opLogCapacity = 1u << 16;
     sim::MachineConfig machine{};
 };
 
@@ -67,6 +70,8 @@ struct QueueBenchResult
     inject::OracleReport oracle;
     /** History verdict (cfg.opLog; unchecked when logging is off). */
     inject::LinVerdict lincheck;
+    /** Full order-inference report behind `lincheck`. */
+    inject::OrderInferReport orderInfer;
 };
 
 /** Build the generated program for @p cfg. */
