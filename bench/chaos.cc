@@ -35,6 +35,7 @@
 #include "inject/order_infer.hh"
 #include "json_report.hh"
 #include "workload/hashtable.hh"
+#include "workload/layout.hh"
 #include "workload/list_set.hh"
 #include "workload/queue.hh"
 #include "workload/report.hh"
@@ -53,10 +54,13 @@ struct Mix
 /**
  * Build the plan for @p mix at @p scale. Base rates are per
  * scheduler step and deliberately harsh at scale 1: a few-thousand
- * step run sees every fault kind many times.
+ * step run sees every fault kind many times. @p hot_line is the
+ * workload's most contended line (list head, bucket array base,
+ * queue anchor) — where targeted conflicts and scripted scenarios
+ * aim.
  */
 inject::FaultPlan
-mixPlan(const std::string &mix, double scale)
+mixPlan(const std::string &mix, double scale, Addr hot_line)
 {
     inject::FaultPlan plan;
     const bool all = mix == "all";
@@ -74,7 +78,53 @@ mixPlan(const std::string &mix, double scale)
         plan.delayedXiRate = 0.2 * scale;
         plan.xiDelayMax = 300;
     }
+    if (all || mix == "targeted") {
+        plan.targetedConflictRate = 0.004 * scale;
+        plan.targetedLine = hot_line;
+    }
+    if (all || mix == "poison")
+        plan.poisonRate = 0.0002 * scale;
+    if (mix == "scenario") {
+        // Scripted sequence against the hot line: periodic poison
+        // from early in the run, a conflict XI aimed at whoever is
+        // transacting on the line once the first abort lands, and a
+        // spurious abort shortly after that conflict fired.
+        inject::ScenarioStep poison;
+        poison.trigger = inject::TriggerKind::AtCycle;
+        poison.at = 5000;
+        poison.period = 40000;
+        poison.repeat = 5;
+        poison.kind = inject::FaultKind::PoisonLine;
+        poison.line = hot_line;
+        plan.scenario.push_back(poison);
+
+        inject::ScenarioStep conflict;
+        conflict.trigger = inject::TriggerKind::OnAbort;
+        conflict.count = 1;
+        conflict.kind = inject::FaultKind::TargetedConflict;
+        conflict.line = hot_line;
+        plan.scenario.push_back(conflict);
+
+        inject::ScenarioStep spurious;
+        spurious.trigger = inject::TriggerKind::AfterStep;
+        spurious.after = 1;
+        spurious.at = 2000;
+        spurious.kind = inject::FaultKind::SpuriousAbort;
+        spurious.line = hot_line; // untargeted: resolve the holder
+        plan.scenario.push_back(spurious);
+    }
     return plan;
+}
+
+/** The workload's most contended line (scenario/targeted anchor). */
+Addr
+hotLineOf(const std::string &wl)
+{
+    if (wl == "list_set")
+        return workload::listBase;
+    if (wl == "hashtable")
+        return workload::hashTableBase;
+    return workload::queueBase;
 }
 
 /** Watchdog window: generous against backoff, tiny against hangs. */
@@ -136,8 +186,9 @@ main(int argc, char **argv)
         {"none", 0.0},       {"spurious", 1.0},
         {"xi_storm", 1.0},   {"squeeze", 1.0},
         {"interrupts", 1.0}, {"delayed_xi", 1.0},
-        {"all", 0.5},        {"all", 1.0},
-        {"all", 2.0},
+        {"targeted", 1.0},   {"poison", 1.0},
+        {"scenario", 1.0},   {"all", 0.5},
+        {"all", 1.0},        {"all", 2.0},
     };
     const std::vector<std::string> workloads = {"list_set",
                                                 "hashtable",
@@ -147,7 +198,7 @@ main(int argc, char **argv)
     for (const auto &wl : workloads) {
         for (const auto &mix : mixes) {
             const inject::FaultPlan plan =
-                mixPlan(mix.name, mix.scale);
+                mixPlan(mix.name, mix.scale, hotLineOf(wl));
 
             sim::MachineConfig mcfg = bench::benchMachine();
             mcfg.faults = plan;
@@ -251,7 +302,8 @@ main(int argc, char **argv)
     // spurious-abort mix keeps the retry machinery honest without
     // risking a watchdog halt that would leave operations pending.
     for (const auto &wl : workloads) {
-        const inject::FaultPlan plan = mixPlan("spurious", 0.25);
+        const inject::FaultPlan plan =
+            mixPlan("spurious", 0.25, hotLineOf(wl));
         sim::MachineConfig mcfg = bench::benchMachine();
         mcfg.faults = plan;
         mcfg.watchdogCycles = watchdogWindow;

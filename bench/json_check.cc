@@ -23,6 +23,92 @@ fail(const char *path, const char *what)
     return 1;
 }
 
+bool
+isOneOf(const ztx::Json &v,
+        std::initializer_list<const char *> names)
+{
+    if (!v.isString())
+        return false;
+    for (const char *n : names)
+        if (v.str() == n)
+            return true;
+    return false;
+}
+
+/**
+ * Validate one record's "fault_plan" section: every rate and shape
+ * parameter numeric, schedule entries carrying at/kind/target/line,
+ * scenario steps carrying the full trigger grammar with names drawn
+ * from the known sets. Returns nullptr when well-formed, else a
+ * static message.
+ */
+const char *
+checkFaultPlan(const ztx::Json &plan)
+{
+    if (!plan.isObject())
+        return "fault_plan is not an object";
+    for (const char *key :
+         {"spurious_abort_rate", "xi_storm_rate",
+          "capacity_squeeze_rate", "interrupt_storm_rate",
+          "delayed_xi_rate", "targeted_conflict_rate",
+          "poison_rate", "xi_storm_burst", "squeeze_l1_ways",
+          "squeeze_l2_ways", "squeeze_duration", "interrupt_burst",
+          "xi_delay_max", "targeted_line", "seed"}) {
+        const ztx::Json *v = plan.find(key);
+        if (!v || !v->isNumber())
+            return "fault_plan parameter missing or not numeric";
+    }
+    const ztx::Json *sched = plan.find("schedule");
+    if (!sched || !sched->isArray())
+        return "fault_plan.schedule missing";
+    for (std::size_t i = 0; i < sched->size(); ++i) {
+        const ztx::Json &f = sched->at(i);
+        const ztx::Json *at = f.find("at");
+        const ztx::Json *tgt = f.find("target");
+        const ztx::Json *line = f.find("line");
+        const ztx::Json *kind = f.find("kind");
+        if (!at || !at->isNumber() || !tgt || !tgt->isNumber() ||
+            !line || !line->isNumber())
+            return "schedule entry with bad at/target/line";
+        if (!kind ||
+            !isOneOf(*kind, {"spurious_abort", "xi_storm",
+                             "capacity_squeeze", "interrupt_storm",
+                             "delayed_xi", "targeted_conflict",
+                             "poison_line"}))
+            return "schedule entry with unknown kind";
+    }
+    const ztx::Json *scen = plan.find("scenario");
+    if (!scen || !scen->isArray())
+        return "fault_plan.scenario missing";
+    for (std::size_t i = 0; i < scen->size(); ++i) {
+        const ztx::Json &s = scen->at(i);
+        const ztx::Json *trig = s.find("trigger");
+        if (!trig || !isOneOf(*trig, {"at_cycle", "on_abort",
+                                      "on_footprint", "after_step"}))
+            return "scenario step with unknown trigger";
+        const ztx::Json *kind = s.find("kind");
+        if (!kind ||
+            !isOneOf(*kind, {"spurious_abort", "xi_storm",
+                             "capacity_squeeze", "interrupt_storm",
+                             "delayed_xi", "targeted_conflict",
+                             "poison_line"}))
+            return "scenario step with unknown kind";
+        const ztx::Json *check = s.find("check");
+        if (!check ||
+            !isOneOf(*check, {"none", "target_in_tx",
+                              "target_not_in_tx",
+                              "line_in_target_footprint"}))
+            return "scenario step with unknown check";
+        for (const char *key : {"at", "period", "repeat", "watch",
+                                "count", "line", "after", "target"}) {
+            const ztx::Json *v = s.find(key);
+            if (!v || !v->isNumber())
+                return "scenario step field missing or not numeric";
+        }
+    }
+    return nullptr;
+}
+
 } // namespace
 
 int
@@ -83,6 +169,12 @@ main(int argc, char **argv)
         if (!logged && (has_lc || has_oi))
             return fail(path, "checker section on a record "
                               "without op_log=true");
+        // Chaos records archive the campaign that produced them;
+        // a malformed plan section means replaying the record is
+        // impossible, so it fails validation outright.
+        if (const ztx::Json *plan = rec.find("fault_plan"))
+            if (const char *why = checkFaultPlan(*plan))
+                return fail(path, why);
     }
     const ztx::Json *speed = doc->find("sim_speed");
     if (!speed)

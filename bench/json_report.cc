@@ -45,6 +45,19 @@ schedStatsJson(const workload::SchedStatsSummary &sched)
 }
 
 Json
+rasStatsJson(const workload::RasSummary &ras)
+{
+    Json s = Json::object();
+    s["poisoned"] = ras.poisoned;
+    s["spread"] = ras.spread;
+    s["machine_checks"] = ras.machineChecks;
+    s["scrubs"] = ras.scrubs;
+    s["restarts"] = ras.restarts;
+    s["poison_aborts"] = ras.poisonAborts;
+    return s;
+}
+
+Json
 abortBreakdownJson(
     const std::map<std::string, std::uint64_t> &aborts_by_reason)
 {

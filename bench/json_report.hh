@@ -49,6 +49,12 @@ Json abortBreakdownJson(
 Json schedStatsJson(const workload::SchedStatsSummary &sched);
 
 /**
+ * A RAS summary as a JSON object: poison/machine-check activity and
+ * what recovery did. All-zero (same shape) without RAS faults.
+ */
+Json rasStatsJson(const workload::RasSummary &ras);
+
+/**
  * The shared result fields of one sweep-point record: throughput,
  * commit/abort counts, the abort-reason breakdown, and the
  * simulated work (cycles, instructions) behind the point. Works
@@ -70,6 +76,7 @@ resultJson(const Result &res)
     r["sim_cycles"] = std::uint64_t(res.elapsedCycles);
     r["instructions"] = res.instructions;
     r["sched"] = schedStatsJson(res.sched);
+    r["ras"] = rasStatsJson(res.ras);
     return r;
 }
 

@@ -158,6 +158,8 @@ Cpu::accessLines(Addr addr, unsigned size, bool exclusive,
             // footprint and the transaction is gone.
             return false;
         }
+        if (hier_.anyPoisoned() && hier_.poisonedCached(line))
+            return handlePoisonedAccess(line, cost);
         if (inTx())
             hier_.markTxRead(id_, line);
     }
@@ -334,6 +336,59 @@ Cpu::constraintViolation(tx::ConstraintViolationKind kind,
                 true, cost);
 }
 
+bool
+Cpu::handlePoisonedAccess(Addr line, Cycles &cost)
+{
+    if (localOnly_) {
+        // Recovery reaches the shared OS model (and a scrub touches
+        // other CPUs' L1 flag mirrors); defer before any side effect.
+        deferredStep_ = true;
+        return false;
+    }
+    stats_.counter("machine_checks").inc();
+    const bool was_tx = inTx();
+    if (was_tx) {
+        // Architectural guarantee: data from a poisoned line never
+        // commits. Transient (CC2) — the scrub below removes the
+        // poison, so a retry is promising (and the constrained-TX
+        // eventual-success guarantee holds).
+        AbortContext actx;
+        actx.reason = tx::AbortReason::DataPoisoned;
+        actx.conflictAddr = line;
+        actx.conflictValid = true;
+        abortTransaction(actx);
+    }
+    // Machine-check recovery, charged like an OS round trip: attempt
+    // the refresh-from-memory scrub, then let the OS decide.
+    cost += cfg_.osInterruptCost;
+    const bool clean = hier_.scrubLine(line);
+    const debug::OsAction action =
+        os_.machineCheck({id_, line, clean, was_tx});
+    if (action == debug::OsAction::Restart) {
+        hier_.reloadLine(line);
+        restartWorkload();
+    }
+    return false;
+}
+
+void
+Cpu::restartWorkload()
+{
+    // The GRs survive: workload runners pre-seed arena/base registers
+    // before the first step, and a restarted item reuses them.
+    drainStores();
+    psw_ = isa::Psw{};
+    psw_.ia = program_->entry();
+    regionOpen_ = false;
+    stalledOnReject_ = false;
+    rejectsSinceCompletion_ = 0;
+    dispatchCredit_ = 0;
+    perPending_ = false;
+    stats_.counter("workload_restarts").inc();
+    ++progressEvents_;
+    env_.noteProgress(id_);
+}
+
 void
 Cpu::deliverExternalInterrupt()
 {
@@ -404,6 +459,8 @@ mem::XiResponse
 Cpu::incomingXi(const mem::XiContext &ctx)
 {
     stats_.counter("xi.received").inc();
+    if (ctx.poisoned)
+        stats_.counter("xi.poisoned_seen").inc();
     const bool sc_tx = storeCache_.hasTransactionalLine(ctx.line);
     const bool tx_write = inTx() && (ctx.txDirty || sc_tx);
     const bool tx_read = inTx() && (ctx.txRead || ctx.lruExtHit);
@@ -564,6 +621,19 @@ Cpu::endTransaction()
         abortTransaction({.reason = tx::AbortReason::DiagnosticAbort});
         res.completed = false;
         return res;
+    }
+
+    // RAS guarantee: no silently committed corrupt data. A line
+    // poisoned *after* its fetch (mid-transaction injection) is
+    // caught here, at the last point before stores become visible.
+    if (hier_.anyPoisoned()) {
+        for (const Addr line : hier_.txFootprintLines(id_)) {
+            if (hier_.poisonedCached(line)) {
+                handlePoisonedAccess(line, res.cost);
+                res.completed = false;
+                return res;
+            }
+        }
     }
 
     // Version-order recording (OPLOGV armed): report the committed

@@ -134,6 +134,13 @@ class Cpu : public mem::CacheClient
     std::uint64_t progressEvents() const { return progressEvents_; }
 
     /**
+     * Transaction aborts of any reason so far (plain counter for the
+     * scenario engine's on-abort triggers; cheaper than a stats
+     * lookup on the trigger-poll path).
+     */
+    std::uint64_t abortsTotal() const { return abortsTotal_; }
+
+    /**
      * Fault injection: abort the current transaction for no
      * architectural reason (millicode must tolerate random aborts).
      * Processed as a transient diagnostic abort — CC2, normal
@@ -309,6 +316,22 @@ class Cpu : public mem::CacheClient
     void constraintViolation(tx::ConstraintViolationKind kind,
                              Cycles &cost);
 
+    /**
+     * An access touched a poisoned line (RAS model): abort the
+     * transaction (transactional access) or take a machine check
+     * with scrub/restart recovery (non-transactional access).
+     * Defers under local-only mode — recovery needs the OS.
+     * @return Always false: the triggering step must not complete.
+     */
+    bool handlePoisonedAccess(Addr line, Cycles &cost);
+
+    /**
+     * Kill-and-restart recovery for unrecoverable data loss: reset
+     * the program to its entry point (keeping the GRs the harness
+     * pre-seeded) and resume as a fresh workload item.
+     */
+    void restartWorkload();
+
     CpuId id_;
     mem::Hierarchy &hier_;
     mem::MainMemory &memory_;
@@ -365,6 +388,9 @@ class Cpu : public mem::CacheClient
 
     /** Commits + region closes + halt; see progressEvents(). */
     std::uint64_t progressEvents_ = 0;
+
+    /** Aborts of any reason; see abortsTotal(). */
+    std::uint64_t abortsTotal_ = 0;
 
     /** @name Millicode state @{ */
     unsigned constrainedAbortCount_ = 0;

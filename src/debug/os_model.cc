@@ -31,6 +31,21 @@ OsModel::programInterrupt(const InterruptRecord &record)
     }
 }
 
+OsAction
+OsModel::machineCheck(const MachineCheckRecord &record)
+{
+    machineChecks_.push_back(record);
+    stats_.counter("machine_checks").inc();
+    if (record.scrubbed) {
+        stats_.counter("machine_check.scrubbed").inc();
+        return OsAction::Resume;
+    }
+    // The memory image itself is corrupt: no refresh source exists.
+    // Kill the workload item that owned the data and restart it.
+    stats_.counter("machine_check.restarts").inc();
+    return OsAction::Restart;
+}
+
 std::size_t
 OsModel::countOf(tx::InterruptCode code) const
 {

@@ -27,6 +27,12 @@ enum class OsAction : std::uint8_t
     Resume,
     /** Unrecoverable program error: stop the CPU. */
     Terminate,
+    /**
+     * Data lost beyond repair (memory-side poison): the OS kills the
+     * affected workload item and restarts it from scratch rather
+     * than stopping the CPU.
+     */
+    Restart,
 };
 
 /** One recorded program interruption, for test inspection. */
@@ -37,6 +43,15 @@ struct InterruptRecord
     Addr addr;          ///< faulting address, if applicable
     bool fromTx;        ///< detected during transactional execution
     bool fromConstrained;
+};
+
+/** One recorded machine check (line poisoning), for test inspection. */
+struct MachineCheckRecord
+{
+    CpuId cpu;
+    Addr line;       ///< poisoned line that triggered the check
+    bool scrubbed;   ///< a clean copy existed and was refreshed
+    bool fromTx;     ///< the access that tripped it was transactional
 };
 
 /** The simulation's operating system model. */
@@ -60,6 +75,16 @@ class OsModel
     OsAction programInterrupt(const InterruptRecord &record);
 
     /**
+     * Handle a machine check raised by an access to a poisoned line
+     * (RAS model, DESIGN.md §5c). The CPU has already attempted the
+     * scrub (refresh-from-memory); @p record.scrubbed says whether a
+     * clean copy existed. Scrubbed checks resume the program;
+     * unscrubbed ones (memory-side poison) ask the CPU to kill and
+     * restart the affected workload item.
+     */
+    OsAction machineCheck(const MachineCheckRecord &record);
+
+    /**
      * Policy knob (paper §II.E.2): when a PER event aborts a
      * constrained transaction, the OS should enable PER event
      * suppression so the retry can complete. The CPU model consults
@@ -76,6 +101,12 @@ class OsModel
     /** Count of interruptions with @p code. */
     std::size_t countOf(tx::InterruptCode code) const;
 
+    /** All machine checks seen, in order. */
+    const std::vector<MachineCheckRecord> &machineCheckRecords() const
+    {
+        return machineChecks_;
+    }
+
     /** Stats group ("os.*"). */
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
@@ -83,6 +114,7 @@ class OsModel
   private:
     PageTable &pageTable_;
     std::vector<InterruptRecord> records_;
+    std::vector<MachineCheckRecord> machineChecks_;
     StatGroup stats_;
 };
 

@@ -19,6 +19,33 @@ faultKindName(FaultKind kind)
       case FaultKind::CapacitySqueeze: return "capacity_squeeze";
       case FaultKind::InterruptStorm: return "interrupt_storm";
       case FaultKind::DelayedXi: return "delayed_xi";
+      case FaultKind::TargetedConflict: return "targeted_conflict";
+      case FaultKind::PoisonLine: return "poison_line";
+    }
+    return "?";
+}
+
+const char *
+triggerKindName(TriggerKind kind)
+{
+    switch (kind) {
+      case TriggerKind::AtCycle: return "at_cycle";
+      case TriggerKind::OnAbort: return "on_abort";
+      case TriggerKind::OnFootprint: return "on_footprint";
+      case TriggerKind::AfterStep: return "after_step";
+    }
+    return "?";
+}
+
+const char *
+stepAssertName(StepAssert check)
+{
+    switch (check) {
+      case StepAssert::None: return "none";
+      case StepAssert::TargetInTx: return "target_in_tx";
+      case StepAssert::TargetNotInTx: return "target_not_in_tx";
+      case StepAssert::LineInTargetFootprint:
+        return "line_in_target_footprint";
     }
     return "?";
 }
@@ -32,12 +59,15 @@ faultPlanJson(const FaultPlan &plan)
     p["capacity_squeeze_rate"] = plan.capacitySqueezeRate;
     p["interrupt_storm_rate"] = plan.interruptStormRate;
     p["delayed_xi_rate"] = plan.delayedXiRate;
+    p["targeted_conflict_rate"] = plan.targetedConflictRate;
+    p["poison_rate"] = plan.poisonRate;
     p["xi_storm_burst"] = plan.xiStormBurst;
     p["squeeze_l1_ways"] = plan.squeezeL1Ways;
     p["squeeze_l2_ways"] = plan.squeezeL2Ways;
     p["squeeze_duration"] = std::uint64_t(plan.squeezeDuration);
     p["interrupt_burst"] = plan.interruptBurst;
     p["xi_delay_max"] = std::uint64_t(plan.xiDelayMax);
+    p["targeted_line"] = std::uint64_t(plan.targetedLine);
     p["seed"] = plan.seed;
     Json sched = Json::array();
     for (const auto &f : plan.schedule) {
@@ -46,9 +76,31 @@ faultPlanJson(const FaultPlan &plan)
         s["kind"] = faultKindName(f.kind);
         s["target"] = f.target == invalidCpu ? std::int64_t(-1)
                                              : std::int64_t(f.target);
+        s["line"] = std::uint64_t(f.line);
+        s["poison_memory"] = f.poisonMemory;
         sched.push(std::move(s));
     }
     p["schedule"] = std::move(sched);
+    Json scen = Json::array();
+    for (const auto &st : plan.scenario) {
+        Json s = Json::object();
+        s["trigger"] = triggerKindName(st.trigger);
+        s["at"] = std::uint64_t(st.at);
+        s["period"] = std::uint64_t(st.period);
+        s["repeat"] = std::uint64_t(st.repeat);
+        s["watch"] = st.watch == invalidCpu ? std::int64_t(-1)
+                                            : std::int64_t(st.watch);
+        s["count"] = st.count;
+        s["line"] = std::uint64_t(st.line);
+        s["after"] = std::uint64_t(st.after);
+        s["kind"] = faultKindName(st.kind);
+        s["target"] = st.target == invalidCpu ? std::int64_t(-1)
+                                              : std::int64_t(st.target);
+        s["poison_memory"] = st.poisonMemory;
+        s["check"] = stepAssertName(st.check);
+        scen.push(std::move(s));
+    }
+    p["scenario"] = std::move(scen);
     return p;
 }
 
@@ -70,6 +122,23 @@ FaultInjector::FaultInjector(const FaultPlan &plan,
     for (std::size_t i = 1; i < plan_.schedule.size(); ++i)
         if (plan_.schedule[i].at < plan_.schedule[i - 1].at)
             ztx_fatal("FaultPlan schedule not sorted by cycle");
+    // Scenario steps: normalize degenerate shapes, reject plans
+    // whose dependency graph or repetition can never be honoured.
+    for (std::size_t i = 0; i < plan_.scenario.size(); ++i) {
+        ScenarioStep &s = plan_.scenario[i];
+        if (s.repeat == 0)
+            s.repeat = 1;
+        if (s.count == 0)
+            s.count = 1;
+        if (s.repeat > 1 && (s.trigger != TriggerKind::AtCycle ||
+                             s.period == 0))
+            ztx_fatal("scenario step ", i, ": repeat > 1 needs an "
+                      "AtCycle trigger with a nonzero period");
+        if (s.trigger == TriggerKind::AfterStep && s.after >= i)
+            ztx_fatal("scenario step ", i, ": `after` must reference "
+                      "an earlier step");
+    }
+    scen_.resize(plan_.scenario.size());
 }
 
 void
@@ -88,7 +157,13 @@ FaultInjector::attachCpu(core::Cpu &cpu)
                            (id + 1) * 0xBF58476D1CE4E5B9ULL);
     delayRng_.emplace_back(baseSeed_ ^
                            ((id + 1) * 0x94D049BB133111EBULL));
+    poisonRng_.emplace_back(baseSeed_ +
+                            (id + 1) * 0xD6E8FEB86659FD93ULL);
     pendingStorms_.emplace_back();
+    pendingTargeted_.emplace_back();
+    pendingPoison_.emplace_back();
+    lastAborts_.push_back(0);
+    recent_.emplace_back();
     hot_.emplace_back();
 }
 
@@ -104,17 +179,21 @@ FaultInjector::beforeStep(CpuId id, Cycles now)
 
     // Scheduled faults that came due. The cursor is global, so in
     // sharded mode the flush consumes it at the barrier instead. A
-    // fault without an explicit target hits the CPU about to step.
+    // fault without an explicit target hits the CPU about to step —
+    // except line-addressed kinds, where the directory picks the
+    // victim (the line's holder) inside apply().
     while (!sharded_ && nextScheduled_ < plan_.schedule.size() &&
            plan_.schedule[nextScheduled_].at <= now) {
         const ScheduledFault &f = plan_.schedule[nextScheduled_++];
         const CpuId target =
-            f.target == invalidCpu ? id : f.target;
-        if (target >= cpus_.size())
+            f.kind == FaultKind::TargetedConflict
+                ? f.target
+                : (f.target == invalidCpu ? id : f.target);
+        if (target != invalidCpu && target >= cpus_.size())
             ztx_fatal("scheduled fault targets CPU ", target,
                       " but only ", cpus_.size(), " attached");
         stats_.counter("scheduled.fired").inc();
-        apply(f.kind, target, now);
+        apply(f.kind, target, now, f.line, f.poisonMemory);
     }
 
     // Probabilistic faults against the CPU about to step: one draw
@@ -140,6 +219,26 @@ FaultInjector::beforeStep(CpuId id, Cycles now)
     if (plan_.interruptStormRate > 0 &&
         r.nextBool(plan_.interruptStormRate))
         apply(FaultKind::InterruptStorm, id, now);
+    // The line-addressed kinds attack the shared directory / the
+    // poison map and are serial-only, like XI storms: applied here
+    // in legacy mode, buffered to the barrier in sharded mode.
+    if (plan_.targetedConflictRate > 0 &&
+        r.nextBool(plan_.targetedConflictRate)) {
+        if (sharded_)
+            pendingTargeted_[id].push_back(now);
+        else
+            apply(FaultKind::TargetedConflict, invalidCpu, now,
+                  plan_.targetedLine);
+    }
+    if (plan_.poisonRate > 0 && r.nextBool(plan_.poisonRate)) {
+        if (sharded_)
+            pendingPoison_[id].push_back(now);
+        else
+            apply(FaultKind::PoisonLine, id, now);
+    }
+
+    if (!sharded_)
+        evaluateScenario(now);
 }
 
 void
@@ -147,37 +246,170 @@ FaultInjector::flushSharded(Cycles now)
 {
     // Scheduled faults due in the elapsed quantum; untargeted
     // entries hit CPU 0 (there is no "CPU about to step" at a
-    // barrier). Fired at their scheduled cycle.
+    // barrier), except line-addressed kinds where the directory
+    // picks the line's holder inside apply(). Fired at their
+    // scheduled cycle.
     while (nextScheduled_ < plan_.schedule.size() &&
            plan_.schedule[nextScheduled_].at <= now) {
         const ScheduledFault &f = plan_.schedule[nextScheduled_++];
-        const CpuId target = f.target == invalidCpu ? 0 : f.target;
-        if (target >= cpus_.size())
+        const CpuId target =
+            f.kind == FaultKind::TargetedConflict
+                ? f.target
+                : (f.target == invalidCpu ? 0 : f.target);
+        if (target != invalidCpu && target >= cpus_.size())
             ztx_fatal("scheduled fault targets CPU ", target,
                       " but only ", cpus_.size(), " attached");
         stats_.counter("scheduled.fired").inc();
-        apply(f.kind, target, f.at);
+        apply(f.kind, target, f.at, f.line, f.poisonMemory);
     }
 
-    // Buffered XI storms, merged across CPUs in (cycle, cpu) order.
-    struct PendingStorm
+    // Buffered serial-only faults, merged across CPUs in
+    // (cycle, cpu, kind) order — deterministic however the parallel
+    // phase interleaved the drawing CPUs.
+    struct Pending
     {
         Cycles at;
         CpuId cpu;
+        FaultKind kind;
     };
-    std::vector<PendingStorm> storms;
+    std::vector<Pending> pend;
     for (CpuId id = 0; id < CpuId(pendingStorms_.size()); ++id) {
         for (const Cycles at : pendingStorms_[id])
-            storms.push_back({at, id});
+            pend.push_back({at, id, FaultKind::XiStorm});
         pendingStorms_[id].clear();
+        for (const Cycles at : pendingTargeted_[id])
+            pend.push_back({at, id, FaultKind::TargetedConflict});
+        pendingTargeted_[id].clear();
+        for (const Cycles at : pendingPoison_[id])
+            pend.push_back({at, id, FaultKind::PoisonLine});
+        pendingPoison_[id].clear();
     }
-    std::sort(storms.begin(), storms.end(),
-              [](const PendingStorm &a, const PendingStorm &b) {
-                  return std::tie(a.at, a.cpu) <
-                         std::tie(b.at, b.cpu);
+    std::sort(pend.begin(), pend.end(),
+              [](const Pending &a, const Pending &b) {
+                  return std::tie(a.at, a.cpu, a.kind) <
+                         std::tie(b.at, b.cpu, b.kind);
               });
-    for (const PendingStorm &s : storms)
-        apply(FaultKind::XiStorm, s.cpu, s.at);
+    for (const Pending &p : pend) {
+        if (p.kind == FaultKind::TargetedConflict)
+            // Victim comes from the directory, not the drawing CPU.
+            apply(p.kind, invalidCpu, p.at, plan_.targetedLine);
+        else
+            apply(p.kind, p.cpu, p.at);
+    }
+
+    evaluateScenario(now);
+}
+
+void
+FaultInjector::evaluateScenario(Cycles now)
+{
+    if (plan_.scenario.empty())
+        return;
+
+    // Which CPU aborted since the last evaluation (lowest id wins):
+    // the "aborting CPU" an untargeted OnAbort step resolves to.
+    CpuId aborted = invalidCpu;
+    std::uint64_t total_aborts = 0;
+    for (CpuId id = 0; id < CpuId(cpus_.size()); ++id) {
+        const std::uint64_t a = cpus_[id]->abortsTotal();
+        if (aborted == invalidCpu && a > lastAborts_[id])
+            aborted = id;
+        lastAborts_[id] = a;
+        total_aborts += a;
+    }
+
+    for (std::size_t i = 0; i < plan_.scenario.size(); ++i) {
+        const ScenarioStep &s = plan_.scenario[i];
+        ScenarioState &st = scen_[i];
+        if (st.done)
+            continue;
+
+        bool fire = false;
+        switch (s.trigger) {
+          case TriggerKind::AtCycle:
+            // k-th fire is due at `at + k * period`; at most one
+            // fire per evaluation (catch-up happens next round).
+            fire = now >= s.at + st.fires * s.period;
+            break;
+          case TriggerKind::OnAbort: {
+            if (s.watch != invalidCpu && s.watch >= cpus_.size())
+                ztx_fatal("scenario step ", i, " watches CPU ",
+                          s.watch, " but only ", cpus_.size(),
+                          " attached");
+            const std::uint64_t seen = s.watch == invalidCpu
+                                           ? total_aborts
+                                           : lastAborts_[s.watch];
+            fire = seen >= s.count;
+            break;
+          }
+          case TriggerKind::OnFootprint:
+            for (CpuId id = 0; id < CpuId(cpus_.size()); ++id)
+                if (hier_.inTxFootprint(id, s.line)) {
+                    fire = true;
+                    break;
+                }
+            break;
+          case TriggerKind::AfterStep:
+            fire = scen_[s.after].fires > 0 &&
+                   now >= scen_[s.after].lastFire + s.at;
+            break;
+        }
+        if (!fire)
+            continue;
+
+        // Resolve an untargeted step from machine state: OnAbort
+        // takes the aborting CPU; everything else the lowest-id CPU
+        // holding the step's line in its footprint; fallback CPU 0.
+        CpuId target = s.target;
+        if (target == invalidCpu) {
+            if (s.trigger == TriggerKind::OnAbort &&
+                aborted != invalidCpu) {
+                target = aborted;
+            } else {
+                for (CpuId id = 0; id < CpuId(cpus_.size()); ++id)
+                    if (hier_.inTxFootprint(id, s.line)) {
+                        target = id;
+                        break;
+                    }
+                if (target == invalidCpu)
+                    target = 0;
+            }
+        }
+        if (target >= cpus_.size())
+            ztx_fatal("scenario step ", i, " targets CPU ", target,
+                      " but only ", cpus_.size(), " attached");
+
+        bool ok = true;
+        switch (s.check) {
+          case StepAssert::None:
+            break;
+          case StepAssert::TargetInTx:
+            ok = cpus_[target]->inTx();
+            break;
+          case StepAssert::TargetNotInTx:
+            ok = !cpus_[target]->inTx();
+            break;
+          case StepAssert::LineInTargetFootprint:
+            ok = hier_.inTxFootprint(target, s.line);
+            break;
+        }
+        if (!ok) {
+            ++scenarioAssertFailures_;
+            stats_.counter("scenario.assert_failed").inc();
+            ztx_warn("scenario step ", i, " assertion ",
+                     stepAssertName(s.check), " failed at cycle ",
+                     now, " (target cpu ", target, ")");
+        }
+
+        stats_.counter("scenario.fired").inc();
+        ++st.fires;
+        st.lastFire = now;
+        if (s.trigger != TriggerKind::AtCycle ||
+            st.fires >= s.repeat)
+            st.done = true;
+
+        apply(s.kind, target, now, s.line, s.poisonMemory);
+    }
 }
 
 void
@@ -208,16 +440,30 @@ FaultInjector::foldHotCounters() const
 }
 
 void
-FaultInjector::apply(FaultKind kind, CpuId target, Cycles now)
+FaultInjector::recordFire(FaultKind kind, CpuId target, Cycles now,
+                          Addr line)
 {
-    core::Cpu &cpu = *cpus_.at(target);
+    RecentRing &ring = recent_.at(target);
+    ++ring.byKind[std::size_t(kind)];
+    ring.slots[ring.n % recentDepth] = {now, kind, target, line,
+                                        ring.n};
+    ++ring.n;
+}
+
+void
+FaultInjector::apply(FaultKind kind, CpuId target, Cycles now,
+                     Addr line, bool poison_memory)
+{
     switch (kind) {
-      case FaultKind::SpuriousAbort:
+      case FaultKind::SpuriousAbort: {
+        core::Cpu &cpu = *cpus_.at(target);
         if (!cpu.inTx())
             return; // nothing to abort
         ++hot_[target].spuriousFired;
+        recordFire(kind, target, now, 0);
         cpu.injectSpuriousAbort();
         return;
+      }
 
       case FaultKind::XiStorm: {
         // Serial-only (legacy beforeStep or the barrier flush): the
@@ -233,6 +479,7 @@ FaultInjector::apply(FaultKind kind, CpuId target, Cycles now)
         if (lines.empty())
             return; // no transactional footprint to attack
         stats_.counter("xi_storm.fired").inc();
+        recordFire(kind, target, now, 0);
         for (unsigned i = 0; i < plan_.xiStormBurst; ++i) {
             // Line picks come from the target's own stream so the
             // sequence survives reordering of other CPUs' storms.
@@ -248,6 +495,7 @@ FaultInjector::apply(FaultKind kind, CpuId target, Cycles now)
 
       case FaultKind::CapacitySqueeze:
         ++hot_[target].squeezeFired;
+        recordFire(kind, target, now, 0);
         hier_.squeezeCapacity(target, plan_.squeezeL1Ways,
                               plan_.squeezeL2Ways);
         squeezeUntil_[target] = now + plan_.squeezeDuration;
@@ -255,15 +503,127 @@ FaultInjector::apply(FaultKind kind, CpuId target, Cycles now)
 
       case FaultKind::InterruptStorm:
         ++hot_[target].interruptStormFired;
+        recordFire(kind, target, now, 0);
         for (unsigned i = 0; i < plan_.interruptBurst; ++i)
-            cpu.deliverExternalInterrupt();
+            cpus_.at(target)->deliverExternalInterrupt();
         return;
 
       case FaultKind::DelayedXi:
         // Delay is drawn per XI in xiDelay(); a scheduled entry of
         // this kind is a plan-documentation no-op.
         return;
+
+      case FaultKind::TargetedConflict: {
+        // Serial-only: resolves victims via the shared directory
+        // and injects against it.
+        const Addr l = lineAlign(line);
+        CpuId victim = target;
+        if (victim == invalidCpu) {
+            const mem::DirectoryEntry e =
+                hier_.directory().lookup(l);
+            victim = e.owner;
+            if (victim == invalidCpu)
+                for (CpuId id = 0; id < CpuId(cpus_.size()); ++id)
+                    if (id < mem::maxDirectoryCpus &&
+                        e.sharers.test(id)) {
+                        victim = id;
+                        break;
+                    }
+        }
+        if (victim == invalidCpu || victim >= cpus_.size()) {
+            // Nobody caches the line; a conflict XI has no victim.
+            stats_.counter("targeted_conflict.no_holder").inc();
+            return;
+        }
+        if (victim == env_.soloHolder()) {
+            // Same fairness rule as XI storms: broadcast-stop
+            // stopped all conflicting work, the adversary included.
+            stats_.counter("targeted_conflict.suppressed_solo").inc();
+            return;
+        }
+        stats_.counter("targeted_conflict.fired").inc();
+        recordFire(kind, victim, now, l);
+        if (hier_.injectAdversarialXi(victim, l))
+            stats_.counter("targeted_conflict.taken").inc();
+        else
+            stats_.counter("targeted_conflict.defended").inc();
+        return;
+      }
+
+      case FaultKind::PoisonLine: {
+        // Serial-only: mutates the shared poison map.
+        Addr victim_line = lineAlign(line);
+        if (victim_line == 0) {
+            // Rate-driven: poison one line of the target's live tx
+            // footprint (cached image only — always recoverable).
+            if (target == env_.soloHolder()) {
+                stats_.counter("poison_line.suppressed_solo").inc();
+                return;
+            }
+            const std::vector<Addr> lines =
+                hier_.txFootprintLines(target);
+            if (lines.empty()) {
+                stats_.counter("poison_line.skipped_idle").inc();
+                return;
+            }
+            victim_line = lines[poisonRng_[target].nextBounded(
+                lines.size())];
+            poison_memory = false;
+        }
+        stats_.counter("poison_line.fired").inc();
+        recordFire(kind, target, now, victim_line);
+        hier_.poisonLine(victim_line, poison_memory);
+        return;
+      }
     }
+}
+
+Json
+FaultInjector::firedCountsJson() const
+{
+    foldHotCounters();
+    std::array<std::uint64_t, faultKindCount> sum{};
+    for (const RecentRing &r : recent_)
+        for (std::size_t k = 0; k < faultKindCount; ++k)
+            sum[k] += r.byKind[k];
+    Json j = Json::object();
+    for (std::size_t k = 0; k < faultKindCount; ++k)
+        j[faultKindName(FaultKind(k))] = sum[k];
+    // XI delays never pass through apply(); report the folded
+    // counter (covers the serial fallback stream too).
+    j["delayed_xi"] =
+        stats_.counters().at("xi_delay.fired").value();
+    return j;
+}
+
+Json
+FaultInjector::recentFiresJson() const
+{
+    std::vector<FiredFault> all;
+    for (const RecentRing &r : recent_) {
+        const std::uint64_t kept =
+            std::min<std::uint64_t>(r.n, recentDepth);
+        for (std::uint64_t i = 0; i < kept; ++i)
+            all.push_back(r.slots[(r.n - kept + i) % recentDepth]);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const FiredFault &a, const FiredFault &b) {
+                  return std::tie(a.at, a.target, a.seq) <
+                         std::tie(b.at, b.target, b.seq);
+              });
+    if (all.size() > recentDepth)
+        all.erase(all.begin(),
+                  all.end() - std::ptrdiff_t(recentDepth));
+    Json arr = Json::array();
+    for (const FiredFault &f : all) {
+        Json e = Json::object();
+        e["at"] = std::uint64_t(f.at);
+        e["kind"] = faultKindName(f.kind);
+        e["cpu"] = std::int64_t(f.target);
+        e["line"] = std::uint64_t(f.line);
+        arr.push(std::move(e));
+    }
+    return arr;
 }
 
 Cycles

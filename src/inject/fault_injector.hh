@@ -33,6 +33,7 @@
 #ifndef ZTX_INJECT_FAULT_INJECTOR_HH
 #define ZTX_INJECT_FAULT_INJECTOR_HH
 
+#include <array>
 #include <vector>
 
 #include "common/rng.hh"
@@ -99,6 +100,26 @@ class FaultInjector : public mem::XiDelayProbe
     /** The plan being executed. */
     const FaultPlan &plan() const { return plan_; }
 
+    /** Scenario-step assertions that failed (counted, not fatal). */
+    std::uint64_t scenarioAssertFailures() const
+    {
+        return scenarioAssertFailures_;
+    }
+
+    /**
+     * Per-kind fire counts as a JSON object — one key per FaultKind
+     * name, zero-filled so the shape is plan-independent. Goes into
+     * watchdog diagnosis bundles.
+     */
+    Json firedCountsJson() const;
+
+    /**
+     * The last few fired faults (across all CPUs, merged in
+     * (cycle, cpu) order) as a JSON array. Watchdog bundles use
+     * this to show what the injector did right before a stall.
+     */
+    Json recentFiresJson() const;
+
     /** Injection activity ("inject.*" counters). */
     StatGroup &stats()
     {
@@ -112,7 +133,29 @@ class FaultInjector : public mem::XiDelayProbe
     }
 
   private:
-    void apply(FaultKind kind, CpuId target, Cycles now);
+    /**
+     * Apply one fault. @p line / @p poison_memory are the operands
+     * of the line-addressed kinds (TargetedConflict, PoisonLine);
+     * a TargetedConflict with @p target == invalidCpu resolves its
+     * victim from the coherence directory (owner, else the lowest-id
+     * sharer). Only the per-CPU kinds (SpuriousAbort,
+     * CapacitySqueeze, InterruptStorm) may be applied from the
+     * parallel phase; everything line- or directory-addressed is
+     * serial-only (legacy beforeStep or the barrier flush).
+     */
+    void apply(FaultKind kind, CpuId target, Cycles now,
+               Addr line = 0, bool poison_memory = false);
+
+    /**
+     * Evaluate every armed scenario step against current machine
+     * state and fire the due ones. Serial-only: runs from the legacy
+     * beforeStep or the sharded barrier flush.
+     */
+    void evaluateScenario(Cycles now);
+
+    /** Record a fired fault into the target's recent-fire ring. */
+    void recordFire(FaultKind kind, CpuId target, Cycles now,
+                    Addr line);
 
     /**
      * Counters bumped from the parallel phase accumulate in per-CPU
@@ -130,6 +173,41 @@ class FaultInjector : public mem::XiDelayProbe
         std::uint64_t xiDelayFired = 0;
     };
     void foldHotCounters() const;
+
+    /** One fired fault, for watchdog diagnosis bundles. */
+    struct FiredFault
+    {
+        Cycles at = 0;
+        FaultKind kind = FaultKind::SpuriousAbort;
+        CpuId target = invalidCpu;
+        Addr line = 0;
+        /** Per-ring monotonic index (merge tie-break). */
+        std::uint64_t seq = 0;
+    };
+
+    /** Fires recorded per ring (watchdog bundles keep this many). */
+    static constexpr std::size_t recentDepth = 8;
+
+    /**
+     * Per-CPU recent-fire ring + per-kind fire tallies. In the
+     * parallel phase only self-targeted kinds are applied, so
+     * ring[target] is written by the target's own shard; line-sized
+     * so rings never share cache lines across shards.
+     */
+    struct alignas(64) RecentRing
+    {
+        std::array<FiredFault, recentDepth> slots{};
+        std::uint64_t n = 0;
+        std::array<std::uint64_t, faultKindCount> byKind{};
+    };
+
+    /** Firing bookkeeping of one scenario step. */
+    struct ScenarioState
+    {
+        std::uint64_t fires = 0;
+        Cycles lastFire = 0;
+        bool done = false;
+    };
 
     FaultPlan plan_;
     mem::Hierarchy &hier_;
@@ -154,8 +232,20 @@ class FaultInjector : public mem::XiDelayProbe
      * in-phase and fall back to the serial stream rng_.
      */
     std::vector<Rng> delayRng_;
+    /** Per-CPU streams for rate-driven poison line picks. */
+    std::vector<Rng> poisonRng_;
     /** Sharded mode: per-CPU storm fire times awaiting the flush. */
     std::vector<std::vector<Cycles>> pendingStorms_;
+    /** Sharded mode: buffered targeted-conflict fire times. */
+    std::vector<std::vector<Cycles>> pendingTargeted_;
+    /** Sharded mode: buffered rate-driven poison fire times. */
+    std::vector<std::vector<Cycles>> pendingPoison_;
+    /** Per-step scenario bookkeeping, parallel to plan_.scenario. */
+    std::vector<ScenarioState> scen_;
+    /** abortsTotal() snapshots from the last scenario evaluation. */
+    std::vector<std::uint64_t> lastAborts_;
+    std::uint64_t scenarioAssertFailures_ = 0;
+    std::vector<RecentRing> recent_;
     std::vector<HotCounters> hot_;
     mutable HotCounters hotFolded_{};
     /** Serial-only stream: XI delays for unattached targets. */

@@ -20,6 +20,7 @@
 #ifndef ZTX_INJECT_FAULT_PLAN_HH
 #define ZTX_INJECT_FAULT_PLAN_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -41,7 +42,18 @@ enum class FaultKind : std::uint8_t
     InterruptStorm,
     /** One-shot marker for delayed-XI campaigns (rate-driven). */
     DelayedXi,
+    /**
+     * One conflict XI aimed at a *named* line instead of a sample
+     * of the victim's footprint: the minimal-repro adversary for
+     * directed escalation-ladder tests.
+     */
+    TargetedConflict,
+    /** Poison a line's cached (or memory) image (RAS model). */
+    PoisonLine,
 };
+
+/** Number of FaultKind enumerators (fixed-size tally arrays). */
+inline constexpr std::size_t faultKindCount = 7;
 
 /** Stable name for stats keys and reports. */
 const char *faultKindName(FaultKind kind);
@@ -52,8 +64,100 @@ struct ScheduledFault
     /** Global cycle at (or after) which the fault fires. */
     Cycles at = 0;
     FaultKind kind = FaultKind::SpuriousAbort;
-    /** Victim CPU; invalidCpu targets the next CPU to step. */
+    /**
+     * Victim CPU. invalidCpu means "no explicit victim", which the
+     * two schedulers resolve differently — pinned behaviour, kept
+     * for replay compatibility (DESIGN.md §5c): the legacy serial
+     * scheduler fires the fault from beforeStep() and the victim is
+     * the CPU about to step; the sharded scheduler consumes the
+     * schedule at the quantum barrier, where no CPU is "about to
+     * step", and the victim is CPU 0 (fired at the scheduled cycle
+     * `at`). Each mode is deterministic in itself — any
+     * hostThreads >= 1 replays bit-identically — but an untargeted
+     * fault is *not* exchangeable between the two modes. Scenario
+     * steps (below) resolve untargeted victims by machine state
+     * instead and do not inherit this quirk.
+     */
     CpuId target = invalidCpu;
+    /** Line operand (TargetedConflict, PoisonLine); 0 for others. */
+    Addr line = 0;
+    /** PoisonLine: also corrupt the memory image (no scrub source). */
+    bool poisonMemory = false;
+};
+
+/** What arms a ScenarioStep (the scenario trigger grammar). */
+enum class TriggerKind : std::uint8_t
+{
+    /** Fire at cycle `at` (optionally repeating every `period`). */
+    AtCycle,
+    /** Fire on the watched CPU's `count`-th transaction abort. */
+    OnAbort,
+    /** Fire when `line` enters some CPU's transactional footprint. */
+    OnFootprint,
+    /** Fire `at` cycles after step `after` fired. */
+    AfterStep,
+};
+
+/** Stable trigger name for reports. */
+const char *triggerKindName(TriggerKind kind);
+
+/** Per-step assertion, checked when the step fires. */
+enum class StepAssert : std::uint8_t
+{
+    None,
+    /** The resolved target CPU is in transactional-execution mode. */
+    TargetInTx,
+    /** The resolved target CPU is not in a transaction. */
+    TargetNotInTx,
+    /** `line` is in the resolved target's tx footprint. */
+    LineInTargetFootprint,
+};
+
+/** Stable assertion name for reports. */
+const char *stepAssertName(StepAssert check);
+
+/**
+ * One step of a scripted fault scenario: a trigger, the fault to
+ * apply when it fires, and an optional assertion about machine
+ * state at fire time. Scenarios are evaluated at deterministic
+ * points (every step in legacy mode, the quantum barrier in sharded
+ * mode), so a run replays bit-identically per seed; a trigger
+ * condition that arises and vanishes strictly inside one sharded
+ * quantum can be missed — triggers are observations, not interrupts.
+ */
+struct ScenarioStep
+{
+    TriggerKind trigger = TriggerKind::AtCycle;
+    /** AtCycle: fire cycle. AfterStep: delay after the prereq. */
+    Cycles at = 0;
+    /** AtCycle only: re-fire period (0 = once); `repeat` caps it. */
+    Cycles period = 0;
+    /** AtCycle + period: total fires (>= 1). */
+    unsigned repeat = 1;
+    /** OnAbort: CPU whose aborts count; invalidCpu = any CPU. */
+    CpuId watch = invalidCpu;
+    /** OnAbort: fire on the count-th abort (1 = first). */
+    std::uint64_t count = 1;
+    /** OnFootprint watch line; also the fault's line operand. */
+    Addr line = 0;
+    /** AfterStep: index of the prerequisite step (must be lower). */
+    std::size_t after = 0;
+
+    /** Fault applied when the trigger fires. */
+    FaultKind kind = FaultKind::SpuriousAbort;
+    /**
+     * Victim CPU; invalidCpu resolves from machine state at fire
+     * time: OnAbort takes the aborting CPU, OnFootprint the
+     * (lowest-id) CPU holding the line, everything else the
+     * lowest-id CPU holding `line` in its footprint, falling back
+     * to CPU 0.
+     */
+    CpuId target = invalidCpu;
+    /** PoisonLine: also corrupt the memory image. */
+    bool poisonMemory = false;
+
+    /** Checked (counted + warned, not fatal) at fire time. */
+    StepAssert check = StepAssert::None;
 };
 
 /** A complete injection campaign: per-step rates plus a schedule. */
@@ -71,6 +175,10 @@ struct FaultPlan
     double interruptStormRate = 0.0;
     /** Probability that any one XI response is delayed. */
     double delayedXiRate = 0.0;
+    /** Probability of a conflict XI aimed at `targetedLine`. */
+    double targetedConflictRate = 0.0;
+    /** Probability of poisoning a line of the stepper's footprint. */
+    double poisonRate = 0.0;
     /** @} */
 
     /** @name Fault shape parameters @{ */
@@ -86,10 +194,15 @@ struct FaultPlan
     unsigned interruptBurst = 2;
     /** Maximum extra cycles added to a delayed XI response. */
     Cycles xiDelayMax = 256;
+    /** Line rate-driven TargetedConflict faults aim at. */
+    Addr targetedLine = 0;
     /** @} */
 
     /** Cycle-pinned faults, applied in order of appearance. */
     std::vector<ScheduledFault> schedule;
+
+    /** Scripted trigger-driven steps (see ScenarioStep). */
+    std::vector<ScenarioStep> scenario;
 
     /**
      * Seed of the injector's private RNG; 0 derives one from the
@@ -104,7 +217,9 @@ struct FaultPlan
     {
         return spuriousAbortRate > 0 || xiStormRate > 0 ||
                capacitySqueezeRate > 0 || interruptStormRate > 0 ||
-               delayedXiRate > 0 || !schedule.empty();
+               delayedXiRate > 0 || targetedConflictRate > 0 ||
+               poisonRate > 0 || !schedule.empty() ||
+               !scenario.empty();
     }
 };
 

@@ -132,6 +132,7 @@ Hierarchy::sendXi(XiKind kind, Addr line, CpuId target, CpuId requester)
         bool(flags & line_flag::txRead),
         bool(flags & line_flag::txDirty),
         lruExtensionHit(target, line),
+        poisonedCached(line),
     };
     // XI counters live in the target's hot slot: in the fast path
     // the XI is delivered by the target's own shard, so the shared
@@ -253,9 +254,48 @@ Hierarchy::fetch(CpuId cpu, Addr line, bool exclusive,
         installShardLocal(cpu, line);
     else
         installLocal(cpu, line);
+    if (poisonActive_)
+        propagatePoisonOnFill(cpu, line, e, res.source);
     res.latency = std::max(lat_.fetch(res.source), xi_cost);
     ++hot_[cpu].fetchMiss;
     return res;
+}
+
+void
+Hierarchy::propagatePoisonOnFill(CpuId cpu, Addr line,
+                                 const DirectoryEntry &pre,
+                                 DataSource source)
+{
+    const auto it = poison_.find(line);
+    if (it == poison_.end())
+        return;
+    if (it->second & poisonCached) {
+        // A corrupt cached image supplied the fill: holder
+        // intervention carries poison over the XI data transfer,
+        // a shared-cache hit carries it on the fetch itself.
+        bool other_holder =
+            pre.owner != invalidCpu && pre.owner != cpu;
+        if (!other_holder) {
+            auto sharers = pre.sharers;
+            if (cpu < maxDirectoryCpus)
+                sharers.reset(cpu);
+            other_holder = sharers.any();
+        }
+        if (other_holder)
+            ++hot_[cpu].poisonSpreadXi;
+        else
+            ++hot_[cpu].poisonSpreadFetch;
+    } else if ((it->second & poisonMemorySide) &&
+               source == DataSource::Memory) {
+        // The corrupt home image enters the cache hierarchy.
+        // Memory-sourced fills never take the shard-local fast path,
+        // so this value-only mutation happens serially.
+        it->second |= poisonCached;
+        ++hot_[cpu].poisonSpreadFetch;
+    } else {
+        return; // memory-side only, fill came from a clean cache
+    }
+    l1_[cpu].setFlags(line, line_flag::poison);
 }
 
 void
@@ -423,7 +463,8 @@ Hierarchy::insertL1(CpuId cpu, Addr line)
             const XiContext ctx{XiKind::Lru, victim.line, invalidCpu,
                                 true,
                                 bool(victim.flags & line_flag::txDirty),
-                                false};
+                                false,
+                                poisonedCached(victim.line)};
             client(cpu)->incomingXi(ctx);
         }
     }
@@ -439,12 +480,16 @@ Hierarchy::handleL2Evict(CpuId cpu, Addr victim)
     l1_[cpu].invalidate(victim);
     dir_.remove(victim, cpu);
     ++hot_[cpu].l2Evict;
+    const bool victim_poisoned = poisonedCached(victim);
+    if (victim_poisoned)
+        ++hot_[cpu].poisonSpreadCastout; // castout moves the image
     // Inclusivity LRU-XI down to the core; the client aborts its
     // transaction when the line is (or may be, via the imprecise
     // extension row) part of the transactional footprint.
     const XiContext ctx{XiKind::Lru, victim, invalidCpu,
                         bool(flags & line_flag::txRead),
-                        bool(flags & line_flag::txDirty), ext_hit};
+                        bool(flags & line_flag::txDirty), ext_hit,
+                        victim_poisoned};
     client(cpu)->incomingXi(ctx);
 }
 
@@ -570,7 +615,7 @@ void
 Hierarchy::flushCpuCaches(CpuId cpu)
 {
     l1_[cpu].forEachValid([&](const CacheArray::Entry &e) {
-        if (e.flags)
+        if (e.flags & (line_flag::txRead | line_flag::txDirty))
             ztx_panic("flushCpuCaches with transactional marks set");
     });
     std::vector<Addr> lines;
@@ -636,6 +681,67 @@ Hierarchy::squeezeCapacity(CpuId cpu, unsigned l1_ways,
 }
 
 void
+Hierarchy::poisonLine(Addr line, bool memory_side)
+{
+    line = lineAlign(line);
+    std::uint8_t &bits = poison_[line];
+    bits |= poisonCached;
+    if (memory_side)
+        bits |= poisonMemorySide;
+    poisonActive_ = true;
+    stats_.counter("poison.injected").inc();
+    // Best-effort flag mirror on the L1s of current holders, so
+    // XiContext and introspection see the poison without a map walk.
+    const DirectoryEntry e = dir_.lookup(line);
+    for (unsigned h = 0; h < topo_.numCpus(); ++h)
+        if ((e.owner == CpuId(h) ||
+             (h < maxDirectoryCpus && e.sharers[h])) &&
+            l1_[h].contains(line))
+            l1_[h].setFlags(line, line_flag::poison);
+}
+
+bool
+Hierarchy::scrubLine(Addr line)
+{
+    line = lineAlign(line);
+    const auto it = poison_.find(line);
+    if (it == poison_.end())
+        return true; // raced away (already scrubbed) — vacuous
+    if (it->second & poisonMemorySide)
+        return false; // no clean copy exists anywhere
+    poison_.erase(it);
+    for (auto &l1 : l1_)
+        l1.clearFlags(line, line_flag::poison);
+    stats_.counter("poison.scrubbed").inc();
+    poisonActive_ = !poison_.empty();
+    return true;
+}
+
+void
+Hierarchy::reloadLine(Addr line)
+{
+    line = lineAlign(line);
+    if (poison_.erase(line)) {
+        stats_.counter("poison.reloaded").inc();
+        for (auto &l1 : l1_)
+            l1.clearFlags(line, line_flag::poison);
+    }
+    poisonActive_ = !poison_.empty();
+}
+
+bool
+Hierarchy::inTxFootprint(CpuId cpu, Addr line) const
+{
+    line = lineAlign(line);
+    if (l1_[cpu].flagsOf(line) &
+        (line_flag::txRead | line_flag::txDirty))
+        return true;
+    const auto &tracked = lruExtTracked_[cpu];
+    return std::find(tracked.begin(), tracked.end(), line) !=
+           tracked.end();
+}
+
+void
 Hierarchy::foldHotCounters() const
 {
     HotCounters sum;
@@ -654,6 +760,9 @@ Hierarchy::foldHotCounters() const
         sum.xiLru += h.xiLru;
         sum.xiRejected += h.xiRejected;
         sum.xiDelayed += h.xiDelayed;
+        sum.poisonSpreadFetch += h.poisonSpreadFetch;
+        sum.poisonSpreadCastout += h.poisonSpreadCastout;
+        sum.poisonSpreadXi += h.poisonSpreadXi;
     }
     // Touch every counter unconditionally so the set of registered
     // stats (and hence the JSON shape) never depends on which paths
@@ -681,6 +790,13 @@ Hierarchy::foldHotCounters() const
                                       hotFolded_.xiRejected);
     stats_.counter("xi.delayed").inc(sum.xiDelayed -
                                      hotFolded_.xiDelayed);
+    stats_.counter("poison.spread_fetch")
+        .inc(sum.poisonSpreadFetch - hotFolded_.poisonSpreadFetch);
+    stats_.counter("poison.spread_castout")
+        .inc(sum.poisonSpreadCastout -
+             hotFolded_.poisonSpreadCastout);
+    stats_.counter("poison.spread_xi")
+        .inc(sum.poisonSpreadXi - hotFolded_.poisonSpreadXi);
     hotFolded_ = sum;
 }
 

@@ -19,6 +19,7 @@
 
 #include <bitset>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -229,6 +230,85 @@ class Hierarchy
     /** @} */
 
     /**
+     * @name Line-poisoning RAS model (src/inject, DESIGN.md §5c)
+     *
+     * Poison is metadata on the functional line image (the arrays
+     * hold tags only): the `cached` bit says some cached copy of the
+     * line is corrupt, the `memory` bit says the home/memory image
+     * itself is corrupt so a refresh-from-memory cannot scrub it.
+     * Propagation (fetch intervention, castout, XI data transfer) is
+     * counted but — by design — never escalates cached poison to the
+     * memory image; memory-side poison exists only via injection.
+     * @{
+     */
+    /** Poison state bits returned by poisonState(). */
+    static constexpr std::uint8_t poisonCached = 0x1;
+    static constexpr std::uint8_t poisonMemorySide = 0x2;
+
+    /**
+     * Inject poison on @p line (serial points only). With
+     * @p memory_side the home image is corrupt too: scrubLine()
+     * cannot recover it and the OS model kills/restarts instead.
+     */
+    void poisonLine(Addr line, bool memory_side);
+
+    /** True if some cached copy of @p line is poisoned. */
+    bool
+    poisonedCached(Addr line) const
+    {
+        if (!poisonActive_)
+            return false;
+        const auto it = poison_.find(line);
+        return it != poison_.end() && (it->second & poisonCached);
+    }
+
+    /** True if the memory image of @p line is poisoned. */
+    bool
+    poisonedMemory(Addr line) const
+    {
+        if (!poisonActive_)
+            return false;
+        const auto it = poison_.find(line);
+        return it != poison_.end() && (it->second & poisonMemorySide);
+    }
+
+    /** Cheap gate: any line poisoned anywhere right now. */
+    bool anyPoisoned() const { return poisonActive_; }
+
+    /** Raw poison bits of @p line (tests). */
+    std::uint8_t
+    poisonState(Addr line) const
+    {
+        const auto it = poison_.find(line);
+        return it == poison_.end() ? 0 : it->second;
+    }
+
+    /**
+     * Machine-check recovery, step 1 (serial points only): refresh
+     * the cached image of @p line from memory.
+     * @return True if the scrub succeeded (memory image clean);
+     *         false when the memory image is itself poisoned.
+     */
+    bool scrubLine(Addr line);
+
+    /**
+     * Machine-check recovery, step 2 for memory-side poison (serial
+     * points only): the OS reinitializes the frame, clearing all
+     * poison on @p line. Pairs with kill-and-restart of the
+     * workload item that owned the data.
+     */
+    void reloadLine(Addr line);
+
+    /**
+     * True if @p line is currently part of @p cpu's transactional
+     * footprint (tx-read/tx-dirty latch or evicted-but-tracked LRU
+     * extension). Cheap single-line variant of txFootprintLines();
+     * phase-safe (reads per-CPU state only).
+     */
+    bool inTxFootprint(CpuId cpu, Addr line) const;
+    /** @} */
+
+    /**
      * Invalidate every line of @p cpu's L1 and L2 (and its
      * directory holdings) — a cold-cache reset used by Monte-Carlo
      * harnesses that reuse one machine across trials. Must not be
@@ -261,12 +341,19 @@ class Hierarchy
         std::uint64_t xiLru = 0;
         std::uint64_t xiRejected = 0;
         std::uint64_t xiDelayed = 0;
+        // Poison propagation observed on this CPU's access paths.
+        std::uint64_t poisonSpreadFetch = 0;
+        std::uint64_t poisonSpreadCastout = 0;
+        std::uint64_t poisonSpreadXi = 0;
     };
 
     void foldHotCounters() const;
 
     AccessResult localHit(CpuId cpu, Addr line);
     DataSource findSource(CpuId cpu, Addr line) const;
+    void propagatePoisonOnFill(CpuId cpu, Addr line,
+                               const DirectoryEntry &pre,
+                               DataSource source);
     bool shardLocalEligible(CpuId cpu, Addr line,
                             const DirectoryEntry &e) const;
     DataSource shardLocalSource(CpuId cpu, Addr line) const;
@@ -342,6 +429,15 @@ class Hierarchy
      * therefore cannot register a shard partition either).
      */
     bool l3MaskTracked_ = true;
+    /**
+     * Poison bits per line (poisonCached/poisonMemorySide). Inserts
+     * and erases happen at serial points only; in-phase code performs
+     * lookups and value-only mutations of existing entries, which are
+     * safe under shard confinement (no rehash, disjoint lines).
+     */
+    std::unordered_map<Addr, std::uint8_t> poison_;
+    /** Fast gate for the common no-poison case (serial writes). */
+    bool poisonActive_ = false;
     XiDelayProbe *xiProbe_ = nullptr;
     std::vector<HotCounters> hot_;
     mutable HotCounters hotFolded_{};

@@ -53,6 +53,8 @@ struct XiContext
     bool txDirty;
     /** Target's LRU-extension vector covers this line's L1 row. */
     bool lruExtHit;
+    /** The line's cached image is poisoned (RAS model). */
+    bool poisoned = false;
 };
 
 /**

@@ -44,6 +44,7 @@ MillicodeEngine::transactionAbort(core::Cpu &cpu,
         ctx.code = std::uint64_t(ctx.reason);
 
     cpu.stats_.counter("tx.aborts").inc();
+    ++cpu.abortsTotal_;
     cpu.stats_.counter(std::string("tx.abort.") +
                        tx::abortReasonName(ctx.reason)).inc();
     ztx_trace(trace::Category::Millicode, "cpu", cpu.id_, " abort ",

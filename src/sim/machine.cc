@@ -590,6 +590,11 @@ Machine::fireWatchdog()
     if (injector_) {
         doc["inject"] = injector_->stats().toJson();
         doc["fault_plan"] = inject::faultPlanJson(cfg_.faults);
+        // What the injector actually did, and most recently: the
+        // first question a stall diagnosis asks is "was the chaos
+        // plan firing, and at whom".
+        doc["inject_fired"] = injector_->firedCountsJson();
+        doc["inject_recent"] = injector_->recentFiresJson();
     }
     watchdogReport_ = std::move(doc);
 

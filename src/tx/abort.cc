@@ -24,6 +24,7 @@ abortReasonName(AbortReason reason)
       case AbortReason::CacheFetchRelated: return "cache-fetch";
       case AbortReason::CacheStoreRelated: return "cache-store";
       case AbortReason::CacheOther: return "cache-other";
+      case AbortReason::DataPoisoned: return "data-poisoned";
       case AbortReason::DiagnosticAbort: return "diagnostic";
       case AbortReason::Miscellaneous: return "miscellaneous";
       case AbortReason::TAbortBase: return "tabort";

@@ -36,6 +36,7 @@ enum class AbortReason : std::uint16_t
     CacheFetchRelated = 14,  ///< tx-read line lost (e.g. LRU'd)
     CacheStoreRelated = 15,  ///< tx-dirty line lost
     CacheOther = 16,         ///< e.g. XI-reject hang-avoidance
+    DataPoisoned = 17,       ///< poisoned line in the tx footprint (RAS)
     DiagnosticAbort = 254,   ///< Transaction Diagnostic Control abort
     Miscellaneous = 255,
     TAbortBase = 256,        ///< TABORT codes are >= 256
@@ -55,6 +56,7 @@ isTransient(AbortReason reason, std::uint64_t abort_code)
       case AbortReason::CacheFetchRelated:
       case AbortReason::CacheStoreRelated:
       case AbortReason::CacheOther:
+      case AbortReason::DataPoisoned:
       case AbortReason::DiagnosticAbort:
         return true;
       case AbortReason::TAbortBase:

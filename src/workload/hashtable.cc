@@ -191,6 +191,7 @@ runHashTableBench(const HashTableBenchConfig &cfg)
     }
     const TxStatsSummary tx = collectTxStats(machine);
     res.sched = collectSchedStats(machine);
+    res.ras = collectRasStats(machine);
     res.txCommits = tx.commits;
     res.txAborts = tx.aborts;
     res.instructions = tx.instructions;

@@ -64,6 +64,9 @@ struct HashTableBenchResult
     /** Parallel-scheduler activity (zero on the legacy path). */
     SchedStatsSummary sched;
 
+    /** Poison/machine-check activity (zero without RAS faults). */
+    RasSummary ras;
+
     /** Occupied buckets at the end (sanity). */
     unsigned occupiedBuckets = 0;
 

@@ -231,6 +231,7 @@ runListSetBench(const ListSetBenchConfig &cfg)
     }
     const TxStatsSummary tx = collectTxStats(machine);
     res.sched = collectSchedStats(machine);
+    res.ras = collectRasStats(machine);
     res.txCommits = tx.commits;
     res.txAborts = tx.aborts;
     res.instructions = tx.instructions;

@@ -67,6 +67,9 @@ struct ListSetBenchResult
     /** Parallel-scheduler activity (zero on the legacy path). */
     SchedStatsSummary sched;
 
+    /** Poison/machine-check activity (zero without RAS faults). */
+    RasSummary ras;
+
     /** Final list length (walked host-side). */
     unsigned finalLength = 0;
     /** Keys strictly ascending along the walk. */

@@ -160,6 +160,7 @@ runQueueBench(const QueueBenchConfig &cfg)
     }
     const TxStatsSummary tx = collectTxStats(machine);
     res.sched = collectSchedStats(machine);
+    res.ras = collectRasStats(machine);
     res.txCommits = tx.commits;
     res.txAborts = tx.aborts;
     res.instructions = tx.instructions;

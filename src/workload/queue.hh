@@ -59,6 +59,9 @@ struct QueueBenchResult
     /** Parallel-scheduler activity (zero on the legacy path). */
     SchedStatsSummary sched;
 
+    /** Poison/machine-check activity (zero without RAS faults). */
+    RasSummary ras;
+
     std::uint64_t dequeuedNonEmpty = 0;
     /** Nodes remaining in the queue at the end (consistency). */
     std::uint64_t finalLength = 0;

@@ -51,6 +51,30 @@ collectSchedStats(const sim::Machine &machine)
     return sum;
 }
 
+RasSummary
+collectRasStats(sim::Machine &machine)
+{
+    RasSummary sum;
+    const auto &hier = machine.hierarchy().stats().counters();
+    const auto get = [](const auto &counters, const char *stat) {
+        const auto it = counters.find(stat);
+        return it == counters.end() ? std::uint64_t(0)
+                                    : it->second.value();
+    };
+    sum.poisoned = get(hier, "poison.injected");
+    sum.spread = get(hier, "poison.spread_fetch") +
+                 get(hier, "poison.spread_castout") +
+                 get(hier, "poison.spread_xi");
+    sum.scrubs = get(hier, "poison.scrubbed");
+    for (unsigned i = 0; i < machine.numCpus(); ++i) {
+        const auto &cpu = machine.cpu(i).stats().counters();
+        sum.machineChecks += get(cpu, "machine_checks");
+        sum.restarts += get(cpu, "workload_restarts");
+        sum.poisonAborts += get(cpu, "tx.abort.data-poisoned");
+    }
+    return sum;
+}
+
 SeriesTable::SeriesTable(std::string x_label,
                          std::vector<std::string> series)
     : xLabel_(std::move(x_label)), series_(std::move(series))

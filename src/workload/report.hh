@@ -100,6 +100,34 @@ struct SchedStatsSummary
 /** Collect the machine-level "sched.*" counters. */
 SchedStatsSummary collectSchedStats(const sim::Machine &machine);
 
+/**
+ * RAS (line-poisoning) activity of one run: how often lines were
+ * poisoned, how the poison moved, and what the recovery ladder did
+ * about it (scrub on a clean copy, workload restart otherwise).
+ * All zero when the fault plan injects no poison.
+ */
+struct RasSummary
+{
+    /** Lines poisoned by the injector ("poison.injected"). */
+    std::uint64_t poisoned = 0;
+    /** Poison propagation events (fetch + castout + XI transfer). */
+    std::uint64_t spread = 0;
+    /** Machine checks taken (per-CPU "machine_checks" summed). */
+    std::uint64_t machineChecks = 0;
+    /** Lines scrubbed clean from memory ("poison.scrubbed"). */
+    std::uint64_t scrubs = 0;
+    /** Workload items killed and restarted (no clean copy). */
+    std::uint64_t restarts = 0;
+    /** Transactions aborted by poisoned footprint lines. */
+    std::uint64_t poisonAborts = 0;
+};
+
+/**
+ * Collect the poison/machine-check counters. Non-const: reading the
+ * hierarchy's stats folds its hot counters.
+ */
+RasSummary collectRasStats(sim::Machine &machine);
+
 } // namespace ztx::workload
 
 #endif // ZTX_WORKLOAD_REPORT_HH

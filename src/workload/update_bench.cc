@@ -157,6 +157,7 @@ runUpdateBench(const UpdateBenchConfig &cfg)
     }
     const TxStatsSummary tx = collectTxStats(machine);
     res.sched = collectSchedStats(machine);
+    res.ras = collectRasStats(machine);
     res.txCommits = tx.commits;
     res.txAborts = tx.aborts;
     res.xiRejects = tx.xiRejects;

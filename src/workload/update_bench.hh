@@ -70,6 +70,9 @@ struct UpdateBenchResult
     /** Parallel-scheduler activity (zero on the legacy path). */
     SchedStatsSummary sched;
 
+    /** Poison/machine-check activity (zero without RAS faults). */
+    RasSummary ras;
+
     /** Sum of all pool variables after the run (correctness). */
     std::uint64_t poolSum = 0;
 };
