@@ -175,6 +175,26 @@ main(int argc, char **argv)
         if (const ztx::Json *plan = rec.find("fault_plan"))
             if (const char *why = checkFaultPlan(*plan))
                 return fail(path, why);
+        // Full-topology scale records break the host wall-clock
+        // down by scheduler phase; an incomplete or inconsistent
+        // breakdown would silently corrupt the Amdahl analysis the
+        // campaign exists to produce.
+        if (const ztx::Json *phase = rec.find("phase")) {
+            if (!phase->isObject())
+                return fail(path, "phase is not an object");
+            for (const char *key :
+                 {"parallel_seconds", "merge_seconds", "quanta",
+                  "merge_share"}) {
+                const ztx::Json *v = phase->find(key);
+                if (!v || !v->isNumber())
+                    return fail(path, "phase timing field missing "
+                                      "or not numeric");
+            }
+            const double share =
+                phase->find("merge_share")->number();
+            if (share < 0.0 || share > 1.0)
+                return fail(path, "phase.merge_share outside [0,1]");
+        }
     }
     const ztx::Json *speed = doc->find("sim_speed");
     if (!speed)

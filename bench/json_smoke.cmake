@@ -2,12 +2,17 @@
 # resulting BENCH_<name>.json with the json_check binary. Invoked by
 # the bench_json_smoke ctest target:
 #   cmake -DBENCH_BIN=... -DCHECK_BIN=... -DOUT_DIR=...
-#         -DBENCH_NAME=... -P json_smoke.cmake
+#         -DBENCH_NAME=... [-DBENCH_ARGS=...] -P json_smoke.cmake
+# BENCH_ARGS is an optional semicolon-separated argument list
+# forwarded to the bench binary (e.g. "--smoke").
 foreach(var BENCH_BIN CHECK_BIN OUT_DIR BENCH_NAME)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "json_smoke.cmake: ${var} not set")
     endif()
 endforeach()
+if(NOT DEFINED BENCH_ARGS)
+    set(BENCH_ARGS "")
+endif()
 
 file(REMOVE_RECURSE "${OUT_DIR}")
 file(MAKE_DIRECTORY "${OUT_DIR}")
@@ -16,7 +21,7 @@ execute_process(
     COMMAND ${CMAKE_COMMAND} -E env
         ZTX_BENCH_FAST=1 ZTX_BENCH_ITERS=20
         "ZTX_BENCH_JSON=${OUT_DIR}"
-        "${BENCH_BIN}"
+        "${BENCH_BIN}" ${BENCH_ARGS}
     RESULT_VARIABLE bench_rc
     OUTPUT_VARIABLE bench_out
     ERROR_VARIABLE bench_err)

@@ -46,19 +46,6 @@ class Engine
         if (!validate(v))
             return v; // malformed: checked stays false
 
-        // The search recurses once per linearized operation, so the
-        // history size bounds the stack depth: refuse oversized
-        // histories honestly instead of overflowing. Large complete
-        // histories belong to the order-inference oracle
-        // (order_infer.hh), which is iterative and O(n log n).
-        if (ops_.size() > limits_.maxOps) {
-            v.reason = "history of " + std::to_string(ops_.size()) +
-                       " operations exceeds the DFS operation "
-                       "limit (" + std::to_string(limits_.maxOps) +
-                       "); use the order-inference oracle";
-            return v; // checked stays false
-        }
-
         // The simulator's global cycle order: sorting by invoke
         // makes "the next operation that could linearize" a window
         // scan from the first undecided index.
@@ -242,82 +229,143 @@ class Engine
             std::to_string(ops_.size()) + " operations";
     }
 
+    /**
+     * One suspended branch point of the search. Frames exist only
+     * where the window holds several candidates (or a pending
+     * operation): runs of forced linearizations are consumed inside
+     * a single frame, so the stack depth is the number of *open
+     * branch decisions*, not the history size — and it lives on the
+     * heap, so even an all-pending history cannot overflow the host
+     * stack (the old recursive engine had to refuse such histories
+     * beyond a size cap).
+     */
+    struct Frame
+    {
+        /** Spec state at the branch point (after forced ops). */
+        State state;
+        /** Forced-fast-path marks, undone when the frame dies. */
+        std::vector<std::size_t> forced;
+        Window w;
+        /** Cursor into w.cand: the candidate being explored. */
+        std::size_t ci = 0;
+        /** Pending candidates: 0 = took effect, 1 = never happened. */
+        int stage = 0;
+        /** Forced prefix consumed, window and memo established. */
+        bool expanded = false;
+    };
+
     bool
     dfs(State state)
     {
-        // Marks made by this frame's forced fast path, undone on
-        // backtrack.
-        std::vector<std::size_t> forced;
-        const auto rollback = [&] {
-            for (auto it = forced.rbegin(); it != forced.rend();
-                 ++it)
-                unmark(*it);
-        };
+        std::vector<Frame> stack;
+        stack.push_back(Frame{std::move(state)});
+        // True when the top frame is being resumed after one of its
+        // children exhausted its subtree without success.
+        bool resuming = false;
 
-        for (;;) {
-            Window w = window();
-            if (w.first == ops_.size())
-                return true; // every operation decided
+        while (!stack.empty()) {
+            Frame &f = stack.back();
 
-            // Fast path: exactly one minimal operation and it
-            // completed — its linearization position is forced, no
-            // branching, no memo traffic. The deterministic global
-            // cycle order makes this the dominant case.
-            if (w.cand.size() == 1 && !ops_[w.cand[0]].pending) {
-                if (!bumpExplored() ||
-                    !state.apply(ops_[w.cand[0]])) {
-                    if (!limitHit_)
-                        noteStuck(w, w.cand[0]);
-                    rollback();
-                    return false;
-                }
-                mark(w.cand[0]);
-                forced.push_back(w.cand[0]);
-                continue;
-            }
-
-            // Branch point: try every minimal operation; prune
-            // configurations (done-set + spec state) seen before.
-            if (!memoInsert(w, state)) {
-                rollback();
-                return false;
-            }
-            for (const std::size_t c : w.cand) {
-                const LinOp &op = ops_[c];
-                if (!bumpExplored())
-                    break;
-                if (!op.pending) {
-                    State next = state;
-                    if (!next.apply(op)) {
-                        noteStuck(w, c);
+            if (!f.expanded) {
+                // Fast path: while exactly one minimal operation
+                // exists and it completed, its linearization
+                // position is forced — no branching, no memo
+                // traffic, no new frame. The deterministic global
+                // cycle order makes this the dominant case.
+                bool fail = false;
+                for (;;) {
+                    Window w = window();
+                    if (w.first == ops_.size())
+                        return true; // every operation decided
+                    if (w.cand.size() == 1 &&
+                        !ops_[w.cand[0]].pending) {
+                        if (!bumpExplored() ||
+                            !f.state.apply(ops_[w.cand[0]])) {
+                            if (!limitHit_)
+                                noteStuck(w, w.cand[0]);
+                            fail = true;
+                            break;
+                        }
+                        mark(w.cand[0]);
+                        f.forced.push_back(w.cand[0]);
                         continue;
                     }
-                    mark(c);
-                    if (dfs(std::move(next)))
-                        return true;
-                    unmark(c);
-                } else {
-                    // Maybe-completed: either it took effect ...
-                    State next = state;
-                    next.applyPending(op);
-                    mark(c);
-                    if (dfs(std::move(next)))
-                        return true;
-                    unmark(c);
-                    if (limitHit_)
-                        break;
-                    // ... or it never happened.
-                    mark(c);
-                    if (dfs(state))
-                        return true;
-                    unmark(c);
-                }
-                if (limitHit_)
+                    // Branch point: prune configurations (done-set
+                    // + spec state) seen before.
+                    if (!memoInsert(w, f.state))
+                        fail = true;
+                    f.w = std::move(w);
                     break;
+                }
+                if (fail) {
+                    for (auto it = f.forced.rbegin();
+                         it != f.forced.rend(); ++it)
+                        unmark(*it);
+                    stack.pop_back();
+                    resuming = true;
+                    continue;
+                }
+                f.expanded = true;
+            } else if (resuming) {
+                // The child exploring candidate ci/stage failed:
+                // undo its mark and advance to the next alternative
+                // (a pending operation's "took effect" branch is
+                // followed by its "never happened" branch).
+                const std::size_t c = f.w.cand[f.ci];
+                unmark(c);
+                if (ops_[c].pending && f.stage == 0 && !limitHit_) {
+                    f.stage = 1;
+                } else {
+                    f.stage = 0;
+                    ++f.ci;
+                }
+                resuming = false;
             }
-            rollback();
-            return false;
+
+            // Dispatch the next candidate as a child frame.
+            bool pushed = false;
+            while (f.ci < f.w.cand.size() && !limitHit_) {
+                const std::size_t c = f.w.cand[f.ci];
+                const LinOp &op = ops_[c];
+                if (f.stage == 0) {
+                    // One exploration budget per candidate; the
+                    // dropped branch of a pending op rides along.
+                    if (!bumpExplored())
+                        break;
+                    State next = f.state;
+                    if (!op.pending) {
+                        if (!next.apply(op)) {
+                            noteStuck(f.w, c);
+                            ++f.ci;
+                            continue;
+                        }
+                    } else {
+                        // Maybe-completed: first assume it took
+                        // effect (result unconstrained) ...
+                        next.applyPending(op);
+                    }
+                    mark(c);
+                    stack.push_back(Frame{std::move(next)});
+                } else {
+                    // ... then assume it never happened.
+                    mark(c);
+                    stack.push_back(Frame{f.state});
+                }
+                pushed = true;
+                break;
+            }
+            if (!pushed) {
+                // Candidates exhausted (or the limit tripped):
+                // this subtree holds no linearization.
+                Frame &g = stack.back();
+                for (auto it = g.forced.rbegin();
+                     it != g.forced.rend(); ++it)
+                    unmark(*it);
+                stack.pop_back();
+                resuming = true;
+            }
         }
+        return false;
     }
 
     std::vector<LinOp> ops_;

@@ -96,18 +96,18 @@ struct LinOp
     std::vector<VersionAccess> accesses;
 };
 
-/** Search limits: blowup protection for adversarial histories. */
+/**
+ * Search limits: blowup protection for adversarial histories. The
+ * search keeps its branch frames on an explicit heap stack (one
+ * frame per *undecided branch point*, not per operation), so no
+ * history size can overflow the host stack; maxStates alone bounds
+ * the work, and arbitrarily large pending histories come back with
+ * a real verdict instead of an unchecked refusal.
+ */
 struct LinCheckLimits
 {
     /** Specification apply attempts before giving up unchecked. */
     std::uint64_t maxStates = 4'000'000;
-    /**
-     * History sizes beyond this come back unchecked: the DFS
-     * recurses once per linearized operation, so the history size
-     * bounds the host stack depth. Histories this large are the
-     * order-inference oracle's job (order_infer.hh).
-     */
-    std::uint64_t maxOps = 20'000;
 };
 
 /** Outcome of one linearizability check. */

@@ -1,5 +1,6 @@
 #include "directory.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/log.hh"
@@ -12,35 +13,109 @@ constexpr auto relaxed = std::memory_order_relaxed;
 
 } // namespace
 
-CoherenceDirectory::Slot &
-CoherenceDirectory::slot(Addr line)
+void
+CoherenceDirectory::configure(unsigned num_cpus)
 {
-    const auto it = slots_.find(line);
-    if (it != slots_.end())
-        return it->second;
+    if (used_ != 0)
+        ztx_panic("directory configure() after entries exist");
+    if (num_cpus > maxDirectoryCpus)
+        ztx_panic("directory cannot track ", num_cpus, " cpus");
+    sharerWords_ = std::max(1u, (num_cpus + 63) / 64);
+}
+
+std::size_t
+CoherenceDirectory::findIndex(Addr line) const
+{
+    if (capacity_ == 0)
+        return npos;
+    std::size_t i = probeStart(line);
+    while (true) {
+        const Addr k = keys_[i];
+        if (k == line)
+            return i;
+        if (k == emptyKey)
+            return npos;
+        i = (i + 1) & mask_;
+    }
+}
+
+std::size_t
+CoherenceDirectory::insertKey(Addr line)
+{
+    std::size_t i = probeStart(line);
+    while (keys_[i] != emptyKey)
+        i = (i + 1) & mask_;
+    keys_[i] = line;
+    ++used_;
+    return i;
+}
+
+void
+CoherenceDirectory::rehash(std::size_t new_cap)
+{
+    const std::size_t old_cap = capacity_;
+    std::vector<Addr> old_keys = std::move(keys_);
+    std::vector<std::atomic<CpuId>> old_owner =
+        std::move(owner_);
+    std::vector<std::atomic<std::uint64_t>> old_sharers =
+        std::move(sharers_);
+    std::vector<std::atomic<std::uint64_t>> old_l3 =
+        std::move(l3Mask_);
+
+    capacity_ = new_cap;
+    mask_ = new_cap - 1;
+    used_ = 0;
+    keys_.assign(new_cap, emptyKey);
+    owner_ = std::vector<std::atomic<CpuId>>(new_cap);
+    for (auto &o : owner_)
+        o.store(invalidCpu, relaxed);
+    sharers_ = std::vector<std::atomic<std::uint64_t>>(
+        new_cap * sharerWords_);
+    l3Mask_ = std::vector<std::atomic<std::uint64_t>>(new_cap);
+
+    for (std::size_t i = 0; i < old_cap; ++i) {
+        if (old_keys[i] == emptyKey)
+            continue;
+        const std::size_t j = insertKey(old_keys[i]);
+        owner_[j].store(old_owner[i].load(relaxed), relaxed);
+        for (unsigned w = 0; w < sharerWords_; ++w)
+            sharers_[j * sharerWords_ + w].store(
+                old_sharers[i * sharerWords_ + w].load(relaxed),
+                relaxed);
+        l3Mask_[j].store(old_l3[i].load(relaxed), relaxed);
+    }
+}
+
+std::size_t
+CoherenceDirectory::ensureIndex(Addr line)
+{
+    const std::size_t found = findIndex(line);
+    if (found != npos)
+        return found;
     if (concurrent_)
         ztx_panic("directory entry creation during a parallel "
                   "phase (line 0x", std::hex, line, ")");
-    return slots_[line];
-}
-
-const CoherenceDirectory::Slot *
-CoherenceDirectory::findSlot(Addr line) const
-{
-    const auto it = slots_.find(line);
-    return it == slots_.end() ? nullptr : &it->second;
+    // Grow at 3/4 load so linear probe runs stay short. Rehashing
+    // here is safe for the same reason creation is: we are at a
+    // serial point, no shard is reading the table.
+    if (capacity_ == 0)
+        rehash(initialCapacity);
+    else if ((used_ + 1) * 4 > capacity_ * 3)
+        rehash(capacity_ * 2);
+    return insertKey(line);
 }
 
 DirectoryEntry
 CoherenceDirectory::lookup(Addr line) const
 {
     DirectoryEntry e;
-    const Slot *s = findSlot(line);
-    if (!s)
+    const std::size_t i = findIndex(line);
+    if (i == npos)
         return e;
-    e.owner = s->owner.load(relaxed);
-    for (unsigned w = 0; w < sharerWords; ++w) {
-        std::uint64_t word = s->sharers[w].load(relaxed);
+    e.owner = owner_[i].load(relaxed);
+    for (unsigned w = 0; w < sharerWords_; ++w) {
+        std::uint64_t word =
+            sharers_[i * sharerWords_ + w].load(relaxed);
         while (word) {
             const unsigned bit =
                 unsigned(std::countr_zero(word));
@@ -48,82 +123,79 @@ CoherenceDirectory::lookup(Addr line) const
             word &= word - 1;
         }
     }
-    e.l3Mask = s->l3Mask.load(relaxed);
+    e.l3Mask = l3Mask_[i].load(relaxed);
     return e;
 }
 
 bool
 CoherenceDirectory::holds(CpuId cpu, Addr line) const
 {
-    const Slot *s = findSlot(line);
-    if (!s)
+    const std::size_t i = findIndex(line);
+    if (i == npos)
         return false;
-    if (s->owner.load(relaxed) == cpu)
+    if (owner_[i].load(relaxed) == cpu)
         return true;
-    if (cpu >= maxDirectoryCpus)
+    if (cpu >= sharerWords_ * 64)
         return false;
-    return s->sharers[cpu / 64].load(relaxed) &
+    return sharers_[i * sharerWords_ + cpu / 64].load(relaxed) &
            (std::uint64_t(1) << (cpu % 64));
 }
 
 void
 CoherenceDirectory::setExclusive(Addr line, CpuId cpu)
 {
-    if (cpu >= maxDirectoryCpus)
+    if (cpu >= sharerWords_ * 64)
         ztx_panic("directory cannot track cpu ", cpu);
-    Slot &s = slot(line);
-    s.owner.store(cpu, relaxed);
-    for (unsigned w = 0; w < sharerWords; ++w)
-        s.sharers[w].store(w == cpu / 64
-                               ? std::uint64_t(1) << (cpu % 64)
-                               : 0,
-                           relaxed);
+    const std::size_t i = ensureIndex(line);
+    owner_[i].store(cpu, relaxed);
+    for (unsigned w = 0; w < sharerWords_; ++w)
+        sharers_[i * sharerWords_ + w].store(
+            w == cpu / 64 ? std::uint64_t(1) << (cpu % 64) : 0,
+            relaxed);
 }
 
 void
 CoherenceDirectory::addSharer(Addr line, CpuId cpu)
 {
-    if (cpu >= maxDirectoryCpus)
+    if (cpu >= sharerWords_ * 64)
         ztx_panic("directory cannot track cpu ", cpu);
-    Slot &s = slot(line);
-    const CpuId owner = s.owner.load(relaxed);
+    const std::size_t i = ensureIndex(line);
+    const CpuId owner = owner_[i].load(relaxed);
     if (owner != invalidCpu && owner != cpu)
         ztx_panic("addSharer while another CPU owns the line");
-    s.owner.store(invalidCpu, relaxed);
-    s.sharers[cpu / 64].fetch_or(std::uint64_t(1) << (cpu % 64),
-                                 relaxed);
+    owner_[i].store(invalidCpu, relaxed);
+    sharers_[i * sharerWords_ + cpu / 64].fetch_or(
+        std::uint64_t(1) << (cpu % 64), relaxed);
 }
 
 void
 CoherenceDirectory::demoteOwner(Addr line)
 {
-    Slot &s = slot(line);
-    const CpuId owner = s.owner.load(relaxed);
+    const std::size_t i = ensureIndex(line);
+    const CpuId owner = owner_[i].load(relaxed);
     if (owner == invalidCpu)
         ztx_panic("demoteOwner on unowned line");
-    s.sharers[owner / 64].fetch_or(std::uint64_t(1)
-                                       << (owner % 64),
-                                   relaxed);
-    s.owner.store(invalidCpu, relaxed);
+    sharers_[i * sharerWords_ + owner / 64].fetch_or(
+        std::uint64_t(1) << (owner % 64), relaxed);
+    owner_[i].store(invalidCpu, relaxed);
 }
 
 void
 CoherenceDirectory::remove(Addr line, CpuId cpu)
 {
-    const auto it = slots_.find(line);
-    if (it == slots_.end())
+    const std::size_t i = findIndex(line);
+    if (i == npos)
         return;
-    Slot &s = it->second;
     // The owner clear is only reached by the owner's own shard (a
     // line with an owner has exactly one holder), so the check-then-
     // store pair cannot race with a concurrent owner claim.
-    if (s.owner.load(relaxed) == cpu)
-        s.owner.store(invalidCpu, relaxed);
-    if (cpu < maxDirectoryCpus)
-        s.sharers[cpu / 64].fetch_and(
+    if (owner_[i].load(relaxed) == cpu)
+        owner_[i].store(invalidCpu, relaxed);
+    if (cpu < sharerWords_ * 64)
+        sharers_[i * sharerWords_ + cpu / 64].fetch_and(
             ~(std::uint64_t(1) << (cpu % 64)), relaxed);
-    // Idle entries are deliberately kept: the L3-residency mask
-    // outlives the holders, and erasure would mutate the map's
+    // Idle slots are deliberately kept: the L3-residency mask
+    // outlives the holders, and erasure would mutate the table's
     // structure under concurrent shard reads.
 }
 
@@ -131,10 +203,22 @@ std::vector<CpuId>
 CoherenceDirectory::sharersExcept(Addr line, CpuId except) const
 {
     std::vector<CpuId> out;
-    const DirectoryEntry e = lookup(line);
-    for (unsigned cpu = 0; cpu < maxDirectoryCpus; ++cpu)
-        if (e.sharers[cpu] && cpu != except && CpuId(cpu) != e.owner)
-            out.push_back(cpu);
+    const std::size_t i = findIndex(line);
+    if (i == npos)
+        return out;
+    const CpuId owner = owner_[i].load(relaxed);
+    for (unsigned w = 0; w < sharerWords_; ++w) {
+        std::uint64_t word =
+            sharers_[i * sharerWords_ + w].load(relaxed);
+        while (word) {
+            const unsigned bit =
+                unsigned(std::countr_zero(word));
+            const CpuId cpu = CpuId(w * 64 + bit);
+            if (cpu != except && cpu != owner)
+                out.push_back(cpu);
+            word &= word - 1;
+        }
+    }
     return out;
 }
 
@@ -142,13 +226,16 @@ std::size_t
 CoherenceDirectory::trackedLines() const
 {
     std::size_t n = 0;
-    for (const auto &[line, s] : slots_) {
-        if (s.owner.load(relaxed) != invalidCpu) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+        if (keys_[i] == emptyKey)
+            continue;
+        if (owner_[i].load(relaxed) != invalidCpu) {
             ++n;
             continue;
         }
-        for (unsigned w = 0; w < sharerWords; ++w) {
-            if (s.sharers[w].load(relaxed) != 0) {
+        for (unsigned w = 0; w < sharerWords_; ++w) {
+            if (sharers_[i * sharerWords_ + w].load(relaxed) !=
+                0) {
                 ++n;
                 break;
             }
@@ -162,7 +249,8 @@ CoherenceDirectory::setL3Resident(Addr line, unsigned chip)
 {
     if (chip >= maxDirectoryChips)
         ztx_panic("directory cannot track chip ", chip);
-    slot(line).l3Mask.fetch_or(std::uint64_t(1) << chip, relaxed);
+    l3Mask_[ensureIndex(line)].fetch_or(std::uint64_t(1) << chip,
+                                        relaxed);
 }
 
 void
@@ -170,10 +258,10 @@ CoherenceDirectory::clearL3Resident(Addr line, unsigned chip)
 {
     if (chip >= maxDirectoryChips)
         ztx_panic("directory cannot track chip ", chip);
-    const auto it = slots_.find(line);
-    if (it != slots_.end())
-        it->second.l3Mask.fetch_and(
-            ~(std::uint64_t(1) << chip), relaxed);
+    const std::size_t i = findIndex(line);
+    if (i != npos)
+        l3Mask_[i].fetch_and(~(std::uint64_t(1) << chip),
+                             relaxed);
 }
 
 } // namespace ztx::mem

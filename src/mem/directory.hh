@@ -10,26 +10,40 @@
  * mechanisms depend on. Timing still honors the hierarchy via the
  * latency model.
  *
+ * Storage (perf): an open-addressed, power-of-two flat table in
+ * structure-of-arrays layout — a key array probed linearly, and
+ * parallel atomic value arrays (owner / sharer words / L3 mask).
+ * Compared to the former @c std::unordered_map<Addr, Slot>, a
+ * directory access is one hash, a short linear key scan in a single
+ * cache line or two, and indexed loads from the value arrays — no
+ * node pointer chase, no bucket list. The sharer-word count per line
+ * is sized at configure() time from the machine's CPU count (one
+ * 64-bit word per 64 CPUs), so small topologies touch one word where
+ * the compile-time worst case (maxDirectoryCpus) would touch 16.
+ *
  * Concurrency contract (sharded scheduler, DESIGN.md §5b): during a
  * parallel phase each shard mutates only entries whose holders are
  * confined to that shard, so per-entry writes never contend; the only
  * cross-shard touches are commutative single-bit clears (remove) and
  * relaxed snapshot reads (lookup). Entry storage is therefore atomic
- * words, lookup() returns a plain snapshot by value, and idle entries
- * are never erased — erasure would mutate the map's structure (and
- * drop the L3-residency mask) while other shards read it. New entries
- * may only be created at serial points; setConcurrentPhase(true)
- * turns a creating access into a panic to enforce this.
+ * words, lookup() returns a plain snapshot by value, and slots are
+ * never erased — erasure would mutate the table's structure (and
+ * drop the L3-residency mask) while other shards read it. New
+ * entries may only be created — and the table only rehashed — at
+ * serial points; setConcurrentPhase(true) turns a creating access
+ * into a panic to enforce this. The key array is plain (non-atomic)
+ * because it is written only at serial points and read during
+ * parallel phases; the scheduler's quantum barrier orders those
+ * writes before any concurrent reader starts.
  */
 
 #ifndef ZTX_MEM_DIRECTORY_HH
 #define ZTX_MEM_DIRECTORY_HH
 
-#include <array>
 #include <atomic>
 #include <bitset>
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -37,7 +51,7 @@
 namespace ztx::mem {
 
 /** Upper bound on CPUs a directory entry can track. */
-inline constexpr unsigned maxDirectoryCpus = 256;
+inline constexpr unsigned maxDirectoryCpus = 1024;
 
 /** Upper bound on chips the L3-residency mask can track. */
 inline constexpr unsigned maxDirectoryChips = 64;
@@ -70,6 +84,15 @@ class CoherenceDirectory
 
     CoherenceDirectory(const CoherenceDirectory &) = delete;
     CoherenceDirectory &operator=(const CoherenceDirectory &) = delete;
+
+    /**
+     * Size the per-line sharer storage for @p num_cpus CPUs (rounded
+     * up to a multiple of 64, clamped to at least 64). Must be
+     * called before any entry exists; the hierarchy calls it once at
+     * construction. Without it the directory tracks the full
+     * maxDirectoryCpus worst case.
+     */
+    void configure(unsigned num_cpus);
 
     /** Snapshot of @p line's state (absent lines read as idle). */
     DirectoryEntry lookup(Addr line) const;
@@ -106,7 +129,8 @@ class CoherenceDirectory
     /**
      * Guard for the sharded scheduler's parallel phase: while set,
      * any operation that would have to create a new entry panics
-     * (entry creation rehashes the map under concurrent readers).
+     * (entry creation may rehash the table under concurrent
+     * readers).
      */
     void setConcurrentPhase(bool on) { concurrent_ = on; }
 
@@ -118,28 +142,69 @@ class CoherenceDirectory
     void
     forEachEntry(Fn &&fn) const
     {
-        for (const auto &kv : slots_)
-            fn(kv.first, lookup(kv.first));
+        for (std::size_t i = 0; i < capacity_; ++i)
+            if (keys_[i] != emptyKey)
+                fn(keys_[i], lookup(keys_[i]));
     }
 
+    /** @name Flat-table introspection (tests, stats) @{ */
+    /** Allocated slot count (a power of two, 0 before first use). */
+    std::size_t capacity() const { return capacity_; }
+    /** Occupied slot count (idle entries included — never erased). */
+    std::size_t size() const { return used_; }
+    /** Sharer words maintained per line (configure()-dependent). */
+    unsigned sharerWords() const { return sharerWords_; }
+    /** @} */
+
   private:
-    static constexpr unsigned sharerWords = maxDirectoryCpus / 64;
+    /**
+     * Empty-slot sentinel. Real keys are line-aligned (low
+     * lineSizeLog2 bits clear), so the all-ones pattern can never
+     * collide with one.
+     */
+    static constexpr Addr emptyKey = ~Addr(0);
+    static constexpr std::size_t npos = ~std::size_t(0);
+    /** First table allocation: 256 slots. */
+    static constexpr std::size_t initialCapacity = 256;
 
-    /** Atomic per-line storage; see file comment for the contract. */
-    struct Slot
+    /** Slot index of @p line's probe start. */
+    std::size_t
+    probeStart(Addr line) const
     {
-        std::atomic<CpuId> owner{invalidCpu};
-        std::array<std::atomic<std::uint64_t>, sharerWords>
-            sharers{};
-        std::atomic<std::uint64_t> l3Mask{0};
-    };
+        // Fibonacci hashing on the line number; the low bits of a
+        // line address are the offset (always zero here) and the
+        // next bits are dense sequential indices, so multiplicative
+        // mixing matters.
+        const std::uint64_t h =
+            (std::uint64_t(line) >> lineSizeLog2) *
+            0x9e3779b97f4a7c15ULL;
+        return std::size_t(h >> 32) & mask_;
+    }
 
-    /** The slot of @p line, created on demand (serial points only). */
-    Slot &slot(Addr line);
+    /** Slot of @p line, or npos when absent (lock-free read). */
+    std::size_t findIndex(Addr line) const;
 
-    const Slot *findSlot(Addr line) const;
+    /**
+     * Slot of @p line, created on demand. Creation (and any rehash
+     * it triggers) is legal at serial points only.
+     */
+    std::size_t ensureIndex(Addr line);
 
-    std::unordered_map<Addr, Slot> slots_;
+    /** Grow to @p new_cap slots and migrate every entry. */
+    void rehash(std::size_t new_cap);
+
+    /** Raw insert during rehash/creation: no growth check. */
+    std::size_t insertKey(Addr line);
+
+    unsigned sharerWords_ = maxDirectoryCpus / 64;
+    std::size_t capacity_ = 0;
+    std::size_t mask_ = 0;
+    std::size_t used_ = 0;
+    std::vector<Addr> keys_;
+    std::vector<std::atomic<CpuId>> owner_;
+    /** Slot-major: slot i's words at [i*sharerWords_, ...). */
+    std::vector<std::atomic<std::uint64_t>> sharers_;
+    std::vector<std::atomic<std::uint64_t>> l3Mask_;
     bool concurrent_ = false;
 };
 

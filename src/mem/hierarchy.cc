@@ -31,6 +31,9 @@ Hierarchy::Hierarchy(const Topology &topo, const LatencyModel &lat,
     if (n > maxDirectoryCpus)
         ztx_fatal("topology has ", n, " CPUs; directory supports ",
                   maxDirectoryCpus);
+    // Size the directory's per-line sharer words to this machine
+    // instead of the compile-time worst case.
+    dir_.configure(n);
     l1_.reserve(n);
     l2_.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
@@ -39,6 +42,7 @@ Hierarchy::Hierarchy(const Topology &topo, const LatencyModel &lat,
         lruExt_.emplace_back(geo_.l1.rows(), false);
     }
     lruExtTracked_.resize(n);
+    l2Overflow_.resize(n);
     hot_.resize(n);
     l3MaskTracked_ = topo_.numChips() <= maxDirectoryChips;
     for (unsigned c = 0; c < topo_.numChips(); ++c)
@@ -73,8 +77,10 @@ Hierarchy::localHit(CpuId cpu, Addr line)
         ++hot_[cpu].l1Hit;
         return res;
     }
-    // Inclusivity: a held line must be L2-resident.
-    if (!l2_[cpu].touch(line))
+    // Inclusivity: a held line must be L2-resident — either in the
+    // array or pending in the overflow buffer (a fast-path install
+    // whose real insert happens at the barrier drain).
+    if (!l2_[cpu].touch(line) && !inL2Overflow(cpu, line))
         ztx_panic("directory says cpu ", cpu, " holds line but L2 miss");
     insertL1(cpu, line);
     res.source = DataSource::L2;
@@ -171,7 +177,20 @@ void
 Hierarchy::removeFromCpu(CpuId cpu, Addr line)
 {
     l1_[cpu].invalidate(line);
-    l2_[cpu].invalidate(line);
+    if (!l2_[cpu].invalidate(line)) {
+        // The copy may still be pending in the overflow buffer (a
+        // same-shard XI can strip a line the fast path installed
+        // earlier in the same quantum); cancel the pending insert.
+        OverflowBuf &ob = l2Overflow_[cpu];
+        for (unsigned i = 0; i < ob.n; ++i) {
+            if (ob.lines[i] == line) {
+                for (unsigned j = i + 1; j < ob.n; ++j)
+                    ob.lines[j - 1] = ob.lines[j];
+                --ob.n;
+                break;
+            }
+        }
+    }
     dir_.remove(line, cpu);
 }
 
@@ -298,10 +317,43 @@ Hierarchy::propagatePoisonOnFill(CpuId cpu, Addr line,
     l1_[cpu].setFlags(line, line_flag::poison);
 }
 
+bool
+Hierarchy::inL2Overflow(CpuId cpu, Addr line) const
+{
+    const OverflowBuf &ob = l2Overflow_[cpu];
+    for (unsigned i = 0; i < ob.n; ++i)
+        if (ob.lines[i] == line)
+            return true;
+    return false;
+}
+
+void
+Hierarchy::drainL2Overflow()
+{
+    for (unsigned cpu = 0; cpu < topo_.numCpus(); ++cpu) {
+        OverflowBuf &ob = l2Overflow_[cpu];
+        for (unsigned i = 0; i < ob.n; ++i) {
+            const Addr line = ob.lines[i];
+            if (l2_[cpu].touch(line))
+                continue; // resident after all — nothing pending
+            const auto victim = l2_[cpu].insert(line);
+            if (victim.valid)
+                handleL2Evict(cpu, victim.line);
+        }
+        ob.n = 0;
+    }
+}
+
 void
 Hierarchy::setShardPartition(unsigned groups_per_chip,
                              unsigned active_cpus)
 {
+    // Repartitioning with pending overflow installs would orphan
+    // them (the drain is what completes the directory bookkeeping).
+    for (const OverflowBuf &ob : l2Overflow_)
+        if (ob.n != 0)
+            ztx_panic("shard repartition with a non-empty L2 "
+                      "overflow buffer; drain first");
     if (groups_per_chip == 0) {
         shardGroupsPerChip_ = 0;
         shardGroupSize_ = 1;
@@ -357,13 +409,20 @@ Hierarchy::shardLocalEligible(CpuId cpu, Addr line,
     // two more conditions keep the fast path race-free: the line
     // must be homed to this group (per-line hashing gives exactly
     // one group in-phase mutation rights over the directory entry),
-    // and the install must be eviction-free — an in-phase L2
-    // eviction would strip a holder that a sibling group's
-    // eligibility check may concurrently read.
+    // and the install must not evict in-phase — an L2 eviction
+    // would strip a holder that a sibling group's eligibility check
+    // may concurrently read. Evicting installs are admitted anyway
+    // while the CPU's overflow buffer has room: the new line parks
+    // there and the eviction happens serially at the barrier drain.
+    // Without the buffer this rule disables the fast path outright
+    // once the L2 warms up (every install evicts).
     if (homeGroupOf(line) != groupOf(cpu))
         return false;
-    return l2_[cpu].contains(line) ||
-           !l2_[cpu].insertWouldEvict(line);
+    if (l2_[cpu].contains(line) ||
+        !l2_[cpu].insertWouldEvict(line))
+        return true;
+    const OverflowBuf &ob = l2Overflow_[cpu];
+    return ob.n < l2OverflowCapacity || inL2Overflow(cpu, line);
 }
 
 DataSource
@@ -402,13 +461,27 @@ Hierarchy::installShardLocal(CpuId cpu, Addr line)
                   " despite residency mask");
     }
     if (!l2_[cpu].touch(line)) {
-        const auto victim = l2_[cpu].insert(line);
-        // Sub-chip eligibility rejects evicting installs outright;
-        // for whole-chip shards the eviction (and its LRU-XI) stays
-        // inside the shard and is handled exactly as on the serial
-        // path.
-        if (victim.valid)
-            handleL2Evict(cpu, victim.line);
+        if (inL2Overflow(cpu, line)) {
+            // Already pending from earlier in this quantum (the
+            // line was stripped from the L1 but not the buffer, or
+            // re-fetched after a demote); nothing more to do.
+        } else if (shardGroupsPerChip_ > 1 &&
+                   l2_[cpu].insertWouldEvict(line)) {
+            // Sub-chip shard, evicting install: park the line in
+            // the overflow buffer — eligibility guaranteed a free
+            // slot — and leave the eviction (directory removal,
+            // inclusivity LRU-XI) to the serial barrier drain.
+            OverflowBuf &ob = l2Overflow_[cpu];
+            ob.lines[ob.n++] = line;
+            ++hot_[cpu].l2OverflowAdmit;
+        } else {
+            // Whole-chip shards evict in-phase: the eviction (and
+            // its LRU-XI) stays inside the shard and is handled
+            // exactly as on the serial path.
+            const auto victim = l2_[cpu].insert(line);
+            if (victim.valid)
+                handleL2Evict(cpu, victim.line);
+        }
     }
     if (!l1_[cpu].touch(line))
         insertL1(cpu, line);
@@ -627,6 +700,13 @@ Hierarchy::flushCpuCaches(CpuId cpu)
         l2_[cpu].invalidate(line);
         dir_.remove(line, cpu);
     }
+    // Pending overflow installs are flushed like resident lines.
+    OverflowBuf &ob = l2Overflow_[cpu];
+    for (unsigned i = 0; i < ob.n; ++i) {
+        l1_[cpu].invalidate(ob.lines[i]);
+        dir_.remove(ob.lines[i], cpu);
+    }
+    ob.n = 0;
     std::fill(lruExt_[cpu].begin(), lruExt_[cpu].end(), false);
     lruExtTracked_[cpu].clear();
 }
@@ -754,6 +834,7 @@ Hierarchy::foldHotCounters() const
         sum.txDirtyKilled += h.txDirtyKilled;
         sum.fetchMiss += h.fetchMiss;
         sum.l2Evict += h.l2Evict;
+        sum.l2OverflowAdmit += h.l2OverflowAdmit;
         sum.xiReadOnly += h.xiReadOnly;
         sum.xiDemote += h.xiDemote;
         sum.xiExclusive += h.xiExclusive;
@@ -779,6 +860,8 @@ Hierarchy::foldHotCounters() const
     stats_.counter("l1.tx_dirty_killed")
         .inc(sum.txDirtyKilled - hotFolded_.txDirtyKilled);
     stats_.counter("l2.evict").inc(sum.l2Evict - hotFolded_.l2Evict);
+    stats_.counter("l2.overflow_admit")
+        .inc(sum.l2OverflowAdmit - hotFolded_.l2OverflowAdmit);
     stats_.counter("xi.read-only").inc(sum.xiReadOnly -
                                        hotFolded_.xiReadOnly);
     stats_.counter("xi.demote").inc(sum.xiDemote -
@@ -804,9 +887,11 @@ void
 Hierarchy::checkInvariants() const
 {
     for (unsigned cpu = 0; cpu < topo_.numCpus(); ++cpu) {
-        // L1 subset of L2; L2 subset of L3 and L4; holders match dir.
+        // L1 subset of L2 (counting pending overflow installs);
+        // L2 subset of L3 and L4; holders match the directory.
         l1_[cpu].forEachValid([&](const CacheArray::Entry &e) {
-            if (!l2_[cpu].contains(e.line))
+            if (!l2_[cpu].contains(e.line) &&
+                !inL2Overflow(cpu, e.line))
                 ztx_panic("L1 line not in L2 (cpu ", cpu, ")");
         });
         l2_[cpu].forEachValid([&](const CacheArray::Entry &e) {
@@ -817,6 +902,20 @@ Hierarchy::checkInvariants() const
             if (!dir_.holds(cpu, e.line))
                 ztx_panic("L2 line not in directory (cpu ", cpu, ")");
         });
+        // Buffered lines obey the same inclusivity and directory
+        // rules as array-resident ones (eligibility pinned them to
+        // the own chip's L3 and the fetch registered the holder).
+        const OverflowBuf &ob = l2Overflow_[cpu];
+        for (unsigned i = 0; i < ob.n; ++i) {
+            const Addr line = ob.lines[i];
+            if (!l3_[topo_.chipOf(cpu)].contains(line))
+                ztx_panic("overflow line not in L3 (cpu ", cpu, ")");
+            if (!l4_[topo_.mcmOf(cpu)].contains(line))
+                ztx_panic("overflow line not in L4 (cpu ", cpu, ")");
+            if (!dir_.holds(cpu, line))
+                ztx_panic("overflow line not in directory (cpu ",
+                          cpu, ")");
+        }
     }
     if (!l3MaskTracked_)
         return;

@@ -17,6 +17,7 @@
 #ifndef ZTX_MEM_HIERARCHY_HH
 #define ZTX_MEM_HIERARCHY_HH
 
+#include <array>
 #include <bitset>
 #include <memory>
 #include <unordered_map>
@@ -114,6 +115,46 @@ class Hierarchy
      * catching any fast-path access that escaped its shard.
      */
     void setConcurrentPhase(bool on) { dir_.setConcurrentPhase(on); }
+
+    /**
+     * @name L2 overflow (victim) buffer — DESIGN.md §5b
+     *
+     * Sub-chip shards may not evict from the L2 inside the parallel
+     * phase: the displaced victim's directory entry can be homed to
+     * a sibling group whose eligibility check reads it concurrently.
+     * Instead of deferring every evicting install (the original SC2
+     * rule, which shuts the fast path off entirely once the L2 is
+     * warm), each CPU owns a small bounded overflow buffer that
+     * absorbs the freshly fetched line. Buffered lines are logically
+     * L2-resident — localHit(), eligibility, and the invariant
+     * checker all consult the buffer — and the *real* insert plus
+     * its eviction side effects (directory removal, inclusivity
+     * LRU-XI) run serially at the quantum barrier via
+     * drainL2Overflow(), in cpu-ascending FIFO order. Admission
+     * depends only on own-CPU state, so defer decisions remain
+     * independent of host-thread count; the deferred LRU-XI models a
+     * castout buffer that delays the inclusivity probe to the end of
+     * the quantum.
+     * @{
+     */
+    /** Per-CPU overflow capacity (lines). */
+    static constexpr unsigned l2OverflowCapacity = 8;
+
+    /**
+     * Perform the pending overflow installs for real: serial-phase
+     * only (quantum barrier start, before any deferred step).
+     */
+    void drainL2Overflow();
+
+    /** True if @p line is pending in @p cpu's overflow buffer. */
+    bool inL2Overflow(CpuId cpu, Addr line) const;
+
+    /** Occupied overflow slots of @p cpu (tests). */
+    unsigned l2OverflowUsed(CpuId cpu) const
+    {
+        return l2Overflow_[cpu].n;
+    }
+    /** @} */
 
     /**
      * @name Transactional bit plane (paper §III.C)
@@ -333,6 +374,8 @@ class Hierarchy
         std::uint64_t txDirtyKilled = 0;
         std::uint64_t fetchMiss = 0;
         std::uint64_t l2Evict = 0;
+        /** Evicting fast-path installs absorbed by the buffer. */
+        std::uint64_t l2OverflowAdmit = 0;
         // XI counters are indexed by the XI *target*, whose shard is
         // the one acting on its caches in the fast path.
         std::uint64_t xiReadOnly = 0;
@@ -423,6 +466,17 @@ class Hierarchy
     unsigned shardGroupsPerChip_ = 0;
     unsigned shardGroupSize_ = 1;
     std::vector<std::bitset<maxDirectoryCpus>> shardBits_;
+    /**
+     * Per-CPU L2 overflow buffer (see the public doc block). Only
+     * the owning CPU's shard mutates its buffer during a parallel
+     * phase; the drain runs serially at the barrier.
+     */
+    struct OverflowBuf
+    {
+        std::array<Addr, l2OverflowCapacity> lines{};
+        unsigned n = 0;
+    };
+    std::vector<OverflowBuf> l2Overflow_;
     /**
      * Whether the directory's L3-residency mask is maintained
      * (topologies beyond maxDirectoryChips chips cannot use it, and

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Quantum-scoped bump allocation for the sharded scheduler.
+ *
+ * The parallel phase produces small, short-lived records — deferred
+ * steps, buffered solo operations, and the barrier's merged and
+ * sorted copies of both — whose lifetime is exactly one quantum:
+ * written during the phase, consumed at the barrier, dead after it.
+ * Allocating them from the global heap every quantum is pure churn;
+ * an Arena instead hands out memory by bumping a pointer through
+ * retained chunks and recycles everything with an O(1) reset() at
+ * the quantum barrier. Chunks are never returned to the host
+ * allocator until destruction, so after warm-up a steady-state
+ * quantum performs no host allocation at all.
+ *
+ * Each shard owns a private Arena (no cross-thread contention
+ * during the parallel phase) and the machine owns one for the
+ * barrier's merge scratch; both are reset at the barrier, under the
+ * serial phase, so no reader can hold arena memory across a reset.
+ *
+ * ArenaVector is the minimal growable array on top: trivially
+ * copyable elements, doubling growth by arena re-allocation (the
+ * old block is simply abandoned — reset() reclaims it), and a
+ * release() that forgets the storage when the arena rewinds.
+ */
+
+#ifndef ZTX_SIM_ARENA_HH
+#define ZTX_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace ztx::sim {
+
+/** Chunked bump allocator with O(1) whole-arena reset. */
+class Arena
+{
+  public:
+    /** @param chunk_bytes Default size of each retained chunk. */
+    explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+        : chunkBytes_(chunk_bytes)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Uninitialized storage for @p n objects of type @p T. */
+    template <typename T>
+    T *
+    allocArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>);
+        return static_cast<T *>(
+            allocRaw(n * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Rewind the arena: every previous allocation is dead, every
+     * chunk is retained for reuse. O(1) apart from bookkeeping.
+     */
+    void
+    reset()
+    {
+        cur_ = 0;
+        off_ = 0;
+    }
+
+    /** Retained chunk count (growth stops once warm). */
+    std::size_t chunks() const { return chunks_.size(); }
+
+    /** Total bytes of retained chunk storage. */
+    std::size_t
+    retainedBytes() const
+    {
+        std::size_t n = 0;
+        for (const Chunk &c : chunks_)
+            n += c.size;
+        return n;
+    }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> mem;
+        std::size_t size;
+    };
+
+    void *
+    allocRaw(std::size_t bytes, std::size_t align)
+    {
+        while (true) {
+            if (cur_ < chunks_.size()) {
+                Chunk &c = chunks_[cur_];
+                const std::size_t aligned =
+                    (off_ + align - 1) & ~(align - 1);
+                if (aligned + bytes <= c.size) {
+                    off_ = aligned + bytes;
+                    return c.mem.get() + aligned;
+                }
+                ++cur_;
+                off_ = 0;
+                continue;
+            }
+            // Oversize requests get a dedicated chunk; either way
+            // the chunk is retained across reset().
+            const std::size_t size =
+                bytes + align > chunkBytes_ ? bytes + align
+                                            : chunkBytes_;
+            chunks_.push_back(
+                {std::make_unique<std::byte[]>(size), size});
+            off_ = 0;
+        }
+    }
+
+    std::size_t chunkBytes_;
+    std::vector<Chunk> chunks_;
+    std::size_t cur_ = 0;
+    std::size_t off_ = 0;
+};
+
+/**
+ * Growable array of trivially copyable @p T backed by an Arena.
+ * Must be release()d before (or at) the backing arena's reset().
+ */
+template <typename T>
+class ArenaVector
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+
+  public:
+    ArenaVector() = default;
+
+    /** Bind to @p arena (once, before first push_back). */
+    void bind(Arena &arena) { arena_ = &arena; }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == cap_)
+            grow();
+        data_[size_++] = v;
+    }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Forget contents, keep the current arena block. */
+    void clear() { size_ = 0; }
+
+    /**
+     * Forget contents *and* storage — required when the backing
+     * arena is about to reset (the block becomes dead memory).
+     */
+    void
+    release()
+    {
+        data_ = nullptr;
+        size_ = 0;
+        cap_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t next = cap_ == 0 ? 16 : cap_ * 2;
+        T *nd = arena_->allocArray<T>(next);
+        if (size_ != 0)
+            std::memcpy(nd, data_, size_ * sizeof(T));
+        data_ = nd;
+        cap_ = next;
+    }
+
+    Arena *arena_ = nullptr;
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
+};
+
+} // namespace ztx::sim
+
+#endif // ZTX_SIM_ARENA_HH

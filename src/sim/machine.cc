@@ -1,6 +1,7 @@
 #include "machine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -107,6 +108,12 @@ effectiveShardsPerChip(const MachineConfig &config)
         // Auto: multi-chip topologies already parallelize across
         // chips; a single-chip topology is split into up to four
         // core groups so the parallel phase has work to spread.
+        // The cap at four is deliberate: on a 16-core single-chip
+        // topology the measured serial fraction climbs from ~2% at
+        // one group to ~39% at sixteen (BENCH_scale.json,
+        // autosplit-sweep) because each extra group shrinks the
+        // per-line home-group hash's eligible share, converting
+        // fast-path hits into deferred serial steps.
         spc = config.topology.numChips() > 1
                   ? 1
                   : std::min<unsigned>(cores, 4);
@@ -389,6 +396,7 @@ Machine::runSharded(Cycles max_cycles)
         const Cycles q_end =
             std::min(q_start + quantum, end_cycle);
 
+        const auto host_t0 = std::chrono::steady_clock::now();
         parallelPhase_ = true;
         // Directory entries may only be created at serial points;
         // the guard turns a fast-path access that escaped its shard
@@ -403,9 +411,19 @@ Machine::runSharded(Cycles max_cycles)
         }
         hierarchy_.setConcurrentPhase(false);
         parallelPhase_ = false;
+        const auto host_t1 = std::chrono::steady_clock::now();
 
         now_ = q_end;
         mergeQuantum(q_start, q_end);
+
+        const auto host_t2 = std::chrono::steady_clock::now();
+        phaseTimes_.parallelSeconds +=
+            std::chrono::duration<double>(host_t1 - host_t0)
+                .count();
+        phaseTimes_.mergeSeconds +=
+            std::chrono::duration<double>(host_t2 - host_t1)
+                .count();
+        ++phaseTimes_.quanta;
 
         if (cfg_.watchdogCycles != 0) {
             const std::uint64_t sum = progressSum();
@@ -453,6 +471,13 @@ Machine::runParallel(Cycles q_end)
 void
 Machine::mergeQuantum(Cycles q_start, Cycles q_end)
 {
+    // 0. Complete the L2 installs the sub-chip fast path parked in
+    //    the per-CPU overflow buffers: the real inserts and their
+    //    eviction side effects (directory removal, inclusivity
+    //    LRU-XI) run here, serially, in cpu-ascending FIFO order,
+    //    before any deferred step can observe the caches.
+    hierarchy_.drainL2Overflow();
+
     // 1. Solo-mode arbitration, ordered by (cycle, chip, group,
     //    issue sequence). A halted holder releases automatically,
     //    as in the legacy scheduler.
@@ -465,21 +490,28 @@ Machine::mergeQuantum(Cycles q_start, Cycles q_end)
         CpuId cpu;
         bool request;
     };
-    std::vector<TaggedSolo> solo;
+    // Merge scratch comes from the barrier arena: exact-size bump
+    // allocations, recycled wholesale at the end of this merge.
+    std::size_t n_solo = 0;
+    for (const auto &sh : shards_)
+        n_solo += sh->soloOps_.size();
+    TaggedSolo *solo = mergeArena_.allocArray<TaggedSolo>(n_solo);
+    std::size_t solo_k = 0;
     for (auto &sh : shards_) {
         for (std::size_t i = 0; i < sh->soloOps_.size(); ++i) {
             const Shard::SoloOp &op = sh->soloOps_[i];
-            solo.push_back({op.at, sh->chip_, sh->group_, i, op.cpu,
-                            op.request});
+            solo[solo_k++] = {op.at, sh->chip_, sh->group_, i,
+                              op.cpu, op.request};
         }
         sh->soloOps_.clear();
     }
-    std::sort(solo.begin(), solo.end(),
+    std::sort(solo, solo + n_solo,
               [](const TaggedSolo &a, const TaggedSolo &b) {
                   return std::tie(a.at, a.chip, a.group, a.seq) <
                          std::tie(b.at, b.chip, b.group, b.seq);
               });
-    for (const TaggedSolo &op : solo) {
+    for (std::size_t i = 0; i < n_solo; ++i) {
+        const TaggedSolo &op = solo[i];
         if (op.request)
             requestSolo(op.cpu);
         else
@@ -503,18 +535,23 @@ Machine::mergeQuantum(Cycles q_start, Cycles q_end)
         Cycles at;
         CpuId cpu;
     };
-    std::vector<TaggedStep> steps;
+    std::size_t n_steps = 0;
+    for (const auto &sh : shards_)
+        n_steps += sh->deferred_.size();
+    TaggedStep *steps = mergeArena_.allocArray<TaggedStep>(n_steps);
+    std::size_t step_k = 0;
     for (auto &sh : shards_) {
         for (const Shard::DeferredStep &d : sh->deferred_)
-            steps.push_back({d.at, d.cpu});
+            steps[step_k++] = {d.at, d.cpu};
         sh->deferred_.clear();
     }
-    std::sort(steps.begin(), steps.end(),
+    std::sort(steps, steps + n_steps,
               [](const TaggedStep &a, const TaggedStep &b) {
                   return std::tie(a.at, a.cpu) <
                          std::tie(b.at, b.cpu);
               });
-    for (const TaggedStep &d : steps) {
+    for (std::size_t si = 0; si < n_steps; ++si) {
+        const TaggedStep &d = steps[si];
         core::Cpu &c = *cpus_[d.cpu];
         if (c.halted())
             continue;
@@ -550,7 +587,11 @@ Machine::mergeQuantum(Cycles q_start, Cycles q_end)
         ioReadyAt_ = io_now;
     }
 
-    // 5. Fold shard deltas into the machine counters.
+    // 5. Fold shard deltas into the machine counters, and rewind
+    //    the quantum arenas: every deferred-step / solo record and
+    //    every merge scratch array is dead past this point, so the
+    //    shard arenas and the barrier arena recycle their chunks in
+    //    O(1) (no host allocation in a steady-state quantum).
     for (auto &sh : shards_) {
         stepCounter_.inc(sh->steps_);
         stepsLocalCounter_.inc(sh->steps_);
@@ -561,7 +602,11 @@ Machine::mergeQuantum(Cycles q_start, Cycles q_end)
         progressTicks_ += sh->progress_;
         sh->steps_ = sh->extDelivered_ = sh->extSkipped_ = 0;
         sh->progress_ = sh->l3Local_ = 0;
+        sh->deferred_.release();
+        sh->soloOps_.release();
+        sh->arena_.reset();
     }
+    mergeArena_.reset();
     stats_.counter("scheduler.quanta").inc();
 }
 

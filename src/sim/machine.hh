@@ -41,6 +41,7 @@
 #include "mem/latency_model.hh"
 #include "mem/main_memory.hh"
 #include "mem/topology.hh"
+#include "sim/arena.hh"
 
 namespace ztx::sim {
 
@@ -140,6 +141,23 @@ struct MachineConfig
  */
 unsigned effectiveShardsPerChip(const MachineConfig &config);
 
+/**
+ * Host-side wall-clock breakdown of the sharded scheduler,
+ * accumulated across run() calls: time spent inside the parallel
+ * phase (shards running concurrently), time spent in the serial
+ * barrier merge, and the number of quanta executed. Host timings
+ * vary run to run, so this is deliberately NOT part of statsJson()
+ * — the stats document must stay byte-comparable across host-thread
+ * counts. bench/scale reads it through Machine::hostPhaseTimes()
+ * and records it only in the bench JSON.
+ */
+struct HostPhaseTimes
+{
+    double parallelSeconds = 0.0;
+    double mergeSeconds = 0.0;
+    std::uint64_t quanta = 0;
+};
+
 /** A complete simulated SMP machine. */
 class Machine : public core::CpuEnv
 {
@@ -206,6 +224,12 @@ class Machine : public core::CpuEnv
 
     /** The configuration this machine was built from. */
     const MachineConfig &config() const { return cfg_; }
+
+    /** Sharded-scheduler host time breakdown (see HostPhaseTimes). */
+    const HostPhaseTimes &hostPhaseTimes() const
+    {
+        return phaseTimes_;
+    }
 
     /** Machine-level stats: scheduler steps, interrupts, solo. */
     StatGroup &stats() { return stats_; }
@@ -342,6 +366,14 @@ class Machine : public core::CpuEnv
     std::uint64_t progressTicks_ = 0;
     /** Completion time of the last barrier-pumped I/O line. */
     Cycles lastIoAt_ = 0;
+    /** Host wall-clock breakdown, accumulated across run() calls. */
+    HostPhaseTimes phaseTimes_;
+    /**
+     * Barrier merge scratch (sorted deferred-step / solo-op
+     * copies): bump-allocated per quantum, rewound at the end of
+     * every mergeQuantum().
+     */
+    Arena mergeArena_;
     /** @} */
 };
 

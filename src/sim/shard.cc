@@ -11,6 +11,8 @@ Shard::Shard(Machine &machine, unsigned chip, unsigned group,
     : machine_(machine), chip_(chip), group_(group),
       cpus_(std::move(cpus))
 {
+    deferred_.bind(arena_);
+    soloOps_.bind(arena_);
 }
 
 void
@@ -52,8 +54,9 @@ Shard::soloHolder() const
 void
 Shard::beginRun()
 {
-    deferred_.clear();
-    soloOps_.clear();
+    deferred_.release();
+    soloOps_.release();
+    arena_.reset();
     steps_ = extDelivered_ = extSkipped_ = progress_ = 0;
     l3Local_ = 0;
     curTime_ = machine_.now_;

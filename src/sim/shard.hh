@@ -36,6 +36,7 @@
 
 #include "common/types.hh"
 #include "core/config.hh"
+#include "sim/arena.hh"
 
 namespace ztx::sim {
 
@@ -132,8 +133,16 @@ class Shard final : public core::CpuEnv
     /** Time of the last event this shard actually executed. */
     Cycles lastEventAt_ = 0;
 
-    std::vector<DeferredStep> deferred_;
-    std::vector<SoloOp> soloOps_;
+    /**
+     * Quantum-lived records live in the shard's private arena:
+     * written during the parallel phase (no cross-thread
+     * contention), consumed and released at the barrier, where the
+     * arena rewinds — steady-state quanta perform no host
+     * allocation (DESIGN.md §5b).
+     */
+    Arena arena_;
+    ArenaVector<DeferredStep> deferred_;
+    ArenaVector<SoloOp> soloOps_;
 
     /** @name Per-quantum deltas, folded at the barrier @{ */
     std::uint64_t steps_ = 0;

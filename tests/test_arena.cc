@@ -1,0 +1,135 @@
+/** @file Unit tests for the quantum-scoped bump allocator. */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/arena.hh"
+
+namespace {
+
+using ztx::sim::Arena;
+using ztx::sim::ArenaVector;
+
+TEST(Arena, AllocationsAreDisjointAndAligned)
+{
+    Arena arena(1024);
+    auto *a = arena.allocArray<std::uint64_t>(4);
+    auto *b = arena.allocArray<std::uint32_t>(3);
+    auto *c = arena.allocArray<std::uint64_t>(2);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 4, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 8, 0u);
+    // Writes land where they were made: no overlap between blocks.
+    for (unsigned i = 0; i < 4; ++i)
+        a[i] = 0xA0 + i;
+    for (unsigned i = 0; i < 3; ++i)
+        b[i] = 0xB0 + i;
+    for (unsigned i = 0; i < 2; ++i)
+        c[i] = 0xC0 + i;
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(a[i], 0xA0 + i);
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_EQ(b[i], 0xB0 + i);
+}
+
+TEST(Arena, ResetRecyclesChunksWithoutNewAllocation)
+{
+    Arena arena(512);
+    // Warm up: allocate well past one chunk.
+    std::vector<std::uint8_t *> blocks;
+    for (unsigned i = 0; i < 16; ++i)
+        blocks.push_back(arena.allocArray<std::uint8_t>(128));
+    const std::size_t warm_chunks = arena.chunks();
+    const std::size_t warm_bytes = arena.retainedBytes();
+    EXPECT_GT(warm_chunks, 1u);
+
+    // Steady state: the same allocation pattern after reset() reuses
+    // the retained chunks — chunk count and bytes never move again.
+    for (unsigned round = 0; round < 8; ++round) {
+        arena.reset();
+        for (unsigned i = 0; i < 16; ++i) {
+            auto *p = arena.allocArray<std::uint8_t>(128);
+            ASSERT_NE(p, nullptr);
+            p[0] = std::uint8_t(round); // memory is writable
+        }
+        EXPECT_EQ(arena.chunks(), warm_chunks) << "round " << round;
+        EXPECT_EQ(arena.retainedBytes(), warm_bytes);
+    }
+    // The first post-reset block reuses the first chunk's storage.
+    arena.reset();
+    EXPECT_EQ(arena.allocArray<std::uint8_t>(128), blocks[0]);
+}
+
+TEST(Arena, OversizeRequestGetsDedicatedRetainedChunk)
+{
+    Arena arena(256);
+    auto *big = arena.allocArray<std::uint8_t>(4096);
+    ASSERT_NE(big, nullptr);
+    big[0] = 1;
+    big[4095] = 2;
+    EXPECT_GE(arena.retainedBytes(), 4096u);
+    const std::size_t chunks = arena.chunks();
+    arena.reset();
+    // The oversize chunk is retained, not freed.
+    EXPECT_EQ(arena.chunks(), chunks);
+    EXPECT_EQ(arena.allocArray<std::uint8_t>(4096), big);
+}
+
+TEST(ArenaVector, GrowsAndPreservesContents)
+{
+    Arena arena;
+    ArenaVector<int> v;
+    v.bind(arena);
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(i * 3);
+    ASSERT_EQ(v.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(v[std::size_t(i)], i * 3);
+    int expect = 0;
+    for (const int x : v)
+        EXPECT_EQ(x, 3 * expect++);
+}
+
+TEST(ArenaVector, ReleaseSurvivesArenaReset)
+{
+    Arena arena;
+    ArenaVector<int> v;
+    v.bind(arena);
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i);
+    v.release();
+    arena.reset();
+    EXPECT_TRUE(v.empty());
+    // Reusable after the rewind: storage is re-acquired on demand.
+    for (int i = 0; i < 50; ++i)
+        v.push_back(-i);
+    ASSERT_EQ(v.size(), 50u);
+    EXPECT_EQ(v[49], -49);
+}
+
+TEST(ArenaVector, ClearKeepsCapacityAcrossRounds)
+{
+    Arena arena(64 * 1024);
+    ArenaVector<std::uint64_t> v;
+    v.bind(arena);
+    for (unsigned i = 0; i < 512; ++i)
+        v.push_back(i);
+    const std::size_t chunks = arena.chunks();
+    // clear() (no arena reset) must not re-grow on the same fill.
+    for (unsigned round = 0; round < 4; ++round) {
+        v.clear();
+        for (unsigned i = 0; i < 512; ++i)
+            v.push_back(i + round);
+        EXPECT_EQ(arena.chunks(), chunks) << "round " << round;
+    }
+    EXPECT_EQ(v.size(), 512u);
+}
+
+} // namespace

@@ -1,5 +1,8 @@
 /** @file Unit tests for the global coherence directory. */
 
+#include <cstddef>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "mem/directory.hh"
@@ -145,6 +148,79 @@ TEST(Directory, IndependentLines)
     d.setExclusive(lineB, 2);
     EXPECT_TRUE(d.holds(1, lineA));
     EXPECT_FALSE(d.holds(1, lineB));
+}
+
+TEST(Directory, RehashMigratesSlotsIntact)
+{
+    // Push far past the initial capacity so the flat table grows
+    // several times; every entry's owner, sharers, and residency
+    // mask must survive each slot migration.
+    CoherenceDirectory d;
+    const std::size_t cap0 = d.capacity();
+    constexpr unsigned n = 3000;
+    const auto lineOf = [](unsigned i) {
+        return Addr(0x10000) + Addr(i) * 0x100;
+    };
+    for (unsigned i = 0; i < n; ++i) {
+        if (i % 3 == 0)
+            d.setExclusive(lineOf(i), CpuId(i % 64));
+        else
+            d.addSharer(lineOf(i), CpuId(i % 64));
+        if (i % 2 == 0)
+            d.setL3Resident(lineOf(i), i % 8);
+    }
+    EXPECT_GT(d.capacity(), cap0);
+    EXPECT_EQ(d.size(), std::size_t(n)); // never-erase: all keys live
+    for (unsigned i = 0; i < n; ++i) {
+        const auto e = d.lookup(lineOf(i));
+        if (i % 3 == 0)
+            EXPECT_EQ(e.owner, CpuId(i % 64)) << i;
+        else
+            EXPECT_TRUE(e.sharers[i % 64]) << i;
+        EXPECT_EQ(e.l3Mask,
+                  i % 2 == 0 ? std::uint64_t(1) << (i % 8) : 0u)
+            << i;
+    }
+    // Growth keeps the table under its 3/4 load bound.
+    EXPECT_LE(d.size() * 4, d.capacity() * 3);
+}
+
+TEST(Directory, ConcurrentPhaseEntryCreationPanics)
+{
+    // Entry creation rehashes under concurrent readers; the guard
+    // must turn a fast-path access that escaped its shard into a
+    // deterministic panic, and mutation of existing entries must
+    // keep the table size fixed (no hidden insert path).
+    CoherenceDirectory d;
+    d.addSharer(lineA, 1);
+    d.setConcurrentPhase(true);
+    const std::size_t sz = d.size();
+    d.setExclusive(lineA, 2);
+    d.remove(lineA, 2);
+    EXPECT_EQ(d.size(), sz);
+    EXPECT_DEATH(d.addSharer(lineB, 1), "parallel phase");
+    EXPECT_DEATH(d.setExclusive(lineB, 1), "parallel phase");
+    EXPECT_DEATH(d.setL3Resident(lineB, 0), "parallel phase");
+}
+
+TEST(Directory, ConfigureSizesSharerWords)
+{
+    // Small machines track sharers in one 64-bit word instead of
+    // the compile-time worst case; CPUs beyond the configured count
+    // are rejected rather than silently dropped.
+    CoherenceDirectory d;
+    d.configure(8);
+    EXPECT_EQ(d.sharerWords(), 1u);
+    d.addSharer(lineA, 7);
+    EXPECT_TRUE(d.holds(7, lineA));
+    EXPECT_DEATH(d.addSharer(lineB, 64), "cannot track");
+
+    CoherenceDirectory wide;
+    wide.configure(1024);
+    EXPECT_EQ(wide.sharerWords(), 16u);
+    wide.setExclusive(lineA, 1023);
+    EXPECT_TRUE(wide.holds(1023, lineA));
+    EXPECT_TRUE(wide.lookup(lineA).owner == CpuId(1023));
 }
 
 } // namespace

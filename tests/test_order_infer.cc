@@ -357,30 +357,51 @@ TEST(OrderInferFallback, CorruptLogReplayFailureRefutedByDfs)
     EXPECT_TRUE(r.verdict.linearizable);
 }
 
-TEST(OrderInferFallback, DfsRefusesOversizedHistories)
+TEST(OrderInferFallback, DfsChecksOversizedHistoriesIteratively)
 {
-    // The DFS recurses once per operation; beyond maxOps it must
-    // come back unchecked (not overflow the stack). The inference
-    // oracle has no such bound.
+    // The old recursive engine refused histories beyond a 20k-op
+    // cap to protect the host stack. The iterative engine keeps its
+    // branch frames on an explicit heap stack: a history well past
+    // that cap comes back with a real verdict. Overlapping pairs
+    // force a branch frame every other operation, driving the
+    // stack thousands of frames deep — far beyond safe recursion.
     std::vector<LinOp> h;
-    for (unsigned i = 0; i < 6; ++i) {
-        h.push_back(mk(0, i, 20 * i, 20 * i + 10,
-                       LinOpCode::SetInsert, 100 + i, 1,
-                       {wr(objA, i + 1)}));
+    for (unsigned i = 0; i < 12'000; ++i) {
+        const Cycles base = 40 * i;
+        h.push_back(mk(0, i, base, base + 20,
+                       LinOpCode::SetLookup, 7, 0, {}));
+        h.push_back(mk(1, i, base + 10, base + 30,
+                       LinOpCode::SetLookup, 7, 0, {}));
     }
-    inject::LinCheckLimits limits;
-    limits.maxOps = 4;
-    const LinVerdict dfs =
-        inject::checkSetLinearizable(h, {}, limits);
-    EXPECT_FALSE(dfs.checked);
-    EXPECT_NE(dfs.reason.find("operation limit"),
-              std::string::npos);
+    const LinVerdict dfs = inject::checkSetLinearizable(h, {});
+    EXPECT_TRUE(dfs.checked) << dfs.reason;
+    EXPECT_TRUE(dfs.linearizable);
+}
 
-    const OrderInferReport inf =
-        inject::inferSetLinearizable(h, {}, limits);
-    EXPECT_TRUE(inf.inferred) << inf.fallbackReason;
-    EXPECT_TRUE(inf.verdict.checked);
-    EXPECT_TRUE(inf.verdict.linearizable);
+TEST(OrderInferFallback, DfsGivesPendingHistoriesRealVerdicts)
+{
+    // An all-pending history branches at every operation — exactly
+    // the shape the old size cap guarded against. It now returns a
+    // real verdict, bounded by maxStates alone.
+    std::vector<LinOp> big;
+    for (unsigned i = 0; i < 1'000; ++i)
+        big.push_back(mkPending(i, 0, i, LinOpCode::SetLookup, 7));
+    const LinVerdict ok = inject::checkSetLinearizable(big, {});
+    EXPECT_TRUE(ok.checked) << ok.reason;
+    EXPECT_TRUE(ok.linearizable);
+
+    // Refutation still works among pending noise: the second
+    // lookup misses a key the first one saw, and the only insert
+    // that could explain the hit has no matching delete — no
+    // branch over the pending insert explains both results.
+    const std::vector<LinOp> bad = {
+        mkPending(0, 0, 0, LinOpCode::SetInsert, 42),
+        mk(1, 0, 10, 20, LinOpCode::SetLookup, 42, 1, {}),
+        mk(1, 1, 30, 40, LinOpCode::SetLookup, 42, 0, {}),
+    };
+    const LinVerdict v = inject::checkSetLinearizable(bad, {});
+    ASSERT_TRUE(v.checked) << v.reason;
+    EXPECT_FALSE(v.linearizable);
 }
 
 // ---------------------------------------------------------------

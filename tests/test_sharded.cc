@@ -383,6 +383,89 @@ TEST(Sharded, ShardLocalFastPathResolvesL3HitsInPhase)
     EXPECT_GT(on[2], 0u);
 }
 
+TEST(Sharded, OverflowBufferAdmitsSubChipInstalls)
+{
+    // Sub-chip shards may not evict from the L2 in-phase; without
+    // the overflow buffer the no-evict rule shuts the fast path off
+    // once the L2 warms up. The miss-heavy sweep at spc=2 must show
+    // both buffer admissions and in-phase L3 resolutions.
+    auto cfg = missHeavyConfig(31, 1, 2);
+    sim::Machine m(cfg);
+    std::vector<Program> programs;
+    for (unsigned i = 0; i < m.numCpus(); ++i)
+        programs.push_back(missHeavyProgram(
+            dataBase + Addr(i) * 0x2'0000, 128, 3));
+    for (unsigned i = 0; i < m.numCpus(); ++i)
+        m.setProgram(i, &programs[i]);
+    m.run();
+    ASSERT_TRUE(m.allHalted());
+    EXPECT_GT(m.hierarchy()
+                  .stats()
+                  .counter("l2.overflow_admit")
+                  .value(),
+              0u)
+        << "no install ever used the overflow buffer";
+    EXPECT_GT(m.stats().counter("sched.l3_local_hits").value(), 0u)
+        << "sub-chip fast path never resolved an access in-phase";
+}
+
+/** zEC12-like full topology: 6 cores x 6 chips x 4 MCMs = 144. */
+sim::MachineConfig
+fullTopologyConfig(std::uint64_t seed, unsigned host_threads)
+{
+    sim::MachineConfig cfg;
+    cfg.topology = mem::Topology(6, 6, 4);
+    cfg.seed = seed;
+    cfg.hostThreads = host_threads;
+    cfg.hostShardsPerChip = 2; // sub-chip shards: hardest case
+    cfg.geometry.l1 = {4 * 1024, 2};
+    cfg.geometry.l2 = {16 * 1024, 4};
+    cfg.geometry.l3 = {8 * 1024 * 1024, 12};
+    cfg.geometry.l4 = {32 * 1024 * 1024, 24};
+    return cfg;
+}
+
+TEST(Sharded, FullTopologyDeterminismMatrix)
+{
+    // The scale campaign's correctness gate on the real 144-CPU
+    // zEC12 topology: stats and memory bit-identical across host
+    // threads with sub-chip shards (and thus the overflow buffer)
+    // engaged. Shorter sweeps than the 8-CPU matrix keep 9 runs of
+    // 144 CPUs inside the test timeout.
+    auto run = [](const sim::MachineConfig &cfg) {
+        sim::Machine m(cfg);
+        std::vector<Program> programs;
+        programs.reserve(m.numCpus());
+        for (unsigned i = 0; i < m.numCpus(); ++i)
+            programs.push_back(missHeavyProgram(
+                dataBase + Addr(i) * 0x2'0000, 64, 2));
+        for (unsigned i = 0; i < m.numCpus(); ++i)
+            m.setProgram(i, &programs[i]);
+        m.run();
+        EXPECT_TRUE(m.allHalted());
+        std::ostringstream os;
+        m.dumpStatsJson(os);
+        std::uint64_t sum = 0;
+        for (unsigned i = 0; i < m.numCpus(); ++i)
+            sum += m.peekMem(dataBase + Addr(i) * 0x2'0000, 8) *
+                   (i + 1);
+        return std::pair<std::string, std::uint64_t>{os.str(),
+                                                     sum};
+    };
+    for (const std::uint64_t seed : {17ull, 29ull, 63ull}) {
+        const auto ref = run(fullTopologyConfig(seed, 1));
+        for (const unsigned threads : {2u, 4u}) {
+            const auto got = run(fullTopologyConfig(seed, threads));
+            EXPECT_EQ(ref.first, got.first)
+                << "stats diverged: seed " << seed << ", "
+                << threads << " host threads";
+            EXPECT_EQ(ref.second, got.second)
+                << "memory diverged: seed " << seed << ", "
+                << threads << " host threads";
+        }
+    }
+}
+
 TEST(Sharded, SameShardXiAbortMatchesLegacy)
 {
     // A conflict abort delivered by a same-shard XI inside the
