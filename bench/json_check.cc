@@ -109,6 +109,63 @@ checkFaultPlan(const ztx::Json &plan)
     return nullptr;
 }
 
+/**
+ * Validate one record's "litmus" section: the enumeration verdict
+ * must be a known value, the explored-schedule count positive, and
+ * the outcome list well-formed (non-empty for any uncapped run).
+ * Returns nullptr when well-formed, else a static message.
+ */
+const char *
+checkLitmus(const ztx::Json &lit)
+{
+    if (!lit.isObject())
+        return "litmus is not an object";
+    const ztx::Json *test = lit.find("test");
+    if (!test || !test->isString() || test->str().empty())
+        return "litmus.test missing";
+    const ztx::Json *verdict = lit.find("verdict");
+    if (!verdict ||
+        !isOneOf(*verdict, {"ok", "violation", "frontier-capped"}))
+        return "litmus.verdict unknown";
+    const ztx::Json *explored = lit.find("schedules_explored");
+    if (!explored || !explored->isNumber() ||
+        explored->asUint() == 0)
+        return "litmus.schedules_explored missing or zero";
+    for (const char *key :
+         {"capped", "cap_reason", "decisions", "steps_total",
+          "max_depth", "outcomes_seen", "commits", "aborts",
+          "scenario_fired"}) {
+        if (!lit.contains(key))
+            return "litmus field missing";
+    }
+    const ztx::Json *outs = lit.find("outcomes");
+    if (!outs || !outs->isArray())
+        return "litmus.outcomes missing";
+    if (verdict->str() == "ok" && outs->size() == 0)
+        return "litmus verdict ok with no outcomes";
+    for (std::size_t i = 0; i < outs->size(); ++i) {
+        const ztx::Json &o = outs->at(i);
+        const ztx::Json *state = o.find("state");
+        const ztx::Json *count = o.find("count");
+        if (!state || !state->isString() || !count ||
+            !count->isNumber() || count->asUint() == 0)
+            return "litmus outcome entry malformed";
+    }
+    const ztx::Json *viol = lit.find("violations");
+    if (!viol || !viol->isArray())
+        return "litmus.violations missing";
+    if ((verdict->str() == "violation") != (viol->size() > 0))
+        return "litmus verdict inconsistent with violations list";
+    // The frontier-cap contract: a capped enumeration may never
+    // report "ok", and an uncapped one may never blame a cap.
+    const ztx::Json *capped = lit.find("capped");
+    if (capped->boolean() && verdict->str() == "ok")
+        return "litmus capped enumeration with verdict ok";
+    if (!capped->boolean() && verdict->str() == "frontier-capped")
+        return "litmus frontier-capped without capped flag";
+    return nullptr;
+}
+
 } // namespace
 
 int
@@ -174,6 +231,11 @@ main(int argc, char **argv)
         // impossible, so it fails validation outright.
         if (const ztx::Json *plan = rec.find("fault_plan"))
             if (const char *why = checkFaultPlan(*plan))
+                return fail(path, why);
+        // Litmus records carry the enumeration verdict; a malformed
+        // one could let a capped or violating corpus slip past CI.
+        if (const ztx::Json *lit = rec.find("litmus"))
+            if (const char *why = checkLitmus(*lit))
                 return fail(path, why);
         // Full-topology scale records break the host wall-clock
         // down by scheduler phase; an incomplete or inconsistent

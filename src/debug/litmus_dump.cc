@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Litmus witness rendering (litmus_dump.hh).
+ */
+
+#include "debug/litmus_dump.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "isa/disasm.hh"
+#include "litmus/compile.hh"
+#include "litmus/dsl.hh"
+
+namespace ztx::debug {
+
+namespace {
+
+/**
+ * Per-thread top-level statement descriptions, indexed by the OPLOG
+ * bracket code's statement field — mirrors the statement numbering
+ * compileThread uses when emitting the brackets.
+ */
+std::vector<std::vector<std::string>>
+statementTable(const litmus::Test &t)
+{
+    std::vector<std::vector<std::string>> table;
+    for (const litmus::Thread &th : t.threads) {
+        std::vector<std::string> stmts;
+        for (std::size_t i = 0; i < th.ops.size(); ++i) {
+            const litmus::Op &op = th.ops[i];
+            if (op.kind == litmus::Op::Kind::TxBegin) {
+                std::ostringstream os;
+                os << (op.constrained ? "ctx {" : "tx {");
+                std::size_t end = i + 1;
+                for (; th.ops[end].kind != litmus::Op::Kind::TxEnd;
+                     ++end)
+                    os << ' ' << describeOp(t, th.ops[end]);
+                os << " }";
+                stmts.push_back(os.str());
+                i = end;
+            } else {
+                stmts.push_back(describeOp(t, op));
+            }
+        }
+        table.push_back(std::move(stmts));
+    }
+    return table;
+}
+
+} // namespace
+
+std::string
+litmusWitnessDump(const litmus::Compiled &compiled,
+                  const litmus::Witness &witness)
+{
+    const litmus::Test &t = compiled.test;
+    std::ostringstream os;
+    os << "litmus " << t.name << ": violating schedule #"
+       << witness.schedule << "\n";
+    os << "outcome: " << witness.outcome << "\n";
+
+    os << "\nschedule (" << witness.steps.size()
+       << " visible steps; * = decision point):\n";
+    for (std::size_t i = 0; i < witness.steps.size(); ++i) {
+        const litmus::TraceStep &s = witness.steps[i];
+        os << "  [" << i << "] "
+           << (s.decision ? '*' : ' ') << ' ';
+        if (s.cpu < t.threads.size())
+            os << t.threads[s.cpu].name;
+        else
+            os << "cpu" << unsigned(s.cpu);
+        os << "  ";
+        const isa::Program::Slot *slot =
+            s.cpu < compiled.programs.size()
+                ? compiled.programs[s.cpu].fetch(s.ia)
+                : nullptr;
+        if (slot) {
+            os << isa::disassemble(slot->inst);
+            // Annotate a matching litmus location.
+            const Addr line = lineAlign(Addr(slot->inst.disp));
+            for (unsigned l = 0; l < compiled.locAddr.size(); ++l)
+                if (compiled.locAddr[l] == line) {
+                    os << "   ; " << t.locs[l];
+                    break;
+                }
+        } else {
+            os << "<ia 0x" << std::hex << s.ia << std::dec << ">";
+        }
+        os << "\n";
+    }
+
+    const auto stmts = statementTable(t);
+    os << "\nop log (" << witness.events.size() << " events):\n";
+    for (const litmus::OpEvent &e : witness.events) {
+        os << "  ";
+        os << (e.cpu < t.threads.size() ? t.threads[e.cpu].name
+                                        : "?");
+        if (e.invoke) {
+            const unsigned ti = e.code >> 8;
+            const unsigned si = e.code & 0xFF;
+            os << "  begin  ";
+            if (ti < stmts.size() && si < stmts[ti].size())
+                os << stmts[ti][si];
+            else
+                os << "stmt#" << si;
+        } else {
+            os << "  end    -> " << e.value;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ztx::debug

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Litmus witness renderer: turns the violating schedule an
+ * enumeration captured (litmus/enumerate.hh) into a readable
+ * trace — the visible steps in order, each with its disassembled
+ * instruction and location annotation, followed by the OPLOG
+ * history mapped back to DSL statements, and the outcome line that
+ * failed the spec.
+ *
+ * Lives in debug/ next to the other post-mortem machinery but
+ * compiles into ztx_litmus (like replay_dump compiles into
+ * ztx_replay): ztx_debug sits below the core CPUs in the link DAG
+ * and cannot depend on the litmus types.
+ */
+
+#ifndef ZTX_DEBUG_LITMUS_DUMP_HH
+#define ZTX_DEBUG_LITMUS_DUMP_HH
+
+#include <string>
+
+#include "litmus/enumerate.hh"
+
+namespace ztx::debug {
+
+/**
+ * Render @p witness of @p compiled: schedule index and outcome,
+ * the visible-step trace (decision points marked `*`), and the
+ * per-statement OPLOG bracket history. Never empty for a witness
+ * with at least one step.
+ */
+std::string litmusWitnessDump(const litmus::Compiled &compiled,
+                              const litmus::Witness &witness);
+
+} // namespace ztx::debug
+
+#endif // ZTX_DEBUG_LITMUS_DUMP_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Schedule steering hook for enumeration-mode stepping.
+ *
+ * A ScheduleSteer replaces the machine's ready-time scheduling
+ * policy with an external choice: at every step the machine hands
+ * the steer the set of runnable CPUs and steps whichever one the
+ * steer picks. Combined with the deterministic simulator this turns
+ * the machine into a stateless model checker's executor — the
+ * litmus enumerator (src/litmus) drives one fresh machine per
+ * schedule, replaying a decision prefix and branching at the first
+ * unexplored choice point.
+ *
+ * The hook lives in src/inject because steering shares the
+ * injector's evaluation contract: FaultInjector::beforeStep() runs
+ * before *every* steered step, so scripted ScenarioStep triggers
+ * (OnFootprint, OnAbort, ...) are evaluated exactly at the
+ * enumeration decision points and a directed abort can never fall
+ * between two choices unobserved.
+ */
+
+#ifndef ZTX_INJECT_STEER_HH
+#define ZTX_INJECT_STEER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ztx::inject {
+
+/** Picks the next CPU to step (enumeration-mode scheduling). */
+class ScheduleSteer
+{
+  public:
+    virtual ~ScheduleSteer() = default;
+
+    /**
+     * Choose the next CPU to step.
+     * @param runnable Non-empty set of steppable CPUs, ascending id.
+     *        Under solo mode this is just the solo holder.
+     * @return A member of @p runnable, or invalidCpu to stop the
+     *         run immediately (frontier cap / driver abort).
+     */
+    virtual CpuId choose(const std::vector<CpuId> &runnable) = 0;
+};
+
+} // namespace ztx::inject
+
+#endif // ZTX_INJECT_STEER_HH

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Litmus compiler: DSL ops -> assembled zTX programs, fault steps
+ * -> inject::ScenarioSteps, plus the small machine template the
+ * enumerator instantiates per schedule (see compile.hh).
+ */
+
+#include "litmus/compile.hh"
+
+#include <string>
+
+#include "common/log.hh"
+#include "core/cpu.hh"
+#include "isa/assembler.hh"
+#include "isa/opcodes.hh"
+
+namespace ztx::litmus {
+
+namespace {
+
+/** Scratch register for store/add data. */
+constexpr unsigned grVal = 1;
+/** BRCT retry counter. */
+constexpr unsigned grRetry = 13;
+
+void
+emitBody(isa::Assembler &a, const Op &op,
+         const std::vector<Addr> &locAddr)
+{
+    const Addr addr =
+        op.kind == Op::Kind::Abort ? 0 : locAddr.at(op.loc);
+    switch (op.kind) {
+      case Op::Kind::Load:
+        a.lg(litmusRegBase + op.reg, 0, std::int64_t(addr));
+        break;
+      case Op::Kind::Store:
+        a.lhi(grVal, std::int64_t(op.value));
+        a.stg(grVal, 0, std::int64_t(addr));
+        break;
+      case Op::Kind::Add:
+        a.lg(grVal, 0, std::int64_t(addr));
+        a.ahi(grVal, std::int64_t(op.value));
+        a.stg(grVal, 0, std::int64_t(addr));
+        break;
+      case Op::Kind::NtStore:
+        a.lhi(grVal, std::int64_t(op.value));
+        a.ntstg(grVal, 0, std::int64_t(addr));
+        break;
+      case Op::Kind::Abort:
+        a.tabort(0, std::int64_t(op.value));
+        break;
+      default:
+        ztx_fatal("emitBody on a tx marker");
+    }
+}
+
+isa::Program
+compileThread(const Test &t, unsigned ti,
+              const std::vector<Addr> &locAddr)
+{
+    const Thread &th = t.threads[ti];
+    isa::Assembler a;
+    a.lhi(litmusOkReg, 1);
+    for (unsigned r = 0; r < th.numRegs; ++r)
+        a.lhi(litmusRegBase + r, 0);
+
+    unsigned stmt = 0; // top-level statement index (oplog code)
+    for (std::size_t i = 0; i < th.ops.size(); ++i) {
+        const Op &op = th.ops[i];
+        const std::uint32_t code = (ti << 8) | stmt;
+        if (op.kind == Op::Kind::TxBegin) {
+            // Find the matching TxEnd (parse() guarantees balance
+            // and no nesting).
+            std::size_t end = i + 1;
+            while (th.ops[end].kind != Op::Kind::TxEnd)
+                ++end;
+            const std::string sfx = std::to_string(stmt);
+            a.oplogb(code, 0);
+            if (op.constrained) {
+                a.tbeginc(0xFF);
+                for (std::size_t k = i + 1; k < end; ++k)
+                    emitBody(a, th.ops[k], locAddr);
+                a.tend();
+            } else {
+                a.lhi(grRetry, std::int64_t(t.retries) + 1);
+                a.label("retry" + sfx);
+                a.tbegin(0xFF);
+                a.jnz("fail" + sfx);
+                for (std::size_t k = i + 1; k < end; ++k)
+                    emitBody(a, th.ops[k], locAddr);
+                a.tend();
+                a.j("done" + sfx);
+                a.label("fail" + sfx);
+                a.brct(grRetry, "retry" + sfx);
+                a.lhi(litmusOkReg, 0);
+                a.label("done" + sfx);
+            }
+            a.oploge(litmusOkReg);
+            i = end;
+        } else {
+            a.oplogb(code, 0);
+            emitBody(a, op, locAddr);
+            a.oploge(op.kind == Op::Kind::Load
+                         ? litmusRegBase + op.reg
+                         : grVal);
+        }
+        ++stmt;
+    }
+    a.halt();
+    return a.finish();
+}
+
+inject::ScenarioStep
+compileFault(const Test &t, const Fault &f,
+             const std::vector<Addr> &locAddr)
+{
+    inject::ScenarioStep s;
+    switch (f.trigger) {
+      case Fault::Trigger::AtCycle:
+        s.trigger = inject::TriggerKind::AtCycle;
+        s.at = f.at;
+        break;
+      case Fault::Trigger::OnFootprint:
+        s.trigger = inject::TriggerKind::OnFootprint;
+        s.line = locAddr.at(f.watchLoc);
+        break;
+      case Fault::Trigger::OnAbort:
+        s.trigger = inject::TriggerKind::OnAbort;
+        s.watch = f.watchThread < 0 ? invalidCpu
+                                    : CpuId(f.watchThread);
+        s.count = f.count;
+        break;
+    }
+    switch (f.kind) {
+      case Fault::Kind::Conflict:
+        s.kind = inject::FaultKind::TargetedConflict;
+        s.line = locAddr.at(f.loc);
+        break;
+      case Fault::Kind::Poison:
+        s.kind = inject::FaultKind::PoisonLine;
+        s.line = locAddr.at(f.loc);
+        break;
+      case Fault::Kind::PoisonMem:
+        s.kind = inject::FaultKind::PoisonLine;
+        s.line = locAddr.at(f.loc);
+        s.poisonMemory = true;
+        break;
+      case Fault::Kind::Spurious:
+        s.kind = inject::FaultKind::SpuriousAbort;
+        break;
+    }
+    if (f.target >= 0)
+        s.target = CpuId(f.target);
+    (void)t;
+    return s;
+}
+
+} // namespace
+
+Compiled
+compile(const Test &test)
+{
+    Compiled c;
+    c.test = test;
+
+    c.locAddr.reserve(test.locs.size());
+    for (unsigned i = 0; i < test.locs.size(); ++i)
+        c.locAddr.push_back(litmusDataBase +
+                            Addr(i) * lineSizeBytes);
+
+    for (unsigned t = 0; t < test.threads.size(); ++t)
+        c.programs.push_back(compileThread(test, t, c.locAddr));
+
+    for (const Fault &f : test.faults)
+        c.plan.scenario.push_back(compileFault(test, f, c.locAddr));
+
+    // Machine template: the smallest topology that carries the
+    // thread count, and a geometry small enough that per-schedule
+    // machine construction stays cheap (the litmus footprint is a
+    // handful of lines; capacity behavior is chaos's job, not
+    // litmus's).
+    const unsigned n = unsigned(test.threads.size());
+    c.config.topology =
+        n <= 2 ? mem::Topology(2, 1, 1)
+               : (n <= 4 ? mem::Topology(4, 1, 1)
+                         : mem::Topology(6, 1, 1));
+    c.config.activeCpus = n;
+    c.config.geometry.l1 = {16 * 1024, 2};
+    c.config.geometry.l2 = {64 * 1024, 4};
+    c.config.geometry.l3 = {256 * 1024, 4};
+    c.config.geometry.l4 = {1024 * 1024, 8};
+    c.config.faults = c.plan;
+    return c;
+}
+
+bool
+visibleNext(const Compiled &compiled, const sim::Machine &m,
+            CpuId id)
+{
+    const core::Cpu &cpu = m.cpu(id);
+    const isa::Program::Slot *slot =
+        compiled.programs.at(id).fetch(cpu.psw().ia);
+    if (!slot)
+        return true; // not ours to classify: assume shared-visible
+    switch (slot->inst.op) {
+      case isa::Opcode::LG:
+      case isa::Opcode::LT:
+      case isa::Opcode::LGFO:
+      case isa::Opcode::STG:
+      case isa::Opcode::CS:
+      case isa::Opcode::NTSTG: {
+        // The compiler emits absolute addressing (base 0), so the
+        // displacement is the effective address.
+        const Addr line = lineAlign(Addr(slot->inst.disp));
+        for (const Addr a : compiled.locAddr)
+            if (a == line)
+                return true;
+        return false;
+      }
+      case isa::Opcode::TBEGIN:
+      case isa::Opcode::TBEGINC:
+      case isa::Opcode::TEND:
+      case isa::Opcode::TABORT:
+      case isa::Opcode::PPA:
+        // Transaction boundaries change how the CPU reacts to
+        // other threads' traffic (and to injected faults), so
+        // their ordering is enumerated.
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace ztx::litmus

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Compiles a parsed litmus Test into executable machine material:
+ * one assembled program per thread, a per-location data layout (one
+ * cache line each), an inject::FaultPlan carrying the test's fault
+ * steps as scripted ScenarioSteps, and a small MachineConfig sized
+ * for per-schedule machine construction (the enumerator builds a
+ * fresh machine for every explored schedule, so the default 48
+ * MB/384 MB cache geometry would dominate the run time).
+ *
+ * Register conventions (per thread):
+ *   GR1       store/add scratch
+ *   GR4..GR11 observed registers r0..r7 (zeroed in the prologue)
+ *   GR12      ok flag (1; cleared when a tx exhausts its retries)
+ *   GR13      tx retry budget (BRCT counter)
+ *
+ * A `tx` block compiles to a bounded retry loop:
+ *
+ *       LHI  13, retries+1
+ *   Lr: TBEGIN 0xFF            ; GRSM saves/restores everything
+ *       JNZ  Lf                ; abort resumes here with CC 2/3
+ *       <body>
+ *       TEND
+ *       J    Ld
+ *   Lf: BRCT 13, Lr            ; bounded: at most retries+1 attempts
+ *       LHI  12, 0             ; exhausted -> ok = 0
+ *   Ld:
+ *
+ * The bounded budget is what makes exhaustive enumeration finite:
+ * every abort path rejoins a loop-free suffix after at most
+ * retries+1 attempts. `ctx` blocks compile to TBEGINC..TEND and
+ * lean on the millicode escalation ladder (whose last resort, solo
+ * mode, the steered scheduler honors by restricting the runnable
+ * set to the holder).
+ *
+ * Each top-level statement is bracketed by OPLOGB/OPLOGE pseudo-ops
+ * (code = thread << 8 | statement index) so every run yields an
+ * operation history for the debug rendering; brackets never go
+ * inside tx bodies (OPLOG records are host-side and would record
+ * aborted attempts as spurious nesting; constrained blocks reject
+ * them architecturally).
+ */
+
+#ifndef ZTX_LITMUS_COMPILE_HH
+#define ZTX_LITMUS_COMPILE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "inject/fault_plan.hh"
+#include "isa/program.hh"
+#include "litmus/dsl.hh"
+#include "sim/machine.hh"
+
+namespace ztx::litmus {
+
+/** Base address of the location data block (line-aligned). */
+inline constexpr Addr litmusDataBase = 0x50'0000;
+
+/** First observed register (DSL r0) in the GR file. */
+inline constexpr unsigned litmusRegBase = 4;
+
+/** GR holding the per-thread ok flag. */
+inline constexpr unsigned litmusOkReg = 12;
+
+/** A compiled litmus test, ready for the enumerator. */
+struct Compiled
+{
+    Test test;
+    /** One program per thread (thread i runs on CPU i). */
+    std::vector<isa::Program> programs;
+    /** Line-aligned address of each location. */
+    std::vector<Addr> locAddr;
+    /** Fault steps as a scripted scenario (empty plan when none). */
+    inject::FaultPlan plan;
+    /**
+     * Machine template: small geometry, topology sized to the
+     * thread count, plan attached. The enumerator copies this and
+     * sets seed/steer per run.
+     */
+    sim::MachineConfig config;
+};
+
+/** Compile @p test (fatal on internal inconsistency — parse()
+ *  validates everything user-facing). */
+Compiled compile(const Test &test);
+
+/**
+ * Classification for the enumerator's partial-order reduction: true
+ * when CPU @p id's *next* instruction can touch shared state (a
+ * load/store to a litmus location or a transaction boundary), so
+ * its ordering against other threads is a branch point. Private
+ * bookkeeping (immediates, branches, oplog brackets, halt) is
+ * invisible: it commutes with every other thread's next step and is
+ * stepped eagerly without branching. Unknown instructions classify
+ * as visible (soundness: extra decision points only add schedules).
+ */
+bool visibleNext(const Compiled &compiled, const sim::Machine &m,
+                 CpuId id);
+
+} // namespace ztx::litmus
+
+#endif // ZTX_LITMUS_COMPILE_HH

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * The litmus corpus (corpus.hh). Conventions: conflict-heavy tx
+ * tests cap `retries` low to keep the enumeration frontier small
+ * (every retry attempt multiplies the interleaving count); corpus
+ * tests use only state-based fault triggers (on_footprint,
+ * on_abort) so verdicts are seed-invariant — at_cycle appears once,
+ * at cycle 0, which fires at the first step regardless of seed.
+ */
+
+#include "litmus/corpus.hh"
+
+namespace ztx::litmus {
+
+const std::vector<CorpusTest> &
+corpus()
+{
+    static const std::vector<CorpusTest> tests = {
+
+        // --- Classic shapes, non-transactional. The simulator is
+        // sequentially consistent at step granularity (stores
+        // become cross-CPU visible via XI-triggered drains), so
+        // the classic relaxed outcomes are forbidden.
+
+        {"sb", R"(
+litmus sb
+thread P0 { st x 1  ld y r0 }
+thread P1 { st y 1  ld x r0 }
+forbidden P0.r0=0 & P1.r0=0
+allowed *
+)"},
+
+        {"mp", R"(
+litmus mp
+thread P0 { st x 1  st y 1 }
+thread P1 { ld y r0  ld x r1 }
+forbidden P1.r0=1 & P1.r1=0
+allowed *
+)"},
+
+        {"lb", R"(
+litmus lb
+thread P0 { ld x r0  st y 1 }
+thread P1 { ld y r0  st x 1 }
+forbidden P0.r0=1 & P1.r0=1
+allowed *
+)"},
+
+        {"s", R"(
+litmus s
+thread P0 { st x 2  st y 1 }
+thread P1 { ld y r0  st x 1 }
+forbidden P1.r0=1 & x=2
+allowed *
+)"},
+
+        {"corr", R"(
+litmus corr
+thread P0 { st x 1 }
+thread P1 { ld x r0  ld x r1 }
+forbidden P1.r0=1 & P1.r1=0
+allowed *
+)"},
+
+        {"iriw", R"(
+litmus iriw
+thread P0 { st x 1 }
+thread P1 { st y 1 }
+thread P2 { ld x r0  ld y r1 }
+thread P3 { ld y r0  ld x r1 }
+forbidden P2.r0=1 & P2.r1=0 & P3.r0=1 & P3.r1=0
+allowed *
+)"},
+
+        // Exact outcome sets (no wildcard): any unlisted terminal
+        // state is a violation.
+
+        {"ww", R"(
+litmus ww
+thread P0 { st x 1 }
+thread P1 { st x 2 }
+allowed x=1
+allowed x=2
+)"},
+
+        {"fr_own", R"(
+litmus fr_own
+thread P0 { st x 1  ld x r0 }
+thread P1 { st y 3 }
+allowed x=1 & y=3 & P0.r0=1
+)"},
+
+        {"inc_nontx", R"(
+litmus inc_nontx
+thread P0 { add x 1 }
+thread P1 { add x 1 }
+allowed x=1
+allowed x=2
+)"},
+
+        // --- Transactional mixes.
+
+        {"sb_tx", R"(
+litmus sb_tx
+retries 1
+thread P0 { tx { st x 1  ld y r0 } }
+thread P1 { tx { st y 1  ld x r0 } }
+forbidden P0.r0=0 & P1.r0=0 & P0.ok=1 & P1.ok=1
+allowed *
+)"},
+
+        {"sb_ctx", R"(
+litmus sb_ctx
+thread P0 { ctx { st x 1 }  ld y r0 }
+thread P1 { ctx { st y 1 }  ld x r0 }
+forbidden P0.r0=0 & P1.r0=0
+allowed *
+)"},
+
+        {"mp_tx_writer", R"(
+litmus mp_tx_writer
+thread P0 { tx { st x 1  st y 1 } }
+thread P1 { ld y r0  ld x r1 }
+forbidden P1.r0=1 & P1.r1=0
+allowed *
+)"},
+
+        {"mp_tx_reader", R"(
+litmus mp_tx_reader
+retries 1
+thread P0 { st x 1  st y 1 }
+thread P1 { tx { ld y r0  ld x r1 } }
+forbidden P1.r0=1 & P1.r1=0 & P1.ok=1
+allowed *
+)"},
+
+        {"mp_tx_both", R"(
+litmus mp_tx_both
+retries 1
+thread P0 { tx { st x 1  st y 1 } }
+thread P1 { tx { ld y r0  ld x r1 } }
+forbidden P1.r0=1 & P1.r1=0 & P1.ok=1
+allowed *
+)"},
+
+        {"mp_reader_ctx", R"(
+litmus mp_reader_ctx
+thread P0 { st x 1  st y 1 }
+thread P1 { ctx { ld y r0  ld x r1 } }
+forbidden P1.r0=1 & P1.r1=0
+allowed *
+)"},
+
+        {"lb_tx", R"(
+litmus lb_tx
+retries 1
+thread P0 { tx { ld x r0  st y 1 } }
+thread P1 { tx { ld y r0  st x 1 } }
+forbidden P0.r0=1 & P1.r0=1
+allowed *
+)"},
+
+        {"corr_tx", R"(
+litmus corr_tx
+retries 1
+thread P0 { st x 1 }
+thread P1 { tx { ld x r0  ld x r1 } }
+forbidden P1.r0=1 & P1.r1=0 & P1.ok=1
+allowed *
+)"},
+
+        {"iriw_tx_readers", R"(
+litmus iriw_tx_readers
+retries 0
+thread P0 { st x 1 }
+thread P1 { st y 1 }
+thread P2 { tx { ld x r0  ld y r1 } }
+thread P3 { tx { ld y r0  ld x r1 } }
+forbidden P2.r0=1 & P2.r1=0 & P3.r0=1 & P3.r1=0 & P2.ok=1 & P3.ok=1
+allowed *
+)"},
+
+        // Serializability: the lost update x=1 with both commits is
+        // the exact state transactions must exclude (inc_nontx
+        // above allows it).
+
+        {"inc_tx", R"(
+litmus inc_tx
+retries 1
+thread P0 { tx { add x 1 } }
+thread P1 { tx { add x 1 } }
+allowed x=2 & P0.ok=1 & P1.ok=1
+allowed x=1 & P0.ok=1 & P1.ok=0
+allowed x=1 & P0.ok=0 & P1.ok=1
+allowed x=0 & P0.ok=0 & P1.ok=0
+)"},
+
+        // Constrained transactions may not fail: the outcome set
+        // has no ok=0 alternative (the paper's progress guarantee,
+        // carried by the millicode ladder + solo mode).
+
+        {"inc_ctx", R"(
+litmus inc_ctx
+thread P0 { ctx { add x 1 } }
+thread P1 { ctx { add x 1 } }
+allowed x=2
+)"},
+
+        {"ctx_vs_tx", R"(
+litmus ctx_vs_tx
+retries 1
+thread P0 { ctx { add x 1 } }
+thread P1 { tx { add x 1 } }
+allowed x=2 & P1.ok=1
+allowed x=1 & P1.ok=0
+)"},
+
+        // --- Abort-time semantics: rollback and NTSTG survival.
+
+        {"tabort_rollback", R"(
+litmus tabort_rollback
+retries 0
+thread P0 { tx { st x 1  abort } }
+thread P1 { ld x r0 }
+forbidden x=1
+forbidden P1.r0=1
+forbidden P0.ok=1
+allowed *
+)"},
+
+        {"ntstg_survives", R"(
+litmus ntstg_survives
+retries 0
+thread P0 { tx { st x 1  ntst y 7  abort } }
+allowed x=0 & y=7 & P0.ok=0
+)"},
+
+        {"ntstg_abort_visible", R"(
+litmus ntstg_abort_visible
+retries 0
+thread P0 { tx { ntst x 1  abort } }
+thread P1 { ld x r0 }
+forbidden x=0
+forbidden P0.ok=1
+allowed *
+)"},
+
+        {"mp_ntstg", R"(
+litmus mp_ntstg
+retries 0
+thread P0 { tx { ntst x 1  ntst y 1  abort } }
+thread P1 { ld y r0  ld x r1 }
+forbidden x=0
+forbidden y=0
+allowed *
+)"},
+
+        // --- Injected-fault scenarios (state-based triggers).
+
+        {"spurious_retry", R"(
+litmus spurious_retry
+retries 1
+thread P0 { tx { ld x r0  st y 1 } }
+thread P1 { st z 3 }
+fault on_footprint x spurious P0
+allowed x=0 & y=1 & z=3 & P0.r0=0 & P0.ok=1
+allowed x=0 & y=0 & z=3 & P0.r0=0 & P0.ok=0
+)"},
+
+        {"conflict_directed", R"(
+litmus conflict_directed
+retries 1
+thread P0 { tx { ld x r0  st y 1 } }
+thread P1 { st z 3 }
+fault on_footprint x conflict x
+allowed x=0 & y=1 & z=3 & P0.r0=0 & P0.ok=1
+allowed x=0 & y=0 & z=3 & P0.r0=0 & P0.ok=0
+)"},
+
+        {"ctx_conflict_progress", R"(
+litmus ctx_conflict_progress
+thread P0 { ctx { add x 1 } }
+thread P1 { st y 2 }
+fault on_footprint x conflict x
+allowed x=1 & y=2
+)"},
+
+        {"xi_commit_window", R"(
+litmus xi_commit_window
+retries 1
+thread P0 { tx { st x 1  st y 1 } }
+thread P1 { st x 2 }
+fault on_footprint y conflict y
+forbidden x=0 & P0.ok=1
+forbidden y=1 & P0.ok=0
+allowed *
+)"},
+
+        {"onabort_cascade", R"(
+litmus onabort_cascade
+retries 1
+thread P0 { tx { add x 1 } }
+thread P1 { tx { add x 1 } }
+fault on_abort * 1 spurious *
+allowed x=2 & P0.ok=1 & P1.ok=1
+allowed x=1 & P0.ok=1 & P1.ok=0
+allowed x=1 & P0.ok=0 & P1.ok=1
+allowed x=0 & P0.ok=0 & P1.ok=0
+)"},
+
+        {"poison_recover", R"(
+litmus poison_recover
+retries 2
+thread P0 { tx { ld x r0  st y 1 } }
+fault on_footprint x poison x
+allowed x=0 & y=1 & P0.r0=0 & P0.ok=1
+allowed x=0 & y=0 & P0.r0=0 & P0.ok=0
+)"},
+
+        {"poison_mem_read", R"(
+litmus poison_mem_read
+thread P0 { ld x r0 }
+thread P1 { st y 1 }
+fault at_cycle 0 poison_mem x
+allowed *
+)"},
+    };
+    return tests;
+}
+
+} // namespace ztx::litmus

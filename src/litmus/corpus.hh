@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The in-tree litmus corpus: classic weak-memory shapes (SB, MP,
+ * LB, IRIW, S, CoRR) in transactional / non-transactional /
+ * constrained mixes, serializability (lost-update) exact sets,
+ * NTSTG abort-survival, constrained-transaction progress under
+ * directed conflicts, poison-during-tx recovery, and
+ * XI-at-commit-window scenarios. Every test is expected to
+ * enumerate to verdict "ok" on a correct simulator; several are
+ * deliberately sharp enough to flip to "violation" when a known
+ * guard (tx store rollback, commit atomicity, coherence order) is
+ * reverted — see EXPERIMENTS.md.
+ */
+
+#ifndef ZTX_LITMUS_CORPUS_HH
+#define ZTX_LITMUS_CORPUS_HH
+
+#include <vector>
+
+namespace ztx::litmus {
+
+/** One corpus entry: a name (matches the DSL name) and source. */
+struct CorpusTest
+{
+    const char *name;
+    const char *src;
+};
+
+/** The full corpus, in a stable order. */
+const std::vector<CorpusTest> &corpus();
+
+} // namespace ztx::litmus
+
+#endif // ZTX_LITMUS_CORPUS_HH

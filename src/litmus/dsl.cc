@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Recursive-descent parser and validator for the litmus DSL
+ * (grammar in dsl.hh / DESIGN.md §5d). Parsing never aborts the
+ * process: every malformed input yields a one-line error naming the
+ * offending token, so property tests can throw garbage at it.
+ */
+
+#include "litmus/dsl.hh"
+
+#include <cctype>
+#include <sstream>
+
+namespace ztx::litmus {
+
+namespace {
+
+/** Tokens: words ([A-Za-z0-9_]+), punctuation `{ } = & * .`. */
+struct Lexer
+{
+    std::string_view src;
+    std::size_t pos = 0;
+
+    std::string
+    next()
+    {
+        while (pos < src.size()) {
+            const char c = src[pos];
+            if (c == '#') {
+                while (pos < src.size() && src[pos] != '\n')
+                    ++pos;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos >= src.size())
+            return {};
+        const char c = src[pos];
+        if (c == '{' || c == '}' || c == '=' || c == '&' ||
+            c == '*' || c == '.') {
+            ++pos;
+            return std::string(1, c);
+        }
+        std::size_t start = pos;
+        while (pos < src.size()) {
+            const char w = src[pos];
+            if (std::isalnum(static_cast<unsigned char>(w)) ||
+                w == '_')
+                ++pos;
+            else
+                break;
+        }
+        if (pos == start) {
+            ++pos; // unknown character: its own token, rejected later
+            return std::string(1, c);
+        }
+        return std::string(src.substr(start, pos - start));
+    }
+
+    std::string
+    peek()
+    {
+        const std::size_t saved = pos;
+        std::string t = next();
+        pos = saved;
+        return t;
+    }
+};
+
+bool
+isKeyword(const std::string &t)
+{
+    return t == "litmus" || t == "init" || t == "thread" ||
+           t == "allowed" || t == "forbidden" || t == "fault" ||
+           t == "retries" || t == "ld" || t == "st" || t == "add" ||
+           t == "ntst" || t == "abort" || t == "tx" || t == "ctx";
+}
+
+bool
+isNumber(const std::string &t)
+{
+    if (t.empty())
+        return false;
+    for (const char c : t)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+/** Parser state: lexer + the test being built + error reporting. */
+struct Parser
+{
+    Lexer lex;
+    Test test;
+    std::string error;
+
+    bool
+    fail(const std::string &what, const std::string &tok)
+    {
+        if (error.empty()) {
+            error = what;
+            if (!tok.empty())
+                error += " near '" + tok + "'";
+        }
+        return false;
+    }
+
+    bool
+    expect(const char *want)
+    {
+        const std::string t = lex.next();
+        if (t != want)
+            return fail(std::string("expected '") + want + "'", t);
+        return true;
+    }
+
+    bool
+    number(std::uint64_t &out, const char *what)
+    {
+        const std::string t = lex.next();
+        if (!isNumber(t))
+            return fail(std::string("expected ") + what, t);
+        out = 0;
+        for (const char c : t) {
+            out = out * 10 + std::uint64_t(c - '0');
+            if (out > 0xffff'ffffULL)
+                return fail("number too large", t);
+        }
+        return true;
+    }
+
+    /** Look up or declare a location name. */
+    bool
+    locIndex(const std::string &t, unsigned &out)
+    {
+        if (t.empty() || isKeyword(t) || isNumber(t) ||
+            !std::isalpha(static_cast<unsigned char>(t[0])))
+            return fail("expected location name", t);
+        for (unsigned i = 0; i < test.locs.size(); ++i)
+            if (test.locs[i] == t) {
+                out = i;
+                return true;
+            }
+        if (test.locs.size() >= 8)
+            return fail("too many locations (max 8)", t);
+        out = unsigned(test.locs.size());
+        test.locs.push_back(t);
+        test.init.push_back(0);
+        return true;
+    }
+
+    /** Thread index by name; -1 when unknown. */
+    int
+    threadIndex(const std::string &t) const
+    {
+        for (unsigned i = 0; i < test.threads.size(); ++i)
+            if (test.threads[i].name == t)
+                return int(i);
+        return -1;
+    }
+
+    bool
+    reg(std::string t, unsigned &out)
+    {
+        if (t.size() < 2 || t[0] != 'r' ||
+            !isNumber(t.substr(1)))
+            return fail("expected register r0..r7", t);
+        const unsigned r = unsigned(t[1] - '0');
+        if (t.size() != 2 || r > 7)
+            return fail("expected register r0..r7", t);
+        out = r;
+        return true;
+    }
+
+    bool
+    parseStmts(Thread &th, bool inTx, bool constrained)
+    {
+        while (true) {
+            const std::string t = lex.peek();
+            if (t == "}" || t.empty())
+                return true;
+            lex.next();
+            if (t == "ld") {
+                unsigned loc = 0, r = 0;
+                if (!locIndex(lex.next(), loc) ||
+                    !reg(lex.next(), r))
+                    return false;
+                th.ops.push_back({Op::Kind::Load, loc, r, 0, false});
+                th.numRegs = std::max(th.numRegs, r + 1);
+            } else if (t == "st" || t == "add" || t == "ntst") {
+                unsigned loc = 0;
+                std::uint64_t v = 0;
+                if (!locIndex(lex.next(), loc) ||
+                    !number(v, "store value"))
+                    return false;
+                if (v > 32767)
+                    return fail("store value exceeds 32767 "
+                                "(halfword immediate)",
+                                std::to_string(v));
+                if (t == "ntst" && (!inTx || constrained))
+                    return fail("ntst is only legal inside tx", t);
+                const Op::Kind k = t == "st"    ? Op::Kind::Store
+                                   : t == "add" ? Op::Kind::Add
+                                                : Op::Kind::NtStore;
+                th.ops.push_back({k, loc, 0, v, false});
+            } else if (t == "abort") {
+                if (!inTx || constrained)
+                    return fail("abort is only legal inside tx", t);
+                std::uint64_t code = 256;
+                if (isNumber(lex.peek()) &&
+                    !number(code, "abort code"))
+                    return false;
+                th.ops.push_back(
+                    {Op::Kind::Abort, 0, 0, code, false});
+            } else if (t == "tx" || t == "ctx") {
+                if (inTx)
+                    return fail("nested transactions are not "
+                                "supported",
+                                t);
+                const bool c = t == "ctx";
+                th.ops.push_back({Op::Kind::TxBegin, 0, 0, 0, c});
+                th.hasTx = true;
+                if (!c)
+                    th.hasUnconstrainedTx = true;
+                if (!expect("{") || !parseStmts(th, true, c) ||
+                    !expect("}"))
+                    return false;
+                th.ops.push_back({Op::Kind::TxEnd, 0, 0, 0, c});
+            } else {
+                return fail("unknown statement", t);
+            }
+        }
+    }
+
+    bool
+    parseEq(Cond &cond)
+    {
+        Eq eq;
+        const std::string t = lex.next();
+        const int th = threadIndex(t);
+        if (th >= 0) {
+            if (!expect("."))
+                return false;
+            const std::string f = lex.next();
+            if (f == "ok") {
+                if (!test.threads[th].hasTx)
+                    return fail("'.ok' on a thread without tx", t);
+                eq.kind = Eq::Kind::Ok;
+            } else {
+                unsigned r = 0;
+                if (!reg(f, r))
+                    return false;
+                if (r >= test.threads[th].numRegs)
+                    return fail("register never loaded by thread",
+                                f);
+                eq.kind = Eq::Kind::Reg;
+                eq.reg = r;
+            }
+            eq.thread = unsigned(th);
+        } else {
+            // A location (declared or fresh — conditions may
+            // mention a location no thread touches).
+            if (!locIndex(t, eq.loc))
+                return false;
+            eq.kind = Eq::Kind::Loc;
+        }
+        if (!expect("="))
+            return false;
+        std::uint64_t v = 0;
+        if (!number(v, "condition value"))
+            return false;
+        eq.value = v;
+        cond.eqs.push_back(eq);
+        return true;
+    }
+
+    bool
+    parseCond(Cond &cond)
+    {
+        if (!parseEq(cond))
+            return false;
+        while (lex.peek() == "&") {
+            lex.next();
+            if (!parseEq(cond))
+                return false;
+        }
+        return true;
+    }
+
+    /** `NAME | *` as a thread operand; -1 for `*`. */
+    bool
+    threadOrAny(int &out)
+    {
+        const std::string t = lex.next();
+        if (t == "*") {
+            out = -1;
+            return true;
+        }
+        out = threadIndex(t);
+        if (out < 0)
+            return fail("unknown thread", t);
+        return true;
+    }
+
+    bool
+    parseFault()
+    {
+        Fault f;
+        const std::string trig = lex.next();
+        if (trig == "at_cycle") {
+            f.trigger = Fault::Trigger::AtCycle;
+            std::uint64_t at = 0;
+            if (!number(at, "cycle"))
+                return false;
+            f.at = at;
+        } else if (trig == "on_footprint") {
+            f.trigger = Fault::Trigger::OnFootprint;
+            if (!locIndex(lex.next(), f.watchLoc))
+                return false;
+        } else if (trig == "on_abort") {
+            f.trigger = Fault::Trigger::OnAbort;
+            if (!threadOrAny(f.watchThread) ||
+                !number(f.count, "abort count"))
+                return false;
+            if (f.count == 0)
+                return fail("on_abort count must be >= 1", "0");
+        } else {
+            return fail("unknown fault trigger", trig);
+        }
+
+        const std::string kind = lex.next();
+        if (kind == "conflict") {
+            f.kind = Fault::Kind::Conflict;
+            if (!locIndex(lex.next(), f.loc))
+                return false;
+            const std::string t = lex.peek();
+            if (threadIndex(t) >= 0) {
+                lex.next();
+                f.target = threadIndex(t);
+            }
+        } else if (kind == "poison" || kind == "poison_mem") {
+            f.kind = kind == "poison" ? Fault::Kind::Poison
+                                      : Fault::Kind::PoisonMem;
+            if (!locIndex(lex.next(), f.loc))
+                return false;
+        } else if (kind == "spurious") {
+            f.kind = Fault::Kind::Spurious;
+            if (!threadOrAny(f.target))
+                return false;
+            f.loc = f.trigger == Fault::Trigger::OnFootprint
+                        ? f.watchLoc
+                        : 0;
+        } else {
+            return fail("unknown fault kind", kind);
+        }
+        // The scenario machinery carries a single line per step
+        // (watch line == fault operand), so an on_footprint fault
+        // must aim at the watched location.
+        if (f.trigger == Fault::Trigger::OnFootprint &&
+            f.kind != Fault::Kind::Spurious && f.loc != f.watchLoc)
+            return fail("on_footprint fault must target the "
+                        "watched location",
+                        test.locs[f.loc]);
+        test.faults.push_back(f);
+        return true;
+    }
+
+    bool
+    run()
+    {
+        if (!expect("litmus"))
+            return false;
+        test.name = lex.next();
+        if (test.name.empty() || isKeyword(test.name))
+            return fail("expected test name", test.name);
+
+        while (true) {
+            const std::string t = lex.next();
+            if (t.empty())
+                break;
+            if (t == "init") {
+                // One or more LOC = NUM pairs.
+                bool any = false;
+                while (true) {
+                    const std::string l = lex.peek();
+                    if (l.empty() || isKeyword(l) || l == "}")
+                        break;
+                    unsigned loc = 0;
+                    std::uint64_t v = 0;
+                    if (!locIndex(lex.next(), loc) ||
+                        !expect("=") || !number(v, "init value"))
+                        return false;
+                    if (v > 32767)
+                        return fail("init value exceeds 32767", "");
+                    test.init[loc] = v;
+                    any = true;
+                }
+                if (!any)
+                    return fail("empty init", t);
+            } else if (t == "thread") {
+                const std::string name = lex.next();
+                if (name.empty() || isKeyword(name) ||
+                    isNumber(name))
+                    return fail("expected thread name", name);
+                if (threadIndex(name) >= 0)
+                    return fail("duplicate thread", name);
+                if (test.threads.size() >= 6)
+                    return fail("too many threads (max 6)", name);
+                Thread th;
+                th.name = name;
+                if (!expect("{") || !parseStmts(th, false, false) ||
+                    !expect("}"))
+                    return false;
+                test.threads.push_back(std::move(th));
+            } else if (t == "allowed") {
+                if (lex.peek() == "*") {
+                    lex.next();
+                    test.allowAll = true;
+                } else {
+                    Cond c;
+                    if (!parseCond(c))
+                        return false;
+                    test.allowed.push_back(std::move(c));
+                }
+            } else if (t == "forbidden") {
+                Cond c;
+                if (!parseCond(c))
+                    return false;
+                test.forbidden.push_back(std::move(c));
+            } else if (t == "fault") {
+                if (!parseFault())
+                    return false;
+            } else if (t == "retries") {
+                std::uint64_t r = 0;
+                if (!number(r, "retry count"))
+                    return false;
+                if (r > 8)
+                    return fail("retries capped at 8 (enumeration "
+                                "frontier)",
+                                std::to_string(r));
+                test.retries = unsigned(r);
+            } else {
+                return fail("unknown directive", t);
+            }
+        }
+
+        if (test.threads.empty())
+            return fail("no threads", "");
+        if (test.locs.empty())
+            return fail("no locations", "");
+
+        // Constrained blocks must fit the architectural limits
+        // (tx/constraints.hh): each location is one octoword here,
+        // so at most 4 distinct locations per ctx body; the
+        // instruction-text budget caps body length.
+        for (const Thread &th : test.threads) {
+            bool inCtx = false;
+            unsigned ops = 0;
+            std::vector<unsigned> locsSeen;
+            for (const Op &op : th.ops) {
+                if (op.kind == Op::Kind::TxBegin && op.constrained) {
+                    inCtx = true;
+                    ops = 0;
+                    locsSeen.clear();
+                } else if (op.kind == Op::Kind::TxEnd &&
+                           op.constrained) {
+                    inCtx = false;
+                } else if (inCtx) {
+                    ++ops;
+                    if (ops > 12)
+                        return fail("ctx body too long (max 12 "
+                                    "ops: 256-byte text limit)",
+                                    th.name);
+                    bool seen = false;
+                    for (const unsigned l : locsSeen)
+                        seen = seen || l == op.loc;
+                    if (!seen)
+                        locsSeen.push_back(op.loc);
+                    if (locsSeen.size() > 4)
+                        return fail("ctx body touches more than 4 "
+                                    "locations (octoword limit)",
+                                    th.name);
+                }
+            }
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+ParseResult
+parse(std::string_view src)
+{
+    Parser p;
+    p.lex.src = src;
+    ParseResult res;
+    res.ok = p.run();
+    if (res.ok)
+        res.test = std::move(p.test);
+    else
+        res.error = p.error.empty() ? "parse error" : p.error;
+    return res;
+}
+
+std::string
+describeOp(const Test &test, const Op &op)
+{
+    std::ostringstream os;
+    const auto loc = [&](unsigned i) {
+        return i < test.locs.size() ? test.locs[i] : "?";
+    };
+    switch (op.kind) {
+      case Op::Kind::Load:
+        os << "ld " << loc(op.loc) << " r" << op.reg;
+        break;
+      case Op::Kind::Store:
+        os << "st " << loc(op.loc) << " " << op.value;
+        break;
+      case Op::Kind::Add:
+        os << "add " << loc(op.loc) << " " << op.value;
+        break;
+      case Op::Kind::NtStore:
+        os << "ntst " << loc(op.loc) << " " << op.value;
+        break;
+      case Op::Kind::Abort:
+        os << "abort " << op.value;
+        break;
+      case Op::Kind::TxBegin:
+        os << (op.constrained ? "tbeginc" : "tbegin");
+        break;
+      case Op::Kind::TxEnd:
+        os << "tend";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace ztx::litmus

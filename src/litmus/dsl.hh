@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The litmus-test DSL: named threads of transactional and
+ * non-transactional loads/stores on named memory locations, an
+ * allowed/forbidden final-state outcome set, and optional injected
+ * fault steps (reusing the src/inject scenario machinery).
+ *
+ * Grammar (whitespace-separated tokens, `#` comments to end of
+ * line; see DESIGN.md §5d for the full treatment):
+ *
+ *   test      := "litmus" NAME item*
+ *   item      := init | thread | cond | fault | retries
+ *   init      := "init" (LOC "=" NUM)+
+ *   thread    := "thread" NAME "{" stmt* "}"
+ *   stmt      := "ld" LOC REG | "st" LOC NUM | "add" LOC NUM
+ *              | "ntst" LOC NUM | "abort" [NUM]
+ *              | "tx" "{" stmt* "}" | "ctx" "{" stmt* "}"
+ *   cond      := "allowed" ("*" | conj) | "forbidden" conj
+ *   conj      := eq ("&" eq)*
+ *   eq        := (LOC | NAME "." (REG | "ok")) "=" NUM
+ *   fault     := "fault" trigger kind
+ *   trigger   := "at_cycle" NUM | "on_footprint" LOC
+ *              | "on_abort" (NAME | "*") NUM
+ *   kind      := "conflict" LOC [NAME] | "poison" LOC
+ *              | "poison_mem" LOC | "spurious" (NAME | "*")
+ *   retries   := "retries" NUM
+ *
+ * `tx` blocks compile to a bounded TBEGIN retry loop (`retries`
+ * attempts beyond the first; exhaustion clears the thread's `ok`
+ * flag), `ctx` blocks to TBEGINC (the millicode guarantees
+ * progress, so `ok` is always 1). `ntst` and `abort` are only legal
+ * inside `tx`; `ctx` bodies are restricted to ld/st/add and checked
+ * against the constrained-transaction footprint limits. Locations
+ * are auto-declared on first use, each on its own cache line.
+ */
+
+#ifndef ZTX_LITMUS_DSL_HH
+#define ZTX_LITMUS_DSL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ztx::litmus {
+
+/** One step of a thread program. */
+struct Op
+{
+    enum class Kind : std::uint8_t
+    {
+        Load,    ///< ld LOC REG
+        Store,   ///< st LOC NUM
+        Add,     ///< add LOC NUM (load-add-store on one location)
+        NtStore, ///< ntst LOC NUM (non-transactional store, tx only)
+        Abort,   ///< abort [CODE] (TABORT, tx only)
+        TxBegin, ///< start of a tx/ctx block
+        TxEnd,   ///< end of a tx/ctx block
+    };
+    Kind kind = Kind::Load;
+    unsigned loc = 0;          ///< location index (Load/Store/...)
+    unsigned reg = 0;          ///< destination register (Load)
+    std::uint64_t value = 0;   ///< store value / add delta / code
+    bool constrained = false;  ///< TxBegin: TBEGINC instead of TBEGIN
+};
+
+/** A named thread: a flat op list with balanced tx markers. */
+struct Thread
+{
+    std::string name;
+    std::vector<Op> ops;
+    /** 1 + highest register index loaded (observed registers). */
+    unsigned numRegs = 0;
+    bool hasTx = false;              ///< any tx or ctx block
+    bool hasUnconstrainedTx = false; ///< any tx block (ok can be 0)
+};
+
+/** One equality of a final-state condition. */
+struct Eq
+{
+    enum class Kind : std::uint8_t
+    {
+        Loc, ///< final memory value of a location
+        Reg, ///< final value of a thread's observed register
+        Ok,  ///< thread's tx success flag (1 = every block committed)
+    };
+    Kind kind = Kind::Loc;
+    unsigned thread = 0; ///< Reg/Ok: thread index
+    unsigned loc = 0;    ///< Loc: location index
+    unsigned reg = 0;    ///< Reg: register index
+    std::uint64_t value = 0;
+};
+
+/** A conjunction of equalities (one allowed/forbidden line). */
+struct Cond
+{
+    std::vector<Eq> eqs;
+};
+
+/** An injected fault step (compiled to inject::ScenarioStep). */
+struct Fault
+{
+    enum class Trigger : std::uint8_t
+    {
+        AtCycle,     ///< fire at a global cycle (seed-sensitive)
+        OnFootprint, ///< fire when a location enters a tx footprint
+        OnAbort,     ///< fire on a thread's (or any) N-th abort
+    };
+    Trigger trigger = Trigger::AtCycle;
+    Cycles at = 0;            ///< AtCycle: fire cycle
+    unsigned watchLoc = 0;    ///< OnFootprint: watched location
+    int watchThread = -1;     ///< OnAbort: thread index; -1 = any
+    std::uint64_t count = 1;  ///< OnAbort: fire on the count-th
+
+    enum class Kind : std::uint8_t
+    {
+        Conflict,  ///< targeted conflict XI at a location's line
+        Poison,    ///< poison the location's cached image
+        PoisonMem, ///< poison cache + memory image (no scrub source)
+        Spurious,  ///< spurious transaction abort
+    };
+    Kind kind = Kind::Conflict;
+    unsigned loc = 0; ///< Conflict/Poison*: target location
+    int target = -1;  ///< Conflict/Spurious: victim thread; -1 auto
+};
+
+/** A parsed litmus test. */
+struct Test
+{
+    std::string name;
+    /** Location names, in declaration order (one line each). */
+    std::vector<std::string> locs;
+    /** Initial value per location (parallel to locs; default 0). */
+    std::vector<std::uint64_t> init;
+    std::vector<Thread> threads;
+    /** Disjunction of allowed conjunctions; empty + !allowAll means
+     *  "only forbidden lines constrain the outcome set". */
+    std::vector<Cond> allowed;
+    bool allowAll = false; ///< `allowed *` was given
+    std::vector<Cond> forbidden;
+    std::vector<Fault> faults;
+    /** TBEGIN retry attempts beyond the first per tx block. */
+    unsigned retries = 2;
+};
+
+/** Result of parse(): either a test or a one-line error. */
+struct ParseResult
+{
+    bool ok = false;
+    Test test;
+    std::string error;
+};
+
+/** Parse DSL source into a validated Test. */
+ParseResult parse(std::string_view src);
+
+/** Human-readable rendering of one op ("st x = 1", "tbegin"...). */
+std::string describeOp(const Test &test, const Op &op);
+
+} // namespace ztx::litmus
+
+#endif // ZTX_LITMUS_DSL_HH

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "inject/steer.hh"
 #include "sim/shard.hh"
 
 namespace ztx::sim {
@@ -19,6 +20,13 @@ Machine::Machine(const MachineConfig &config)
       hierarchy_(config.topology, config.latency, config.geometry),
       os_(pageTable_)
 {
+    // Steered (enumeration-mode) execution is exact and serial by
+    // definition: force the legacy scheduler so steered results can
+    // never depend on host parallelism (litmus verdicts must be
+    // byte-identical at any hostThreads setting).
+    if (cfg_.steer)
+        cfg_.hostThreads = 0;
+
     unsigned n = cfg_.activeCpus == 0 ? cfg_.topology.numCpus()
                                       : cfg_.activeCpus;
     if (n > cfg_.topology.numCpus())
@@ -181,6 +189,8 @@ Machine::releaseSolo(CpuId cpu_id)
 Cycles
 Machine::run(Cycles max_cycles)
 {
+    if (cfg_.steer)
+        return runSteered(max_cycles);
     return cfg_.hostThreads == 0 ? runLegacy(max_cycles)
                                  : runSharded(max_cycles);
 }
@@ -288,6 +298,85 @@ Machine::runLegacy(Cycles max_cycles)
                 break;
             }
         }
+    }
+    return now_ - start;
+}
+
+Cycles
+Machine::runSteered(Cycles max_cycles)
+{
+    const Cycles start = now_;
+    const bool bounded = max_cycles != ~Cycles(0);
+    const Cycles end_cycle =
+        bounded ? start + max_cycles : ~Cycles(0);
+
+    std::vector<CpuId> runnable;
+    runnable.reserve(numCpus());
+    while (true) {
+        // A halted solo holder releases automatically (safety),
+        // exactly as in the legacy scheduler.
+        while (soloCpu_ != invalidCpu && cpus_[soloCpu_]->halted())
+            releaseSolo(soloCpu_);
+
+        runnable.clear();
+        if (soloCpu_ != invalidCpu) {
+            runnable.push_back(soloCpu_);
+        } else {
+            for (unsigned i = 0; i < numCpus(); ++i)
+                if (!cpus_[i]->halted())
+                    runnable.push_back(i);
+        }
+        if (runnable.empty())
+            break;
+
+        const CpuId id = cfg_.steer->choose(runnable);
+        if (id == invalidCpu)
+            break; // steer-requested stop (frontier cap)
+        if (id >= numCpus() || cpus_[id]->halted() ||
+            (soloCpu_ != invalidCpu && id != soloCpu_))
+            ztx_fatal("steer chose unrunnable CPU ", id);
+
+        // Time advances monotonically: stepping a CPU whose ready
+        // time is in the future drags `now` forward; stepping one
+        // that was ready in the past costs nothing extra. Cycle
+        // values are therefore schedule-dependent in steered mode —
+        // only the step order is the enumeration's contract.
+        now_ = std::max(now_, readyAt_[id]);
+        if (now_ >= end_cycle) {
+            now_ = end_cycle;
+            break;
+        }
+
+        while (io_ && !io_->idle() && ioReadyAt_ <= now_) {
+            const Cycles io_cost = io_->pump();
+            ioReadyAt_ = std::max(ioReadyAt_, now_) +
+                         std::max<Cycles>(io_cost, 1);
+        }
+
+        if (cfg_.externalInterruptPeriod &&
+            now_ >= nextInterrupt_[id]) {
+            cpus_[id]->deliverExternalInterrupt();
+            extDeliveredCounter_.inc();
+            const Cycles period = cfg_.externalInterruptPeriod;
+            nextInterrupt_[id] += period;
+            if (nextInterrupt_[id] <= now_) {
+                const Cycles missed =
+                    (now_ - nextInterrupt_[id]) / period + 1;
+                extSkippedCounter_.inc(missed);
+                nextInterrupt_[id] += missed * period;
+            }
+        }
+
+        // Evaluated before *every* steered step, so scripted
+        // scenario triggers fire exactly at enumeration decision
+        // points (see inject/steer.hh).
+        if (injector_)
+            injector_->beforeStep(id, now_);
+
+        stepCounter_.inc();
+        Cycles cost = cpus_[id]->step();
+        cost += cpus_[id]->consumePendingStall();
+        readyAt_[id] = now_ + cost;
     }
     return now_ - start;
 }

@@ -43,6 +43,10 @@
 #include "mem/topology.hh"
 #include "sim/arena.hh"
 
+namespace ztx::inject {
+class ScheduleSteer;
+}
+
 namespace ztx::sim {
 
 class Shard;
@@ -131,6 +135,20 @@ struct MachineConfig
      * changes simulated timing and is serialized.
      */
     bool shardLocalFastPath = true;
+
+    /**
+     * Schedule steering hook (enumeration-mode stepping, see
+     * inject/steer.hh and src/litmus). When set, run() ignores
+     * ready-time ordering and instead asks the steer to pick the
+     * next CPU from the runnable set before every step; simulated
+     * time still advances monotonically (stepping a CPU drags `now`
+     * up to its ready time). Steered execution is exact and serial
+     * by definition, so the constructor forces the legacy scheduler
+     * — steered results can never depend on hostThreads. Non-owning;
+     * must outlive the machine. Not serialized (a steered run is an
+     * enumeration artifact, not a reproducible configuration).
+     */
+    inject::ScheduleSteer *steer = nullptr;
 };
 
 /**
@@ -326,6 +344,9 @@ class Machine : public core::CpuEnv
 
     /** The sharded quantum scheduler (hostThreads >= 1). */
     Cycles runSharded(Cycles max_cycles);
+
+    /** Enumeration-mode stepping (cfg_.steer != nullptr). */
+    Cycles runSteered(Cycles max_cycles);
 
     /** Run every shard's parallel phase up to @p q_end. */
     void runParallel(Cycles q_end);
