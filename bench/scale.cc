@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/prof.hh"
 #include "isa/assembler.hh"
 #include "json_report.hh"
 #include "mem/directory.hh"
@@ -174,6 +175,9 @@ struct RunResult
     std::uint64_t fetchMisses = 0;
     /** Full stats document, for byte-identity comparison. */
     std::string statsText;
+    /** Phase-profiler snapshot for this run (host-time data; kept
+     *  out of statsText so the determinism compare stays exact). */
+    Json prof;
 };
 
 enum class Workload
@@ -245,11 +249,13 @@ runOnce(const mem::Topology &topo, unsigned host_threads,
     for (unsigned i = 0; i < m.numCpus(); ++i)
         m.setProgram(i, &programs[i]);
 
+    prof::reset();
     const auto t0 = std::chrono::steady_clock::now();
     const Cycles elapsed = m.run();
     const auto t1 = std::chrono::steady_clock::now();
 
     RunResult res;
+    res.prof = prof::snapshotJson();
     res.hostSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     res.simCycles = elapsed;
@@ -326,6 +332,7 @@ main(int argc, char **argv)
     using namespace ztx;
 
     const bool smoke = hasFlag(argc, argv, "--smoke");
+    const bool prof_on = prof::enabledFromEnv();
 
     bench::JsonReport report("scale", argc, argv);
     report.setMachineConfig(sim::MachineConfig{});
@@ -333,6 +340,7 @@ main(int argc, char **argv)
     report.meta()["host_cpus"] =
         unsigned(std::thread::hardware_concurrency());
     report.meta()["smoke"] = smoke;
+    report.meta()["prof_enabled"] = prof_on;
 
     const unsigned iterations =
         std::getenv("ZTX_BENCH_FAST") ? bench::benchIterations()
@@ -418,7 +426,8 @@ main(int argc, char **argv)
                         rec["determinism_ok"] = det;
                         rec["sched"] =
                             bench::schedStatsJson(res.sched);
-                        report.addRecord(std::move(rec));
+                        rec["prof"] = res.prof;
+                report.addRecord(std::move(rec));
                     }
                 }
             }
@@ -460,6 +469,7 @@ main(int argc, char **argv)
                     res.sched.serialFraction();
                 rec["determinism_ok"] = true;
                 rec["sched"] = bench::schedStatsJson(res.sched);
+                rec["prof"] = res.prof;
                 report.addRecord(std::move(rec));
             }
         }
@@ -543,7 +553,8 @@ main(int argc, char **argv)
                     rec["phase"] = phaseJson(res.phase);
                     rec["sched"] =
                         bench::schedStatsJson(res.sched);
-                    report.addRecord(std::move(rec));
+                    rec["prof"] = res.prof;
+                report.addRecord(std::move(rec));
                 }
             }
         }
@@ -584,6 +595,7 @@ main(int argc, char **argv)
                 rec["determinism_ok"] = true;
                 rec["phase"] = phaseJson(res.phase);
                 rec["sched"] = bench::schedStatsJson(res.sched);
+                rec["prof"] = res.prof;
                 report.addRecord(std::move(rec));
             }
         }
@@ -628,6 +640,7 @@ main(int argc, char **argv)
                     res.sched.serialFraction();
                 rec["determinism_ok"] = true;
                 rec["sched"] = bench::schedStatsJson(res.sched);
+                rec["prof"] = res.prof;
                 report.addRecord(std::move(rec));
             }
         }

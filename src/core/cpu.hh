@@ -237,6 +237,12 @@ class Cpu : public mem::CacheClient
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** The gathering store cache, for index-consistency oracles. */
+    const GatheringStoreCache &storeCache() const
+    {
+        return storeCache_;
+    }
+
     /** @name mem::CacheClient @{ */
     mem::XiResponse incomingXi(const mem::XiContext &ctx) override;
     void l1Evicted(Addr line, std::uint8_t flags) override;

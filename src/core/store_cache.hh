@@ -21,6 +21,17 @@
  * Functionally, zTX commits store-cache data to MainMemory when
  * entries drain (non-transactional) or at transaction end
  * (transactional); see DESIGN.md on the functional-vs-timing split.
+ *
+ * The per-access queries (overlay on every load, findOpen on every
+ * store, hasTransactionalLine/hasAnyLine on every incoming XI) run
+ * against a block index instead of scanning the entries: a small
+ * open-addressed map from 128-byte block address to a chain of live
+ * entries (kept in entry-array order, so lookups return exactly
+ * what the historical scan returned), live/transactional occupancy
+ * bitmaps, and a line-granular occupancy summary (per-bucket
+ * counts + a 64-bit signature over hashed line addresses) that
+ * rejects non-intersecting line queries with a single AND. See
+ * DESIGN.md §5b "per-access hot path".
  */
 
 #ifndef ZTX_CORE_STORE_CACHE_HH
@@ -29,6 +40,7 @@
 #include <array>
 #include <bitset>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -114,16 +126,24 @@ class GatheringStoreCache
     void drainAll(mem::MainMemory &memory);
 
     /** Number of live entries. */
-    unsigned liveEntries() const;
+    unsigned liveEntries() const { return live_; }
 
     /** Number of live transactional entries. */
-    unsigned liveTransactionalEntries() const;
+    unsigned liveTransactionalEntries() const { return liveTx_; }
 
     /** Capacity. */
     unsigned capacity() const { return unsigned(entries_.size()); }
 
     /** Stats group (gathers/allocations/overflows/NTSTG overlap). */
     StatGroup &stats() { return stats_; }
+
+    /**
+     * Verify the block index, occupancy bitmaps, and line summary
+     * against a ground-truth walk of the entries.
+     * @return Empty string when consistent, else a description of
+     *         the first violation (chaos-oracle hook).
+     */
+    std::string indexCheck() const;
 
   private:
     struct Entry
@@ -139,6 +159,16 @@ class GatheringStoreCache
         std::bitset<storeCacheBlockBytes / 8> ntstg;
     };
 
+    /** Chain terminator / empty-map-slot marker. */
+    static constexpr std::uint16_t npos = 0xFFFF;
+
+    /** One open-addressed map slot: block -> live-entry chain. */
+    struct MapSlot
+    {
+        Addr block = 0;
+        std::uint16_t head = npos;
+    };
+
     Entry *findOpen(Addr block, bool transactional);
     Entry *allocate(mem::MainMemory &memory);
     void writeBack(Entry &entry, mem::MainMemory &memory) const;
@@ -146,8 +176,48 @@ class GatheringStoreCache
                          const std::uint8_t *bytes, unsigned len,
                          bool ntstg);
 
+    /** @name Block index maintenance @{ */
+    std::size_t mapHome(Addr block) const;
+    /** Map slot holding @p block's chain; npos64 when absent. */
+    std::size_t mapFind(Addr block) const;
+    /** Backward-shift deletion of map slot @p i. */
+    void mapErase(std::size_t i);
+    /** Link entry @p idx (just made live) into the index. */
+    void indexInsert(unsigned idx);
+    /** Unlink entry @p idx (about to be freed) from the index. */
+    void indexRemove(unsigned idx);
+    /** Entry @p idx changed transactional class (commit). */
+    void indexSetNonTx(unsigned idx);
+    /** @} */
+
+    /** Line-summary bucket of @p addr (any address on the line). */
+    static unsigned
+    lineBucket(Addr addr)
+    {
+        return unsigned(addr >> lineSizeLog2) & 63u;
+    }
+
     std::vector<Entry> entries_;
     std::uint64_t seq_ = 0;
+
+    /** @name Block index (see file comment) @{ */
+    std::vector<MapSlot> map_;
+    std::size_t mapMask_ = 0;
+    /** Per-entry chain link, entry-array order within a chain. */
+    std::vector<std::uint16_t> next_;
+    /** Occupancy bitmaps, bit i = entries_[i]. */
+    std::vector<std::uint64_t> liveMask_;
+    std::vector<std::uint64_t> txMask_;
+    unsigned live_ = 0;
+    unsigned liveTx_ = 0;
+    /** Line-granular summary: live entries per hashed line bucket. */
+    std::array<std::uint16_t, 64> lineBucketLive_{};
+    std::array<std::uint16_t, 64> lineBucketTx_{};
+    /** Signature: bit b set iff lineBucket*_[b] > 0. */
+    std::uint64_t lineSigLive_ = 0;
+    std::uint64_t lineSigTx_ = 0;
+    /** @} */
+
     StatGroup stats_;
 };
 

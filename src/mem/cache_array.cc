@@ -1,5 +1,6 @@
 #include "cache_array.hh"
 
+#include <bit>
 #include <utility>
 
 #include "common/log.hh"
@@ -12,76 +13,174 @@ CacheArray::CacheArray(const CacheGeometry &geometry, std::string name)
 {
     if (rows_ == 0 || assoc_ == 0)
         ztx_fatal("cache '", name_, "' has zero rows or ways");
-    entries_.resize(rows_ * assoc_);
+    if (assoc_ > 32)
+        ztx_fatal("cache '", name_,
+                  "' associativity exceeds the valid-mask width");
+    tags_.assign(rows_ * assoc_, 0);
+    lastUse_.assign(rows_ * assoc_, 0);
+    flags_.assign(rows_ * assoc_, 0);
+    validMask_.assign(rows_, 0);
 }
 
-CacheArray::Entry *
-CacheArray::setBase(Addr line)
+unsigned
+CacheArray::ctz32(std::uint32_t v)
 {
-    return &entries_[row(line) * assoc_];
+    return unsigned(std::countr_zero(v));
 }
 
-CacheArray::Entry *
-CacheArray::find(Addr line)
+std::size_t
+CacheArray::findIdx(Addr line) const
 {
-    Entry *base = setBase(line);
-    for (unsigned w = 0; w < assoc_; ++w)
-        if (base[w].valid && base[w].line == line)
-            return &base[w];
-    return nullptr;
-}
-
-const CacheArray::Entry *
-CacheArray::find(Addr line) const
-{
-    return const_cast<CacheArray *>(this)->find(line);
+    const std::uint64_t set = row(line);
+    const std::size_t base = std::size_t(set) * assoc_;
+    std::uint32_t ways = validMask_[set];
+    while (ways != 0) {
+        const unsigned w = ctz32(ways);
+        ways &= ways - 1;
+        if (tags_[base + w] == line)
+            return base + w;
+    }
+    return npos;
 }
 
 bool
 CacheArray::contains(Addr line) const
 {
-    return find(line) != nullptr;
+    return findIdx(line) != npos;
 }
 
 std::uint8_t
 CacheArray::flagsOf(Addr line) const
 {
-    const Entry *e = find(line);
-    return e ? e->flags : 0;
+    const std::size_t i = findIdx(line);
+    return i != npos ? flags_[i] : 0;
 }
 
 void
 CacheArray::setFlags(Addr line, std::uint8_t bits)
 {
-    Entry *e = find(line);
-    if (!e)
+    const std::size_t i = findIdx(line);
+    if (i == npos)
         ztx_panic("setFlags on absent line in ", name_);
-    e->flags |= bits;
+    if (flags_[i] == 0 && bits != 0)
+        ++flagged_;
+    flags_[i] |= bits;
 }
 
 void
 CacheArray::clearFlags(Addr line, std::uint8_t bits)
 {
-    if (Entry *e = find(line))
-        e->flags &= std::uint8_t(~bits);
+    const std::size_t i = findIdx(line);
+    if (i == npos)
+        return;
+    const std::uint8_t old = flags_[i];
+    flags_[i] = std::uint8_t(old & ~bits);
+    if (old != 0 && flags_[i] == 0)
+        --flagged_;
 }
 
 void
 CacheArray::clearFlagsAll(std::uint8_t bits)
 {
-    for (auto &entry : entries_)
-        if (entry.valid)
-            entry.flags &= std::uint8_t(~bits);
+    if (flagged_ == 0)
+        return;
+    for (std::uint64_t set = 0; set < rows_; ++set) {
+        std::uint32_t ways = validMask_[set];
+        while (ways != 0) {
+            const unsigned w = ctz32(ways);
+            ways &= ways - 1;
+            const std::size_t i = std::size_t(set) * assoc_ + w;
+            const std::uint8_t old = flags_[i];
+            flags_[i] = std::uint8_t(old & ~bits);
+            if (old != 0 && flags_[i] == 0)
+                --flagged_;
+        }
+    }
 }
 
 bool
-CacheArray::touch(Addr line)
+CacheArray::findAndTouch(Addr line)
 {
-    Entry *e = find(line);
-    if (!e)
+    const std::size_t i = findIdx(line);
+    if (i == npos)
         return false;
-    e->lastUse = ++useTick_;
+    lastUse_[i] = ++useTick_;
     return true;
+}
+
+CacheArray::Probe
+CacheArray::probeForInsert(Addr line) const
+{
+    const std::uint64_t set = row(line);
+    const std::size_t base = std::size_t(set) * assoc_;
+    const std::uint32_t vmask = validMask_[set];
+
+    Probe p;
+    std::uint32_t ways = vmask;
+    while (ways != 0) {
+        const unsigned w = ctz32(ways);
+        ways &= ways - 1;
+        if (tags_[base + w] == line) {
+            p.hit = true;
+            p.idx = base + w;
+            return p;
+        }
+    }
+
+    const unsigned valid_ways = unsigned(std::popcount(vmask));
+    // A capacity squeeze (effAssoc_ < assoc_) forces replacement as
+    // soon as the effective ways are occupied, even while physical
+    // ways remain free.
+    p.wouldEvict = valid_ways >= effAssoc_;
+    if (!p.wouldEvict) {
+        const std::uint32_t all =
+            assoc_ == 32 ? ~std::uint32_t(0)
+                         : (std::uint32_t(1) << assoc_) - 1;
+        p.slot = base + ctz32(~vmask & all);
+    } else {
+        // True LRU among the valid entries of the congruence class
+        // (under a squeeze, invalid ways must stay unused). Ticks
+        // are unique, so first-strictly-smaller matches the
+        // historical way-order scan.
+        std::size_t best = npos;
+        ways = vmask;
+        while (ways != 0) {
+            const unsigned w = ctz32(ways);
+            ways &= ways - 1;
+            if (best == npos ||
+                lastUse_[base + w] < lastUse_[best])
+                best = base + w;
+        }
+        p.slot = best;
+    }
+    return p;
+}
+
+CacheArray::Victim
+CacheArray::insertAt(const Probe &p, Addr line, std::uint8_t flags)
+{
+    if (p.hit)
+        ztx_panic("double insert of line in ", name_);
+    const std::size_t i = p.slot;
+    const std::uint64_t set = i / assoc_;
+    const unsigned w = unsigned(i % assoc_);
+    const std::uint32_t bit = std::uint32_t(1) << w;
+
+    Victim victim;
+    if (p.wouldEvict) {
+        victim.valid = true;
+        victim.line = tags_[i];
+        victim.flags = flags_[i];
+        if (flags_[i] != 0)
+            --flagged_;
+    }
+    tags_[i] = line;
+    flags_[i] = flags;
+    lastUse_[i] = ++useTick_;
+    validMask_[set] |= bit;
+    if (flags != 0)
+        ++flagged_;
+    return victim;
 }
 
 CacheArray::Victim
@@ -89,57 +188,14 @@ CacheArray::insert(Addr line, std::uint8_t flags)
 {
     if (lineOffset(line) != 0)
         ztx_panic("insert of non-line-aligned address in ", name_);
-    if (find(line))
-        ztx_panic("double insert of line in ", name_);
-
-    Entry *base = setBase(line);
-    Entry *slot = nullptr;
-    unsigned valid_ways = 0;
-    for (unsigned w = 0; w < assoc_; ++w)
-        valid_ways += base[w].valid ? 1 : 0;
-    // A capacity squeeze (effAssoc_ < assoc_) forces replacement as
-    // soon as the effective ways are occupied, even while physical
-    // ways remain free.
-    if (valid_ways < effAssoc_) {
-        for (unsigned w = 0; w < assoc_; ++w) {
-            if (!base[w].valid) {
-                slot = &base[w];
-                break;
-            }
-        }
-    }
-
-    Victim victim;
-    if (!slot) {
-        // True LRU among the valid entries of the congruence class
-        // (under a squeeze, invalid ways must stay unused).
-        for (unsigned w = 0; w < assoc_; ++w) {
-            if (!base[w].valid)
-                continue;
-            if (!slot || base[w].lastUse < slot->lastUse)
-                slot = &base[w];
-        }
-        victim.valid = true;
-        victim.line = slot->line;
-        victim.flags = slot->flags;
-    }
-
-    slot->line = line;
-    slot->valid = true;
-    slot->flags = flags;
-    slot->lastUse = ++useTick_;
-    return victim;
+    return insertAt(probeForInsert(line), line, flags);
 }
 
 bool
 CacheArray::insertWouldEvict(Addr line) const
 {
-    const Entry *base =
-        const_cast<CacheArray *>(this)->setBase(line);
-    unsigned valid_ways = 0;
-    for (unsigned w = 0; w < assoc_; ++w)
-        valid_ways += base[w].valid ? 1 : 0;
-    return valid_ways >= effAssoc_;
+    return unsigned(std::popcount(validMask_[row(line)])) >=
+           effAssoc_;
 }
 
 void
@@ -151,11 +207,14 @@ CacheArray::setEffectiveAssoc(unsigned ways)
 bool
 CacheArray::invalidate(Addr line)
 {
-    Entry *e = find(line);
-    if (!e)
+    const std::size_t i = findIdx(line);
+    if (i == npos)
         return false;
-    e->valid = false;
-    e->flags = 0;
+    if (flags_[i] != 0)
+        --flagged_;
+    flags_[i] = 0;
+    validMask_[i / assoc_] &=
+        ~(std::uint32_t(1) << unsigned(i % assoc_));
     return true;
 }
 
@@ -163,9 +222,44 @@ std::size_t
 CacheArray::validCount() const
 {
     std::size_t n = 0;
-    for (const auto &entry : entries_)
-        n += entry.valid ? 1 : 0;
+    for (const std::uint32_t mask : validMask_)
+        n += std::size_t(std::popcount(mask));
     return n;
+}
+
+std::string
+CacheArray::indexCheck() const
+{
+    std::size_t flagged = 0;
+    for (std::uint64_t set = 0; set < rows_; ++set) {
+        const std::uint32_t all =
+            assoc_ == 32 ? ~std::uint32_t(0)
+                         : (std::uint32_t(1) << assoc_) - 1;
+        if ((validMask_[set] & ~all) != 0)
+            return name_ + ": valid mask has bits beyond assoc";
+        std::uint32_t ways = validMask_[set];
+        while (ways != 0) {
+            const unsigned w = ctz32(ways);
+            ways &= ways - 1;
+            const std::size_t i = std::size_t(set) * assoc_ + w;
+            if (row(tags_[i]) != set)
+                return name_ + ": valid tag maps to another set";
+            if (flags_[i] != 0)
+                ++flagged;
+            // Tags must be unique within the set.
+            std::uint32_t rest = ways;
+            while (rest != 0) {
+                const unsigned w2 = ctz32(rest);
+                rest &= rest - 1;
+                if (tags_[std::size_t(set) * assoc_ + w2] ==
+                    tags_[i])
+                    return name_ + ": duplicate tag within a set";
+            }
+        }
+    }
+    if (flagged != flagged_)
+        return name_ + ": flagged-entry count mismatch";
+    return "";
 }
 
 } // namespace ztx::mem

@@ -6,6 +6,18 @@
  * MainMemory / the store cache (see DESIGN.md on the functional-vs-
  * timing split). The L1 instance additionally carries the tx-read and
  * tx-dirty bits the paper adds to the L1 directory latches.
+ *
+ * Layout and probing are built for the per-access hot path (DESIGN.md
+ * §5b "per-access hot path"): tags, recency ticks, and flags live in
+ * separate per-set arrays (SoA) with a per-set valid-way bitmask, so
+ * a probe walks a compact tag vector instead of padded structs;
+ * probeForInsert() resolves presence, the free way, and the LRU
+ * victim in one pass, and touchAt()/insertAt() complete the access
+ * against the returned slot without re-probing. The legacy
+ * find/touch/insert entry points remain and are thin wrappers over
+ * the fused path, so replacement order and victim choice are
+ * bit-identical to the historical scan (way order breaks lastUse
+ * comparisons, and ticks are unique by construction).
  */
 
 #ifndef ZTX_MEM_CACHE_ARRAY_HH
@@ -42,7 +54,7 @@ inline constexpr std::uint8_t poison = 0x4;
 class CacheArray
 {
   public:
-    /** One way of one congruence class. */
+    /** One way of one congruence class (forEachValid view). */
     struct Entry
     {
         Addr line = 0;
@@ -57,6 +69,22 @@ class CacheArray
         bool valid = false;
         Addr line = 0;
         std::uint8_t flags = 0;
+    };
+
+    /**
+     * Result of one fused probe (probeForInsert): presence, the
+     * slot an insert would fill, and whether that insert would
+     * displace a victim. Valid until the array is next mutated.
+     */
+    struct Probe
+    {
+        /** Entry slot (set * assoc + way) of the hit. */
+        std::size_t idx = 0;
+        bool hit = false;
+        /** Slot an insertAt() would fill (miss only). */
+        std::size_t slot = 0;
+        /** insertAt() would displace the line in `slot`. */
+        bool wouldEvict = false;
     };
 
     /**
@@ -77,11 +105,46 @@ class CacheArray
     /** Clear @p bits from the flags of @p line if present. */
     void clearFlags(Addr line, std::uint8_t bits);
 
-    /** Clear @p bits from every valid entry's flags. */
+    /**
+     * Clear @p bits from every valid entry's flags. Short-circuits
+     * when no valid entry carries any flag bits (flaggedCount()),
+     * so the per-TBEGIN tx-mark wipe is O(1) outside transactions.
+     */
     void clearFlagsAll(std::uint8_t bits);
 
+    /** @name Fused probes (hot path) @{ */
+    /**
+     * Presence + LRU bump in one probe: mark @p line most recently
+     * used. @return True if present.
+     */
+    bool findAndTouch(Addr line);
+
+    /**
+     * One pass over @p line's congruence class resolving presence,
+     * the slot a subsequent insertAt() would fill, and whether that
+     * insert would displace a victim (the insertWouldEvict()
+     * answer). Never mutates the array.
+     */
+    Probe probeForInsert(Addr line) const;
+
+    /** Bump the LRU tick of the entry a Probe hit. */
+    void
+    touchAt(const Probe &p)
+    {
+        lastUse_[p.idx] = ++useTick_;
+    }
+
+    /**
+     * Complete the insert a probeForInsert() miss prepared, without
+     * re-probing. @p p must come from probeForInsert(@p line) on
+     * the current array state with p.hit == false.
+     */
+    Victim insertAt(const Probe &p, Addr line,
+                    std::uint8_t flags = 0);
+    /** @} */
+
     /** Mark @p line most recently used; true if present. */
-    bool touch(Addr line);
+    bool touch(Addr line) { return findAndTouch(line); }
 
     /**
      * Insert @p line (must not be present), evicting the LRU way of
@@ -94,7 +157,8 @@ class CacheArray
      * True if insert(@p line) would displace a victim right now:
      * the congruence class already holds effectiveAssoc() valid
      * lines. The sharded fast path uses this to defer accesses
-     * whose install would have eviction side effects.
+     * whose install would have eviction side effects. O(1) on the
+     * per-set valid mask.
      */
     bool insertWouldEvict(Addr line) const;
 
@@ -130,29 +194,65 @@ class CacheArray
     /** Count of valid entries (for tests/stats). */
     std::size_t validCount() const;
 
+    /** Valid entries currently carrying any flag bits. */
+    std::size_t flaggedCount() const { return flagged_; }
+
     /** Invoke @p fn(const Entry &) for every valid entry. */
     template <typename Fn>
     void
     forEachValid(Fn &&fn) const
     {
-        for (const auto &entry : entries_)
-            if (entry.valid)
+        for (std::uint64_t set = 0; set < rows_; ++set) {
+            std::uint32_t ways = validMask_[set];
+            while (ways != 0) {
+                const unsigned w = ctz32(ways);
+                ways &= ways - 1;
+                const std::size_t i = set * assoc_ + w;
+                Entry entry;
+                entry.line = tags_[i];
+                entry.valid = true;
+                entry.flags = flags_[i];
+                entry.lastUse = lastUse_[i];
                 fn(entry);
+            }
+        }
     }
 
     /** Array name (diagnostics). */
     const std::string &name() const { return name_; }
 
+    /**
+     * Verify the per-set metadata (valid masks, tag-to-set mapping,
+     * tag uniqueness within a set, flagged-entry count) against a
+     * ground-truth walk. @return Empty string when consistent, else
+     * a description of the first violation (chaos-oracle hook).
+     */
+    std::string indexCheck() const;
+
   private:
-    Entry *find(Addr line);
-    const Entry *find(Addr line) const;
-    Entry *setBase(Addr line);
+    static unsigned ctz32(std::uint32_t v);
+
+    /** Entry slot of @p line, or npos when absent. */
+    std::size_t findIdx(Addr line) const;
+
+    static constexpr std::size_t npos = ~std::size_t(0);
 
     std::uint64_t rows_;
     unsigned assoc_;
     unsigned effAssoc_;
     std::string name_;
-    std::vector<Entry> entries_;
+
+    /** @name Per-set SoA metadata (slot = set * assoc + way) @{ */
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint8_t> flags_;
+    /** Bit w set = way w of the set is valid (assoc <= 32). */
+    std::vector<std::uint32_t> validMask_;
+    /** @} */
+
+    /** Valid entries with flags != 0 (clearFlagsAll short-circuit). */
+    std::size_t flagged_ = 0;
+
     std::uint64_t useTick_ = 0;
 };
 

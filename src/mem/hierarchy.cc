@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "common/trace.hh"
 
 namespace ztx::mem {
@@ -71,7 +72,9 @@ AccessResult
 Hierarchy::localHit(CpuId cpu, Addr line)
 {
     AccessResult res;
-    if (l1_[cpu].touch(line)) {
+    const auto p1 = l1_[cpu].probeForInsert(line);
+    if (p1.hit) {
+        l1_[cpu].touchAt(p1);
         res.source = DataSource::L1;
         res.latency = lat_.l1Hit;
         ++hot_[cpu].l1Hit;
@@ -80,9 +83,12 @@ Hierarchy::localHit(CpuId cpu, Addr line)
     // Inclusivity: a held line must be L2-resident — either in the
     // array or pending in the overflow buffer (a fast-path install
     // whose real insert happens at the barrier drain).
-    if (!l2_[cpu].touch(line) && !inL2Overflow(cpu, line))
+    const auto p2 = l2_[cpu].probeForInsert(line);
+    if (p2.hit)
+        l2_[cpu].touchAt(p2);
+    else if (!inL2Overflow(cpu, line))
         ztx_panic("directory says cpu ", cpu, " holds line but L2 miss");
-    insertL1(cpu, line);
+    insertL1At(cpu, line, p1);
     res.source = DataSource::L2;
     res.latency = lat_.l2Hit;
     ++hot_[cpu].l2Hit;
@@ -198,6 +204,7 @@ AccessResult
 Hierarchy::fetch(CpuId cpu, Addr line, bool exclusive,
                  bool local_only)
 {
+    ZTX_PROF_SCOPE("hier.fetch");
     if (lineOffset(line) != 0)
         ztx_panic("fetch of non-line-aligned address");
 
@@ -334,9 +341,12 @@ Hierarchy::drainL2Overflow()
         OverflowBuf &ob = l2Overflow_[cpu];
         for (unsigned i = 0; i < ob.n; ++i) {
             const Addr line = ob.lines[i];
-            if (l2_[cpu].touch(line))
+            const auto p = l2_[cpu].probeForInsert(line);
+            if (p.hit) {
+                l2_[cpu].touchAt(p);
                 continue; // resident after all — nothing pending
-            const auto victim = l2_[cpu].insert(line);
+            }
+            const auto victim = l2_[cpu].insertAt(p, line);
             if (victim.valid)
                 handleL2Evict(cpu, victim.line);
         }
@@ -418,8 +428,8 @@ Hierarchy::shardLocalEligible(CpuId cpu, Addr line,
     // once the L2 warms up (every install evicts).
     if (homeGroupOf(line) != groupOf(cpu))
         return false;
-    if (l2_[cpu].contains(line) ||
-        !l2_[cpu].insertWouldEvict(line))
+    const auto p = l2_[cpu].probeForInsert(line);
+    if (p.hit || !p.wouldEvict)
         return true;
     const OverflowBuf &ob = l2Overflow_[cpu];
     return ob.n < l2OverflowCapacity || inL2Overflow(cpu, line);
@@ -460,31 +470,34 @@ Hierarchy::installShardLocal(CpuId cpu, Addr line)
                   std::dec, " not L3-resident on chip ", chip,
                   " despite residency mask");
     }
-    if (!l2_[cpu].touch(line)) {
-        if (inL2Overflow(cpu, line)) {
-            // Already pending from earlier in this quantum (the
-            // line was stripped from the L1 but not the buffer, or
-            // re-fetched after a demote); nothing more to do.
-        } else if (shardGroupsPerChip_ > 1 &&
-                   l2_[cpu].insertWouldEvict(line)) {
-            // Sub-chip shard, evicting install: park the line in
-            // the overflow buffer — eligibility guaranteed a free
-            // slot — and leave the eviction (directory removal,
-            // inclusivity LRU-XI) to the serial barrier drain.
-            OverflowBuf &ob = l2Overflow_[cpu];
-            ob.lines[ob.n++] = line;
-            ++hot_[cpu].l2OverflowAdmit;
-        } else {
-            // Whole-chip shards evict in-phase: the eviction (and
-            // its LRU-XI) stays inside the shard and is handled
-            // exactly as on the serial path.
-            const auto victim = l2_[cpu].insert(line);
-            if (victim.valid)
-                handleL2Evict(cpu, victim.line);
-        }
+    const auto p2 = l2_[cpu].probeForInsert(line);
+    if (p2.hit) {
+        l2_[cpu].touchAt(p2);
+    } else if (inL2Overflow(cpu, line)) {
+        // Already pending from earlier in this quantum (the
+        // line was stripped from the L1 but not the buffer, or
+        // re-fetched after a demote); nothing more to do.
+    } else if (shardGroupsPerChip_ > 1 && p2.wouldEvict) {
+        // Sub-chip shard, evicting install: park the line in
+        // the overflow buffer — eligibility guaranteed a free
+        // slot — and leave the eviction (directory removal,
+        // inclusivity LRU-XI) to the serial barrier drain.
+        OverflowBuf &ob = l2Overflow_[cpu];
+        ob.lines[ob.n++] = line;
+        ++hot_[cpu].l2OverflowAdmit;
+    } else {
+        // Whole-chip shards evict in-phase: the eviction (and
+        // its LRU-XI) stays inside the shard and is handled
+        // exactly as on the serial path.
+        const auto victim = l2_[cpu].insertAt(p2, line);
+        if (victim.valid)
+            handleL2Evict(cpu, victim.line);
     }
-    if (!l1_[cpu].touch(line))
-        insertL1(cpu, line);
+    const auto p1 = l1_[cpu].probeForInsert(line);
+    if (p1.hit)
+        l1_[cpu].touchAt(p1);
+    else
+        insertL1At(cpu, line, p1);
 }
 
 void
@@ -493,31 +506,53 @@ Hierarchy::installLocal(CpuId cpu, Addr line)
     const unsigned chip = topo_.chipOf(cpu);
     const unsigned mcm = topo_.mcmOf(cpu);
 
-    if (!l4_[mcm].touch(line)) {
-        const auto victim = l4_[mcm].insert(line);
+    // Each level resolves presence, the free way, and the LRU victim
+    // in one probe. Probes are taken level by level because an evict
+    // handler may mutate the arrays below the level it ran for.
+    const auto p4 = l4_[mcm].probeForInsert(line);
+    if (p4.hit) {
+        l4_[mcm].touchAt(p4);
+    } else {
+        const auto victim = l4_[mcm].insertAt(p4, line);
         if (victim.valid)
             handleL4Evict(mcm, victim.line);
     }
-    if (!l3_[chip].touch(line)) {
-        const auto victim = l3_[chip].insert(line);
+    const auto p3 = l3_[chip].probeForInsert(line);
+    if (p3.hit) {
+        l3_[chip].touchAt(p3);
+    } else {
+        const auto victim = l3_[chip].insertAt(p3, line);
         if (victim.valid)
             handleL3Evict(chip, victim.line);
         if (l3MaskTracked_)
             dir_.setL3Resident(line, chip);
     }
-    if (!l2_[cpu].touch(line)) {
-        const auto victim = l2_[cpu].insert(line);
+    const auto p2 = l2_[cpu].probeForInsert(line);
+    if (p2.hit) {
+        l2_[cpu].touchAt(p2);
+    } else {
+        const auto victim = l2_[cpu].insertAt(p2, line);
         if (victim.valid)
             handleL2Evict(cpu, victim.line);
     }
-    if (!l1_[cpu].touch(line))
-        insertL1(cpu, line);
+    const auto p1 = l1_[cpu].probeForInsert(line);
+    if (p1.hit)
+        l1_[cpu].touchAt(p1);
+    else
+        insertL1At(cpu, line, p1);
 }
 
 void
 Hierarchy::insertL1(CpuId cpu, Addr line)
 {
-    const auto victim = l1_[cpu].insert(line);
+    insertL1At(cpu, line, l1_[cpu].probeForInsert(line));
+}
+
+void
+Hierarchy::insertL1At(CpuId cpu, Addr line,
+                      const CacheArray::Probe &probe)
+{
+    const auto victim = l1_[cpu].insertAt(probe, line);
     if (!victim.valid)
         return;
     // The displaced line stays L2-resident; only the transactional
@@ -881,6 +916,27 @@ Hierarchy::foldHotCounters() const
     stats_.counter("poison.spread_xi")
         .inc(sum.poisonSpreadXi - hotFolded_.poisonSpreadXi);
     hotFolded_ = sum;
+}
+
+std::string
+Hierarchy::indexCheck() const
+{
+    const auto check = [](const CacheArray &arr) {
+        return arr.indexCheck();
+    };
+    for (const CacheArray &arr : l1_)
+        if (std::string err = check(arr); !err.empty())
+            return err;
+    for (const CacheArray &arr : l2_)
+        if (std::string err = check(arr); !err.empty())
+            return err;
+    for (const CacheArray &arr : l3_)
+        if (std::string err = check(arr); !err.empty())
+            return err;
+    for (const CacheArray &arr : l4_)
+        if (std::string err = check(arr); !err.empty())
+            return err;
+    return "";
 }
 
 void

@@ -220,6 +220,15 @@ class Hierarchy
     void checkInvariants() const;
 
     /**
+     * Verify every cache array's per-set metadata (valid masks,
+     * tag-to-set mapping, flagged-entry counts) against a
+     * ground-truth walk. @return Empty string when consistent, else
+     * the first violation (chaos-oracle hook; soft-failing
+     * counterpart of checkInvariants()).
+     */
+    std::string indexCheck() const;
+
+    /**
      * @name Fault-injection hooks (src/inject)
      * @{
      */
@@ -433,6 +442,9 @@ class Hierarchy
     void removeFromCpu(CpuId cpu, Addr line);
     void installLocal(CpuId cpu, Addr line);
     void insertL1(CpuId cpu, Addr line);
+    /** insertL1 completing a probeForInsert miss without re-probing. */
+    void insertL1At(CpuId cpu, Addr line,
+                    const CacheArray::Probe &probe);
     void handleL2Evict(CpuId cpu, Addr victim);
     void handleL3Evict(unsigned chip, Addr victim);
     void handleL4Evict(unsigned mcm, Addr victim);

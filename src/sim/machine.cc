@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "inject/steer.hh"
 #include "sim/shard.hh"
 
@@ -276,7 +277,11 @@ Machine::runLegacy(Cycles max_cycles)
             injector_->beforeStep(id, now_);
 
         stepCounter_.inc();
-        Cycles cost = cpus_[id]->step();
+        Cycles cost;
+        {
+            ZTX_PROF_SCOPE("cpu.step");
+            cost = cpus_[id]->step();
+        }
         cost += cpus_[id]->consumePendingStall();
         // Zero-cost steps model superscalar grouping; the CPU's
         // dispatch credit bounds how many occur per cycle.
@@ -491,19 +496,25 @@ Machine::runSharded(Cycles max_cycles)
         // the guard turns a fast-path access that escaped its shard
         // into a deterministic panic instead of a silent race.
         hierarchy_.setConcurrentPhase(true);
-        if (pool.empty()) {
-            runParallel(q_end);
-        } else {
-            pool_q_end = q_end;
-            start_gate.arriveAndWait();
-            end_gate.arriveAndWait();
+        {
+            ZTX_PROF_SCOPE("sched.parallel");
+            if (pool.empty()) {
+                runParallel(q_end);
+            } else {
+                pool_q_end = q_end;
+                start_gate.arriveAndWait();
+                end_gate.arriveAndWait();
+            }
         }
         hierarchy_.setConcurrentPhase(false);
         parallelPhase_ = false;
         const auto host_t1 = std::chrono::steady_clock::now();
 
         now_ = q_end;
-        mergeQuantum(q_start, q_end);
+        {
+            ZTX_PROF_SCOPE("sched.merge");
+            mergeQuantum(q_start, q_end);
+        }
 
         const auto host_t2 = std::chrono::steady_clock::now();
         phaseTimes_.parallelSeconds +=

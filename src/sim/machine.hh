@@ -196,6 +196,7 @@ class Machine : public core::CpuEnv
     /** @name Shared components @{ */
     mem::MainMemory &memory() { return memory_; }
     mem::Hierarchy &hierarchy() { return hierarchy_; }
+    const mem::Hierarchy &hierarchy() const { return hierarchy_; }
     debug::PageTable &pageTable() { return pageTable_; }
     debug::OsModel &os() { return os_; }
     /** The channel subsystem (fatal unless enableIo was set). */

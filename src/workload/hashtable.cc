@@ -10,6 +10,7 @@
 #include "workload/elision.hh"
 #include "workload/layout.hh"
 #include "workload/op_log.hh"
+#include "workload/report.hh"
 
 namespace ztx::workload {
 
@@ -249,6 +250,8 @@ runHashTableBench(const HashTableBenchConfig &cfg)
         prefill_occupied, std::int64_t(cfg.keySpace));
     for (auto &v : structural.violations)
         res.oracle.fail(std::move(v));
+    if (std::string why = indexOracleCheck(machine); !why.empty())
+        res.oracle.fail("hot-path index inconsistent: " + why);
     return res;
 }
 

@@ -12,6 +12,7 @@
 #include "workload/elision.hh"
 #include "workload/layout.hh"
 #include "workload/op_log.hh"
+#include "workload/report.hh"
 
 namespace ztx::workload {
 
@@ -294,6 +295,8 @@ runListSetBench(const ListSetBenchConfig &cfg)
         std::int64_t(keys.size()) + net_inserts);
     for (auto &v : structural.violations)
         res.oracle.fail(std::move(v));
+    if (std::string why = indexOracleCheck(machine); !why.empty())
+        res.oracle.fail("hot-path index inconsistent: " + why);
     return res;
 }
 

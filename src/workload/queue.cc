@@ -8,6 +8,7 @@
 #include "locks/lock_gen.hh"
 #include "workload/layout.hh"
 #include "workload/op_log.hh"
+#include "workload/report.hh"
 
 namespace ztx::workload {
 
@@ -214,6 +215,8 @@ runQueueBench(const QueueBenchConfig &cfg)
         queueBase + tailDisp, expected);
     for (auto &v : structural.violations)
         res.oracle.fail(std::move(v));
+    if (std::string why = indexOracleCheck(machine); !why.empty())
+        res.oracle.fail("hot-path index inconsistent: " + why);
     return res;
 }
 

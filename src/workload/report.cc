@@ -75,6 +75,21 @@ collectRasStats(sim::Machine &machine)
     return sum;
 }
 
+std::string
+indexOracleCheck(const sim::Machine &machine)
+{
+    std::string why = machine.hierarchy().indexCheck();
+    if (!why.empty())
+        return why;
+    for (unsigned i = 0; i < machine.numCpus(); ++i) {
+        why = machine.cpu(i).storeCache().indexCheck();
+        if (!why.empty())
+            return "cpu" + std::to_string(i) +
+                   " store cache: " + why;
+    }
+    return "";
+}
+
 SeriesTable::SeriesTable(std::string x_label,
                          std::vector<std::string> series)
     : xLabel_(std::move(x_label)), series_(std::move(series))

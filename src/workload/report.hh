@@ -128,6 +128,16 @@ struct RasSummary
  */
 RasSummary collectRasStats(sim::Machine &machine);
 
+/**
+ * First hot-path index-consistency violation across the machine —
+ * every cache array's tag/valid/flag index and every CPU's
+ * gathering-store-cache block index verified against ground truth —
+ * or "" when all indexes are consistent. The chaos oracles run this
+ * after every campaign so fault injection cross-checks the O(1)
+ * lookup structures, not just the architectural state.
+ */
+std::string indexOracleCheck(const sim::Machine &machine);
+
 } // namespace ztx::workload
 
 #endif // ZTX_WORKLOAD_REPORT_HH

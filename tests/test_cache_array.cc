@@ -145,4 +145,122 @@ TEST(CacheArray, RowMapping)
     EXPECT_EQ(a.row(4 * lineSizeBytes), 0u);
 }
 
+TEST(CacheArray, FlaggedCountTracksEveryTransition)
+{
+    auto a = tinyArray();
+    EXPECT_EQ(a.flaggedCount(), 0u);
+    a.insert(lineInRow(0, 0), line_flag::txRead);
+    EXPECT_EQ(a.flaggedCount(), 1u);
+    a.insert(lineInRow(1, 0));
+    EXPECT_EQ(a.flaggedCount(), 1u);
+    a.setFlags(lineInRow(1, 0), line_flag::txDirty);
+    EXPECT_EQ(a.flaggedCount(), 2u);
+    // Adding bits to an already-flagged entry is not a transition.
+    a.setFlags(lineInRow(1, 0), line_flag::txRead);
+    EXPECT_EQ(a.flaggedCount(), 2u);
+    // Clearing only one of two bits leaves the entry flagged.
+    a.clearFlags(lineInRow(1, 0), line_flag::txRead);
+    EXPECT_EQ(a.flaggedCount(), 2u);
+    a.clearFlags(lineInRow(1, 0), line_flag::txDirty);
+    EXPECT_EQ(a.flaggedCount(), 1u);
+    a.invalidate(lineInRow(0, 0));
+    EXPECT_EQ(a.flaggedCount(), 0u);
+    EXPECT_EQ(a.indexCheck(), "");
+}
+
+TEST(CacheArray, ClearFlagsAllShortCircuitStaysCorrect)
+{
+    auto a = tinyArray();
+    a.insert(lineInRow(0, 0));
+    a.insert(lineInRow(2, 0));
+    // Nothing flagged: the short-circuit path must be a no-op.
+    a.clearFlagsAll(line_flag::txRead | line_flag::txDirty);
+    EXPECT_TRUE(a.contains(lineInRow(0, 0)));
+    EXPECT_EQ(a.flaggedCount(), 0u);
+    // Flag, clear all, then flag again: a stale count after the
+    // short-circuit would make the second clear skip real flags.
+    a.setFlags(lineInRow(0, 0), line_flag::txRead);
+    a.clearFlagsAll(line_flag::txRead);
+    EXPECT_EQ(a.flaggedCount(), 0u);
+    a.setFlags(lineInRow(2, 0), line_flag::txDirty);
+    EXPECT_EQ(a.flaggedCount(), 1u);
+    a.clearFlagsAll(line_flag::txDirty);
+    EXPECT_EQ(a.flagsOf(lineInRow(2, 0)), 0u);
+    EXPECT_EQ(a.flaggedCount(), 0u);
+    EXPECT_EQ(a.indexCheck(), "");
+}
+
+TEST(CacheArray, EvictedFlaggedVictimLeavesCount)
+{
+    auto a = tinyArray();
+    a.insert(lineInRow(0, 0), line_flag::txDirty);
+    a.insert(lineInRow(0, 1));
+    a.touch(lineInRow(0, 1));
+    const auto victim = a.insert(lineInRow(0, 2));
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.flags, line_flag::txDirty);
+    EXPECT_EQ(a.flaggedCount(), 0u);
+}
+
+TEST(CacheArray, FindAndTouchUpdatesRecency)
+{
+    auto a = tinyArray();
+    EXPECT_FALSE(a.findAndTouch(lineInRow(1, 0)));
+    a.insert(lineInRow(1, 0));
+    a.insert(lineInRow(1, 1));
+    EXPECT_TRUE(a.findAndTouch(lineInRow(1, 0)));
+    // lineInRow(1, 1) is now LRU and must be the victim.
+    const auto victim = a.insert(lineInRow(1, 2));
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, lineInRow(1, 1));
+}
+
+TEST(CacheArray, ProbeForInsertReportsHit)
+{
+    auto a = tinyArray();
+    a.insert(lineInRow(0, 0));
+    const auto p = a.probeForInsert(lineInRow(0, 0));
+    EXPECT_TRUE(p.hit);
+    // touchAt on a hit probe is the fused equivalent of touch().
+    a.insert(lineInRow(0, 1));
+    a.touchAt(p);
+    const auto victim = a.insert(lineInRow(0, 2));
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, lineInRow(0, 1));
+}
+
+TEST(CacheArray, ProbeForInsertMissThenInsertAt)
+{
+    auto a = tinyArray();
+    const auto p_free = a.probeForInsert(lineInRow(2, 0));
+    EXPECT_FALSE(p_free.hit);
+    EXPECT_FALSE(p_free.wouldEvict);
+    const auto v1 = a.insertAt(p_free, lineInRow(2, 0));
+    EXPECT_FALSE(v1.valid);
+    EXPECT_TRUE(a.contains(lineInRow(2, 0)));
+
+    a.insert(lineInRow(2, 1), line_flag::txRead);
+    const auto p_full = a.probeForInsert(lineInRow(2, 2));
+    EXPECT_FALSE(p_full.hit);
+    EXPECT_TRUE(p_full.wouldEvict);
+    const auto v2 = a.insertAt(p_full, lineInRow(2, 2));
+    ASSERT_TRUE(v2.valid);
+    EXPECT_EQ(v2.line, lineInRow(2, 0)); // LRU way
+    EXPECT_EQ(a.indexCheck(), "");
+}
+
+TEST(CacheArray, SqueezeEvictsWithPhysicalWaysFree)
+{
+    auto a = tinyArray();
+    a.setEffectiveAssoc(1);
+    a.insert(lineInRow(0, 0));
+    const auto p = a.probeForInsert(lineInRow(0, 1));
+    EXPECT_TRUE(p.wouldEvict);
+    const auto victim = a.insertAt(p, lineInRow(0, 1));
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, lineInRow(0, 0));
+    EXPECT_EQ(a.validCount(), 1u);
+    EXPECT_EQ(a.indexCheck(), "");
+}
+
 } // namespace

@@ -466,6 +466,54 @@ TEST(Sharded, FullTopologyDeterminismMatrix)
     }
 }
 
+TEST(Sharded, LegacyArchStatsMatchShardedFullTopology)
+{
+    // hostThreads = 0 (legacy serial scheduler) completes the
+    // determinism matrix: it is compared architecturally, not on
+    // the raw document (MachineConfig doc) — but "architecturally"
+    // is in fact everything except the scheduler's own bookkeeping.
+    // Strip the sched.* / scheduler.* counters and the
+    // shards_per_chip config echo and the remaining stats document
+    // must be byte-identical between the two schedulers.
+    auto arch_stats = [](const sim::MachineConfig &cfg) {
+        sim::Machine m(cfg);
+        std::vector<Program> programs;
+        programs.reserve(m.numCpus());
+        for (unsigned i = 0; i < m.numCpus(); ++i)
+            programs.push_back(missHeavyProgram(
+                dataBase + Addr(i) * 0x2'0000, 64, 2));
+        for (unsigned i = 0; i < m.numCpus(); ++i)
+            m.setProgram(i, &programs[i]);
+        m.run();
+        EXPECT_TRUE(m.allHalted());
+        std::ostringstream os;
+        m.dumpStatsJson(os);
+        std::istringstream in(os.str());
+        std::string filtered;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.find("\"sched.") != std::string::npos ||
+                line.find("\"scheduler.") != std::string::npos ||
+                line.find("\"shards_per_chip\"") !=
+                    std::string::npos)
+                continue;
+            filtered += line;
+            filtered += '\n';
+        }
+        return filtered;
+    };
+    for (const std::uint64_t seed : {17ull, 29ull, 63ull}) {
+        const std::string legacy =
+            arch_stats(fullTopologyConfig(seed, 0));
+        const std::string sharded =
+            arch_stats(fullTopologyConfig(seed, 1));
+        EXPECT_EQ(legacy, sharded)
+            << "architectural stats diverged between the legacy "
+               "and sharded schedulers: seed "
+            << seed;
+    }
+}
+
 TEST(Sharded, SameShardXiAbortMatchesLegacy)
 {
     // A conflict abort delivered by a same-shard XI inside the
